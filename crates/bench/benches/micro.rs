@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the engine's *real* (wall-clock)
+//! performance: core operators, lifted operators vs. hand-flattened
+//! equivalents, and lifted-loop overhead. These complement the simulated
+//! figures: the simulator's numbers are modeled, these are measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use matryoshka_core::{group_by_key_into_nested_bag, MatryoshkaConfig};
+use matryoshka_engine::{ClusterConfig, Engine};
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::local_test())
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ops");
+    for &n in &[10_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("reduce_by_key", n), &n, |b, &n| {
+            b.iter(|| {
+                let e = engine();
+                let bag = e.generate(n, 8, |i| (i % 997, 1u64));
+                bag.reduce_by_key(|a, b| a + b).count().unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("join", n), &n, |b, &n| {
+            b.iter(|| {
+                let e = engine();
+                let l = e.generate(n, 8, |i| (i % 997, i));
+                let r = e.generate(n / 10, 4, |i| (i % 997, i * 2));
+                l.join(&r).count().unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("group_by_key", n), &n, |b, &n| {
+            b.iter(|| {
+                let e = engine();
+                let bag = e.generate(n, 8, |i| (i % 997, i));
+                bag.group_by_key().count().unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("distinct", n), &n, |b, &n| {
+            b.iter(|| {
+                let e = engine();
+                let bag = e.generate(n, 8, |i| i % 4096);
+                bag.distinct().count().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lifted_vs_flat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lifted_vs_flat_bounce_rate");
+    let visits: Vec<(u32, u64)> = (0..50_000u64).map(|i| ((i % 64) as u32, i % 1000)).collect();
+    g.bench_function("lifted", |b| {
+        b.iter(|| {
+            let e = engine();
+            let bag = e.parallelize(visits.clone(), 8);
+            matryoshka_tasks::bounce_rate::matryoshka(&e, &bag, MatryoshkaConfig::optimized()).unwrap()
+        })
+    });
+    g.bench_function("hand_flattened", |b| {
+        // Listing 3 of the paper, written directly against the engine.
+        b.iter(|| {
+            let e = engine();
+            let visits = e.parallelize(visits.clone(), 8);
+            let counts = visits.map(|&(d, ip)| ((d, ip), 1u64)).reduce_by_key(|a, b| a + b);
+            let bounces = counts
+                .filter(|(_, c)| *c == 1)
+                .map(|((d, _), _)| (*d, 1u64))
+                .reduce_by_key(|a, b| a + b);
+            let totals = visits.distinct().map(|&(d, _)| (d, 1u64)).reduce_by_key(|a, b| a + b);
+            let mut out = bounces
+                .join(&totals)
+                .map(|(d, (b, t))| (*d, *b as f64 / *t as f64))
+                .collect()
+                .unwrap();
+            out.sort_by_key(|(d, _)| *d);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_lifted_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lifted_loop");
+    for &tags in &[16u64, 256] {
+        g.bench_with_input(BenchmarkId::new("countdown", tags), &tags, |b, &tags| {
+            b.iter(|| {
+                let e = engine();
+                let ctx = matryoshka_core::LiftingContext::new(
+                    e.clone(),
+                    e.parallelize((0..tags).collect(), 4),
+                    tags,
+                    MatryoshkaConfig::optimized(),
+                );
+                let init = matryoshka_core::InnerScalar::from_repr(
+                    e.parallelize((0..tags).map(|t| (t, (t % 7) as i64)).collect(), 4),
+                    ctx,
+                );
+                matryoshka_core::lifted_while(
+                    &init,
+                    |s| {
+                        let next = s.map(|x| x - 1);
+                        let cond = next.map(|x| *x > 0);
+                        Ok((next, cond))
+                    },
+                    None,
+                )
+                .unwrap()
+                .collect()
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nesting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nesting_primitives");
+    g.bench_function("group_by_key_into_nested_bag_100k", |b| {
+        b.iter(|| {
+            let e = engine();
+            let bag = e.generate(100_000, 8, |i| ((i % 512) as u32, i));
+            group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized())
+                .unwrap()
+                .ctx()
+                .size()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_ops, bench_lifted_vs_flat, bench_lifted_loop, bench_nesting);
+criterion_main!(benches);

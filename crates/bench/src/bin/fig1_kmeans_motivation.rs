@@ -1,0 +1,7 @@
+//! Reproduces Fig. 1 (K-means motivation). `MATRYOSHKA_SCALE=full` widens
+//! the sweep.
+
+fn main() {
+    let rows = matryoshka_bench::figures::fig1::run(matryoshka_bench::Profile::from_env());
+    matryoshka_bench::print_rows(&rows);
+}

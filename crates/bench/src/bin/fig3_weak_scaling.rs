@@ -1,0 +1,6 @@
+//! Reproduces Fig. 3 (weak scaling of the iterative tasks).
+
+fn main() {
+    let rows = matryoshka_bench::figures::fig3::run(matryoshka_bench::Profile::from_env());
+    matryoshka_bench::print_rows(&rows);
+}

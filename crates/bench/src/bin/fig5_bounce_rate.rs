@@ -1,0 +1,6 @@
+//! Reproduces Fig. 5 (Bounce Rate weak scaling + scale-out, incl. DIQL).
+
+fn main() {
+    let rows = matryoshka_bench::figures::fig5::run(matryoshka_bench::Profile::from_env());
+    matryoshka_bench::print_rows(&rows);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper experiment implemented in `figures::fig6`.
+
+fn main() {
+    let rows = matryoshka_bench::figures::fig6::run(matryoshka_bench::Profile::from_env());
+    matryoshka_bench::print_rows(&rows);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper experiment implemented in `figures::fig7`.
+
+fn main() {
+    let rows = matryoshka_bench::figures::fig7::run(matryoshka_bench::Profile::from_env());
+    matryoshka_bench::print_rows(&rows);
+}

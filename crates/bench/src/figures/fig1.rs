@@ -1,0 +1,117 @@
+//! Fig. 1 (paper Sec. 1): the K-means motivation experiment. The number of
+//! initial configurations varies while the per-configuration sample size
+//! varies inversely, so total work is constant and the ideal runtime is the
+//! single-configuration run. Inner-parallel wins at few configurations,
+//! outer-parallel at many; both sit far from ideal in between — the gray-gap
+//! argument for Matryoshka (whose line we add for reference).
+
+use matryoshka_datagen::{initial_centroid_configs, point_cloud, KmeansSpec, Point};
+use matryoshka_engine::{ClusterConfig, Engine};
+use matryoshka_tasks::kmeans;
+use matryoshka_tasks::seq::KmeansParams;
+use matryoshka_core::MatryoshkaConfig;
+
+use crate::harness::{run_case, Row};
+use crate::profile::{gb, Profile};
+
+/// Real point count at the `Full` profile (modeled volume stays 6 GB).
+const FULL_POINTS: u64 = 1 << 17;
+
+/// Deterministic K-means input shared by all strategies of one sweep point.
+pub struct KmeansCase {
+    /// Per-config samples as flat `(config, point)` records.
+    pub samples: Vec<(u32, Point)>,
+    /// The initial centroid configurations.
+    pub configs: Vec<(u32, Vec<Point>)>,
+    /// Modeled bytes per point record.
+    pub record_bytes: f64,
+    /// Algorithm parameters.
+    pub params: KmeansParams,
+}
+
+/// Build the case for `n_configs` configurations.
+pub fn make_case(profile: Profile, n_configs: u64, total_bytes: f64) -> KmeansCase {
+    let points = profile.records(FULL_POINTS);
+    let spec = KmeansSpec {
+        points,
+        dim: 4,
+        true_clusters: 8,
+        k: 8,
+        spread: 0.04,
+        seed: 77,
+    };
+    let cloud = point_cloud(&spec);
+    let configs = initial_centroid_configs(&spec, n_configs as u32);
+    let samples: Vec<(u32, Point)> = cloud
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| ((i as u64 % n_configs) as u32, p))
+        .collect();
+    KmeansCase {
+        samples,
+        configs,
+        record_bytes: total_bytes / points as f64,
+        params: KmeansParams { epsilon: 5e-3, max_iterations: 10 },
+    }
+}
+
+/// Run one strategy of the grouped K-means task.
+pub fn run_strategy(engine: &Engine, strategy: &str, case: &KmeansCase) -> matryoshka_engine::Result<()> {
+    let parallelism = engine.config().default_parallelism;
+    let sample_bag =
+        || engine.parallelize_with_bytes(case.samples.clone(), parallelism, case.record_bytes);
+    match strategy {
+        "matryoshka" => {
+            let config_bag = engine.parallelize(case.configs.clone(), 1);
+            kmeans::matryoshka_grouped(
+                engine,
+                &config_bag,
+                &sample_bag(),
+                &case.params,
+                MatryoshkaConfig::optimized(),
+            )?;
+        }
+        "outer-parallel" => {
+            kmeans::outer_parallel_grouped(engine, &case.configs, &sample_bag(), &case.params)?;
+        }
+        "inner-parallel" => {
+            let split = kmeans::split_samples(&case.samples);
+            kmeans::inner_parallel_grouped(
+                engine,
+                &case.configs,
+                &split,
+                &case.params,
+                case.record_bytes,
+            )?;
+        }
+        "ideal" => {
+            // The paper's ideal: one configuration over the full input
+            // (reading from block-partitioned files, like every strategy).
+            let pts: Vec<Point> = case.samples.iter().map(|(_, p)| p.clone()).collect();
+            let p = matryoshka_tasks::hdfs_partitions(engine, pts.len() as f64 * case.record_bytes);
+            let bag = engine.parallelize_with_bytes(pts, p, case.record_bytes);
+            matryoshka_tasks::flat::kmeans(engine, &bag, &case.configs[0].1, &case.params)?;
+        }
+        other => panic!("unknown strategy {other}"),
+    }
+    Ok(())
+}
+
+/// The Fig. 1 sweep.
+pub fn run(profile: Profile) -> Vec<Row> {
+    let sweep = profile.sweep(&[1, 4, 16, 64, 256, 1024], &[1, 16, 256]);
+    let mut rows = Vec::new();
+    for &n_configs in &sweep {
+        let case = make_case(profile, n_configs, gb(6));
+        for strategy in ["ideal", "inner-parallel", "outer-parallel", "matryoshka"] {
+            let m = run_case(ClusterConfig::paper_small_cluster(), |e| run_strategy(e, strategy, &case));
+            rows.push(Row {
+                figure: "fig1/kmeans-motivation".to_string(),
+                series: strategy.to_string(),
+                x: n_configs,
+                m,
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,89 @@
+//! Fig. 4 (paper Sec. 9.3): scale-out — runtime vs. machine count at 64
+//! inner computations, for all four tasks. Matryoshka scales near-linearly;
+//! outer-parallel flattens (parallelism capped by the group count);
+//! inner-parallel barely improves (job-launch and task-scheduling overheads
+//! grow with the cluster).
+
+use matryoshka_datagen::{visit_log, KeyDist, VisitSpec};
+use matryoshka_engine::ClusterConfig;
+use matryoshka_core::MatryoshkaConfig;
+
+use crate::figures::{fig1, fig3, fig5};
+use crate::harness::{run_case, Row};
+use crate::profile::{gb, Profile};
+
+const INNER_COMPUTATIONS: u64 = 64;
+
+/// The Fig. 4 sweeps: one sub-figure per task, x = machines.
+pub fn run(profile: Profile) -> Vec<Row> {
+    let machines = profile.sweep(&[5, 10, 15, 20, 25], &[5, 15, 25]);
+    let strategies = ["matryoshka", "inner-parallel", "outer-parallel"];
+    let mut rows = Vec::new();
+
+    // K-means, 6 GB.
+    let kmeans_case = fig1::make_case(profile, INNER_COMPUTATIONS, gb(6));
+    for &m in &machines {
+        for strategy in strategies {
+            let meas = run_case(ClusterConfig::with_machines(m as usize), |e| {
+                fig1::run_strategy(e, strategy, &kmeans_case)
+            });
+            rows.push(Row { figure: "fig4/kmeans".into(), series: strategy.into(), x: m, m: meas });
+        }
+    }
+
+    // Per-group PageRank, 20 GB.
+    let (edges, record_bytes) = fig3::pagerank_input(profile, INNER_COMPUTATIONS, gb(20));
+    for &m in &machines {
+        for strategy in strategies {
+            let meas = run_case(ClusterConfig::with_machines(m as usize), |e| {
+                fig3::run_pagerank_strategy(
+                    e,
+                    strategy,
+                    &edges,
+                    record_bytes,
+                    MatryoshkaConfig::optimized(),
+                    0.0,
+                )
+            });
+            rows.push(Row { figure: "fig4/pagerank".into(), series: strategy.into(), x: m, m: meas });
+        }
+    }
+
+    // Average Distances, 2 GB.
+    let (g_edges, g_bytes) = fig3::avg_distances_input(profile, INNER_COMPUTATIONS, gb(2));
+    for &m in &machines {
+        for strategy in strategies {
+            let meas = run_case(ClusterConfig::with_machines(m as usize), |e| {
+                fig3::run_avg_distances_strategy(e, strategy, &g_edges, g_bytes)
+            });
+            rows.push(Row {
+                figure: "fig4/avg-distances".into(),
+                series: strategy.into(),
+                x: m,
+                m: meas,
+            });
+        }
+    }
+
+    // Bounce Rate, 24 GB (half the Fig. 5 volume so outer-parallel survives
+    // on the full cluster and its flat line is visible).
+    let records = profile.records(1 << 19);
+    let rb = gb(24) / records as f64;
+    let visits = visit_log(&VisitSpec {
+        visits: records,
+        groups: INNER_COMPUTATIONS as u32,
+        visitors_per_group: (records / INNER_COMPUTATIONS / 3).max(8),
+        bounce_fraction: 0.3,
+        key_dist: KeyDist::Uniform,
+        seed: 42,
+    });
+    for &m in &machines {
+        for strategy in strategies {
+            let meas = run_case(ClusterConfig::with_machines(m as usize), |e| {
+                fig5::run_strategy(e, strategy, &visits, rb)
+            });
+            rows.push(Row { figure: "fig4/bounce-rate".into(), series: strategy.into(), x: m, m: meas });
+        }
+    }
+    rows
+}

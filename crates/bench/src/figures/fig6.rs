@@ -1,0 +1,21 @@
+//! Fig. 6 (paper Sec. 9.4): Bounce Rate against DIQL at a reduced 12 GB
+//! input, where DIQL's outer-parallel fallback survives and execution times
+//! can actually be compared (the paper reports Matryoshka up to 6.6x
+//! faster).
+
+use crate::figures::fig5;
+use crate::harness::Row;
+use crate::profile::{gb, Profile};
+
+/// The Fig. 6 sweep. The group range starts at 32: below that even 12 GB
+/// groups exceed a worker under the outer-parallel plan (the paper's figure
+/// only shows the region where DIQL completes).
+pub fn run(profile: Profile) -> Vec<Row> {
+    fig5::weak_scaling(
+        profile,
+        "fig6/bounce-rate-vs-diql-12GB",
+        gb(12),
+        &profile.sweep(&[32, 64, 128, 256, 512], &[32, 128, 512]),
+        &["matryoshka", "diql"],
+    )
+}

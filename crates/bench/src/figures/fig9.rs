@@ -1,0 +1,56 @@
+//! Fig. 9 (paper Sec. 9.7): the weak-scaling experiment at 8x larger inputs
+//! on the larger 36-machine cluster (40 threads/machine, 100 GB memory per
+//! worker): per-group PageRank at 160 GB and Bounce Rate at 384 GB.
+//! Outer-parallel runs out of memory in all Bounce Rate cases; Matryoshka's
+//! speedup over inner-parallel grows with the input.
+
+use matryoshka_datagen::{visit_log, KeyDist, VisitSpec};
+use matryoshka_engine::ClusterConfig;
+use matryoshka_core::MatryoshkaConfig;
+
+use crate::figures::{fig3, fig5};
+use crate::harness::{run_case, Row};
+use crate::profile::{gb, Profile};
+
+/// The Fig. 9 sweeps.
+pub fn run(profile: Profile) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cluster = ClusterConfig::paper_large_cluster;
+
+    // Per-group PageRank at 160 GB (8x the Fig. 3 input).
+    for &groups in &profile.sweep(&[64, 128, 256, 512, 1024], &[64, 1024]) {
+        let (edges, record_bytes) = fig3::pagerank_input(profile, groups, gb(160));
+        for strategy in ["matryoshka", "inner-parallel", "outer-parallel"] {
+            let m = run_case(cluster(), |e| {
+                fig3::run_pagerank_strategy(
+                    e,
+                    strategy,
+                    &edges,
+                    record_bytes,
+                    MatryoshkaConfig::optimized(),
+                    0.0,
+                )
+            });
+            rows.push(Row { figure: "fig9/pagerank-160GB".into(), series: strategy.into(), x: groups, m });
+        }
+    }
+
+    // Bounce Rate at 384 GB (8x the Fig. 5 input).
+    let records = profile.records(1 << 19);
+    let rb = gb(384) / records as f64;
+    for &groups in &profile.sweep(&[32, 64, 128, 256, 512], &[32, 512]) {
+        let visits = visit_log(&VisitSpec {
+            visits: records,
+            groups: groups as u32,
+            visitors_per_group: (records / groups / 3).max(8),
+            bounce_fraction: 0.3,
+            key_dist: KeyDist::Uniform,
+            seed: 42,
+        });
+        for strategy in ["matryoshka", "inner-parallel", "outer-parallel"] {
+            let m = run_case(cluster(), |e| fig5::run_strategy(e, strategy, &visits, rb));
+            rows.push(Row { figure: "fig9/bounce-rate-384GB".into(), series: strategy.into(), x: groups, m });
+        }
+    }
+    rows
+}

@@ -1,0 +1,11 @@
+//! One module per paper figure; each exposes `run(profile) -> Vec<Row>`.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

@@ -1,0 +1,168 @@
+//! Experiment harness: run one strategy on one configuration of the
+//! simulated cluster, record simulated time + outcome, print paper-style
+//! tables.
+
+use matryoshka_engine::{ClusterConfig, Engine, EngineError, StatsSnapshot};
+
+/// What happened when a strategy ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed.
+    Ok,
+    /// Failed with a simulated OutOfMemory (plotted as "OOM" in the paper).
+    Oom,
+    /// The strategy cannot express the program (DIQL + inner control flow).
+    Unsupported,
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Completion status.
+    pub outcome: Outcome,
+    /// Simulated runtime in seconds (time until completion or failure).
+    pub seconds: f64,
+    /// Engine statistics delta for the run.
+    pub stats: StatsSnapshot,
+}
+
+/// One row of a figure: `(series, x) -> measurement`.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Figure identifier, e.g. "fig3/pagerank".
+    pub figure: String,
+    /// Line in the plot, e.g. "matryoshka".
+    pub series: String,
+    /// X coordinate, e.g. the number of inner computations.
+    pub x: u64,
+    /// The measurement.
+    pub m: Measurement,
+}
+
+/// Run `f` on a fresh engine over `cfg` and measure simulated time and
+/// statistics. Simulated OOM becomes [`Outcome::Oom`]; `Unsupported` becomes
+/// [`Outcome::Unsupported`]; any other engine error panics (it would be a
+/// harness bug).
+pub fn run_case(
+    cfg: ClusterConfig,
+    f: impl FnOnce(&Engine) -> matryoshka_engine::Result<()>,
+) -> Measurement {
+    let engine = Engine::new(cfg);
+    let t0 = engine.sim_time();
+    let s0 = engine.stats();
+    let outcome = match f(&engine) {
+        Ok(()) => Outcome::Ok,
+        Err(EngineError::OutOfMemory { .. }) => Outcome::Oom,
+        Err(EngineError::Unsupported(_)) => Outcome::Unsupported,
+        Err(e) => panic!("unexpected engine error in experiment: {e}"),
+    };
+    Measurement {
+        outcome,
+        seconds: (engine.sim_time() - t0).as_secs_f64(),
+        stats: engine.stats().since(&s0),
+    }
+}
+
+/// Format one measurement the way the paper's plots label failures.
+pub fn fmt_measurement(m: &Measurement) -> String {
+    match m.outcome {
+        Outcome::Ok => format!("{:.1}", m.seconds),
+        Outcome::Oom => "OOM".to_string(),
+        Outcome::Unsupported => "n/a".to_string(),
+    }
+}
+
+/// Print rows grouped by figure as a markdown-ish table:
+/// one line per x, one column per series.
+pub fn print_rows(rows: &[Row]) {
+    use std::collections::BTreeMap;
+    let mut by_figure: BTreeMap<&str, Vec<&Row>> = BTreeMap::new();
+    for r in rows {
+        by_figure.entry(r.figure.as_str()).or_default().push(r);
+    }
+    for (figure, rows) in by_figure {
+        let mut series: Vec<&str> = Vec::new();
+        for r in &rows {
+            if !series.contains(&r.series.as_str()) {
+                series.push(&r.series);
+            }
+        }
+        let mut xs: Vec<u64> = rows.iter().map(|r| r.x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        println!("\n== {figure} (simulated seconds) ==");
+        println!("{:>10} | {}", "x", series.iter().map(|s| format!("{s:>16}")).collect::<Vec<_>>().join(" | "));
+        for x in xs {
+            let cells: Vec<String> = series
+                .iter()
+                .map(|s| {
+                    rows.iter()
+                        .find(|r| r.x == x && r.series == *s)
+                        .map(|r| format!("{:>16}", fmt_measurement(&r.m)))
+                        .unwrap_or_else(|| format!("{:>16}", "-"))
+                })
+                .collect();
+            println!("{x:>10} | {}", cells.join(" | "));
+        }
+    }
+}
+
+/// Print rows as CSV (for downstream plotting):
+/// `figure,series,x,outcome,seconds,jobs,shuffle_bytes,spill_bytes`.
+pub fn print_csv(rows: &[Row]) {
+    println!("figure,series,x,outcome,seconds,jobs,shuffle_bytes,spill_bytes");
+    for r in rows {
+        let outcome = match r.m.outcome {
+            Outcome::Ok => "ok",
+            Outcome::Oom => "oom",
+            Outcome::Unsupported => "unsupported",
+        };
+        println!(
+            "{},{},{},{},{:.3},{},{},{}",
+            r.figure,
+            r.series,
+            r.x,
+            outcome,
+            r.m.seconds,
+            r.m.stats.jobs,
+            r.m.stats.shuffle_bytes,
+            r.m.stats.spill_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matryoshka_engine::GB;
+
+    #[test]
+    fn run_case_measures_time_and_stats() {
+        let m = run_case(ClusterConfig::local_test(), |e| {
+            e.parallelize((0..100).collect::<Vec<u32>>(), 4).count()?;
+            Ok(())
+        });
+        assert_eq!(m.outcome, Outcome::Ok);
+        assert!(m.seconds > 0.0);
+        assert_eq!(m.stats.jobs, 1);
+    }
+
+    #[test]
+    fn run_case_captures_oom() {
+        let m = run_case(ClusterConfig::local_test(), |e| {
+            e.broadcast(0u8, 100 * GB)?;
+            Ok(())
+        });
+        assert_eq!(m.outcome, Outcome::Oom);
+        assert_eq!(fmt_measurement(&m), "OOM");
+    }
+
+    #[test]
+    fn run_case_captures_unsupported() {
+        let m = run_case(ClusterConfig::local_test(), |_| {
+            Err(matryoshka_engine::EngineError::Unsupported("loops".into()))
+        });
+        assert_eq!(m.outcome, Outcome::Unsupported);
+        assert_eq!(fmt_measurement(&m), "n/a");
+    }
+}

@@ -1,0 +1,20 @@
+//! # matryoshka-bench
+//!
+//! Experiment harnesses reproducing every figure of the paper's evaluation
+//! (Sec. 9) on the simulated cluster, plus Criterion microbenchmarks of the
+//! engine's real (wall-clock) performance.
+//!
+//! Each figure module builds the paper's workload at a modeled data volume,
+//! runs every strategy the figure compares on a fresh simulated cluster, and
+//! reports simulated seconds (or OOM / n-a, exactly where the paper reports
+//! failures). Run all figures with `cargo bench -p matryoshka-bench` or a
+//! single one with its binary, e.g. `cargo run --release --bin fig5_bounce_rate`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod profile;
+
+pub use harness::{print_csv, print_rows, run_case, Measurement, Outcome, Row};
+pub use profile::Profile;

@@ -1,0 +1,66 @@
+//! Experiment scale profiles.
+//!
+//! Real record counts are scaled down from the paper's inputs while the
+//! *modeled* bytes stay at paper scale (each in-memory record carries a
+//! `record_bytes` weight), so the simulated cluster sees the paper's data
+//! volumes while the harness stays fast. `MATRYOSHKA_SCALE=full` raises the
+//! real record counts and widens the sweeps for higher-fidelity curves.
+
+/// Scale profile, selected by the `MATRYOSHKA_SCALE` environment variable
+/// (`quick` is the default; `full` runs the wide sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Small record counts, 3-4 sweep points: seconds per figure.
+    Quick,
+    /// Paper-shaped sweeps: minutes per figure.
+    Full,
+}
+
+impl Profile {
+    /// Read the profile from the environment.
+    pub fn from_env() -> Profile {
+        match std::env::var("MATRYOSHKA_SCALE").as_deref() {
+            Ok("full") => Profile::Full,
+            _ => Profile::Quick,
+        }
+    }
+
+    /// Pick a sweep: the full list, or the quick subset.
+    pub fn sweep(&self, full: &[u64], quick: &[u64]) -> Vec<u64> {
+        match self {
+            Profile::Full => full.to_vec(),
+            Profile::Quick => quick.to_vec(),
+        }
+    }
+
+    /// Scale a real record count down for the quick profile.
+    pub fn records(&self, full: u64) -> u64 {
+        match self {
+            Profile::Full => full,
+            Profile::Quick => (full / 8).max(1024),
+        }
+    }
+}
+
+/// Gigabytes helper for modeled data volumes.
+pub const fn gb(n: u64) -> f64 {
+    (n * (1 << 30)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scales_records_down() {
+        assert_eq!(Profile::Quick.records(1 << 20), 1 << 17);
+        assert_eq!(Profile::Full.records(1 << 20), 1 << 20);
+        assert_eq!(Profile::Quick.records(100), 1024, "floor keeps cases meaningful");
+    }
+
+    #[test]
+    fn sweep_picks_by_profile() {
+        assert_eq!(Profile::Quick.sweep(&[1, 2, 3], &[1, 3]), vec![1, 3]);
+        assert_eq!(Profile::Full.sweep(&[1, 2, 3], &[1, 3]), vec![1, 2, 3]);
+    }
+}

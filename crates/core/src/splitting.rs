@@ -1,0 +1,255 @@
+//! Lifting non-map UDFs by splitting (paper Sec. 4.6): "we basically split
+//! a complex operation into a map with a UDF plus the UDF-less version of
+//! the original operation."
+//!
+//! These are the lifted forms of `groupBy(keyFunc)`, `join` with key UDFs,
+//! and `flatMap` — each reduced to a `map` (whose UDF lifting Sec. 4.2
+//! handles) followed by the UDF-less primitive, exactly the paper's
+//! transformation:
+//!
+//! - `xs.groupBy(keyFunc)`  becomes `xs.map(x => (keyFunc(x), x)).groupByKey()`
+//! - `xs.flatMap(f)`        becomes `xs.map(f).flatten()`
+//! - `xs.joinBy(kf, ys, kg)` becomes key-by maps plus the plain equi-join.
+
+use matryoshka_engine::{Data, Key, Result};
+
+use crate::inner_bag::InnerBag;
+use crate::nested::NestedBag;
+use crate::scalar::InnerScalar;
+
+impl<T: Key, E: Data> InnerBag<T, E> {
+    /// Lifted `groupBy(keyFunc)` (Sec. 4.6): key-by map + UDF-less
+    /// `group_by_key`, yielding per-tag groups keyed by the UDF's key.
+    pub fn group_by<K: Key>(
+        &self,
+        key_fn: impl Fn(&E) -> K + Send + Sync + 'static,
+    ) -> InnerBag<T, (K, Vec<E>)> {
+        self.map(move |e| (key_fn(e), e.clone())).group_by_key()
+    }
+
+    /// Lifted join with key-extraction UDFs (Sec. 4.6): both sides are
+    /// keyed by a map, then the plain lifted equi-join runs on the
+    /// composite `(tag, key)`.
+    pub fn join_by<K: Key, F: Data>(
+        &self,
+        other: &InnerBag<T, F>,
+        left_key: impl Fn(&E) -> K + Send + Sync + 'static,
+        right_key: impl Fn(&F) -> K + Send + Sync + 'static,
+    ) -> InnerBag<T, (E, F)> {
+        let keyed_l = self.map(move |e| (left_key(e), e.clone()));
+        let keyed_r = other.map(move |f| (right_key(f), f.clone()));
+        keyed_l.join(&keyed_r).map(|(_, (e, f))| (e.clone(), f.clone()))
+    }
+
+    /// Lifted `flatMap(f)` as `map(f).flatten()` (Sec. 4.6) — provided as an
+    /// explicit two-step form for parity with the paper; the fused
+    /// [`InnerBag::flat_map`] is equivalent and cheaper.
+    pub fn flat_map_via_split<U: Data>(
+        &self,
+        f: impl Fn(&E) -> Vec<U> + Send + Sync + 'static,
+    ) -> InnerBag<T, U> {
+        // map to per-element vectors, then remove one nesting level while
+        // keeping the tags (the "flatten" that preserves the lifting tag).
+        self.map(f).flat_map(|v| v.clone())
+    }
+
+    // --- per-tag aggregate conveniences over fold (Sec. 4.4) ------------
+
+    /// Per-tag sum of a numeric projection (zero-filled).
+    pub fn sum_by(
+        &self,
+        f: impl Fn(&E) -> f64 + Send + Sync + 'static,
+    ) -> InnerScalar<T, f64> {
+        self.fold(0.0, move |a, e| a + f(e), |a, b| a + b)
+    }
+
+    /// Per-tag minimum by natural order (absent for empty tags, like
+    /// `reduce`).
+    pub fn min(&self) -> InnerScalar<T, E>
+    where
+        E: Ord,
+    {
+        self.reduce(|a, b| if a <= b { a.clone() } else { b.clone() })
+    }
+
+    /// Per-tag maximum by natural order (absent for empty tags).
+    pub fn max(&self) -> InnerScalar<T, E>
+    where
+        E: Ord,
+    {
+        self.reduce(|a, b| if a >= b { a.clone() } else { b.clone() })
+    }
+
+    /// Per-tag mean of a numeric projection; `None` for empty tags.
+    pub fn mean_by(
+        &self,
+        f: impl Fn(&E) -> f64 + Send + Sync + 'static,
+    ) -> InnerScalar<T, Option<f64>> {
+        self.fold((0.0, 0u64), move |acc, e| (acc.0 + f(e), acc.1 + 1), |a, b| {
+            (a.0 + b.0, a.1 + b.1)
+        })
+        .map(|(s, n)| if *n == 0 { None } else { Some(s / *n as f64) })
+    }
+}
+
+impl<T: Key, K: Key, V: Data> InnerBag<T, (K, V)> {
+    /// Lifted left outer equi-join on `(tag, key)` composites: unmatched
+    /// left records keep `None`.
+    pub fn left_outer_join<W: Data>(
+        &self,
+        other: &InnerBag<T, (K, W)>,
+    ) -> InnerBag<T, (K, (V, Option<W>))> {
+        let l = self.repr().map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone()));
+        let r = other.repr().map(|(t, (k, w))| ((t.clone(), k.clone()), w.clone()));
+        let joined = l.left_outer_join(&r);
+        InnerBag::from_repr(
+            joined.map(|((t, k), (v, w))| (t.clone(), (k.clone(), (v.clone(), w.clone())))),
+            self.ctx().clone(),
+        )
+    }
+
+    /// Lifted `coGroup` on `(tag, key)` composites.
+    pub fn co_group<W: Data>(
+        &self,
+        other: &InnerBag<T, (K, W)>,
+    ) -> InnerBag<T, (K, (Vec<V>, Vec<W>))> {
+        let l = self.repr().map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone()));
+        let r = other.repr().map(|(t, (k, w))| ((t.clone(), k.clone()), w.clone()));
+        let grouped = l.co_group(&r);
+        InnerBag::from_repr(
+            grouped.map(|((t, k), (vs, ws))| (t.clone(), (k.clone(), (vs.clone(), ws.clone())))),
+            self.ctx().clone(),
+        )
+    }
+}
+
+/// Flatten a NestedBag back into its `Bag[(O, I)]` pairing: the UDF-less
+/// consumer the parsing phase's case 3 mentions ("the top-level operation
+/// can only be a UDF-less bag operation, which all have their flattened
+/// versions on NestedBag").
+impl<T: Key, O: Data, I: Data> NestedBag<T, O, I> {
+    /// Pair every inner element with its outer component (one flat bag).
+    pub fn flatten_pairs(&self) -> Result<matryoshka_engine::Bag<(O, I)>> {
+        let joined = self.inner().map_with_scalar(self.outer(), |i, o| (o.clone(), i.clone()));
+        Ok(joined.repr().map(|(_, p)| p.clone()))
+    }
+
+    /// Per-tag inner-bag sizes as an InnerScalar (zero-filled).
+    pub fn group_sizes(&self) -> InnerScalar<T, u64> {
+        self.inner().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::LiftingContext;
+    use crate::inner_bag::InnerBag;
+    use crate::optimizer::MatryoshkaConfig;
+    use matryoshka_engine::Engine;
+
+    fn ctx(e: &Engine, tags: Vec<u64>) -> LiftingContext<u64> {
+        let n = tags.len() as u64;
+        LiftingContext::new(e.clone(), e.parallelize(tags, 2), n, MatryoshkaConfig::optimized())
+    }
+
+    fn sorted<X: Ord>(mut v: Vec<X>) -> Vec<X> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn group_by_splits_into_keyby_plus_groupbykey() {
+        let e = Engine::local();
+        let c = ctx(&e, vec![0, 1]);
+        let b = InnerBag::from_repr(
+            e.parallelize(vec![(0u64, 3i64), (0, 4), (0, 6), (1, 5)], 2),
+            c,
+        );
+        // Group by parity within each tag.
+        let mut out = b.group_by(|x| x % 2).collect().unwrap();
+        out.iter_mut().for_each(|(_, (_, vs))| vs.sort());
+        out.sort_by_key(|(t, (k, _))| (*t, *k));
+        assert_eq!(
+            out,
+            vec![(0, (0, vec![4, 6])), (0, (1, vec![3])), (1, (1, vec![5]))]
+        );
+    }
+
+    #[test]
+    fn join_by_keys_with_udfs_within_tags() {
+        let e = Engine::local();
+        let c = ctx(&e, vec![0, 1]);
+        let l = InnerBag::from_repr(e.parallelize(vec![(0u64, 10i64), (1, 20)], 2), c.clone());
+        let r = InnerBag::from_repr(e.parallelize(vec![(0u64, 100i64), (1, 200), (1, 210)], 2), c);
+        // Key both sides by value % 10 == 0 (constant key): joins within tag.
+        let out = sorted(l.join_by(&r, |x| *x % 2, |y| *y % 2).collect().unwrap());
+        assert_eq!(out, vec![(0, (10, 100)), (1, (20, 200)), (1, (20, 210))]);
+    }
+
+    #[test]
+    fn flat_map_via_split_equals_flat_map() {
+        let e = Engine::local();
+        let c = ctx(&e, vec![0, 1]);
+        let b = InnerBag::from_repr(e.parallelize(vec![(0u64, 2i64), (1, 3)], 2), c);
+        let a = sorted(b.flat_map(|x| vec![*x, -*x]).collect().unwrap());
+        let s = sorted(b.flat_map_via_split(|x| vec![*x, -*x]).collect().unwrap());
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn per_tag_aggregates() {
+        let e = Engine::local();
+        let c = ctx(&e, vec![0, 1, 2]); // tag 2 empty
+        let b = InnerBag::from_repr(e.parallelize(vec![(0u64, 1i64), (0, 3), (1, 10)], 2), c);
+        let mut sums = b.sum_by(|x| *x as f64).collect().unwrap();
+        sums.sort_by_key(|(t, _)| *t);
+        assert_eq!(sums, vec![(0, 4.0), (1, 10.0), (2, 0.0)]);
+        assert_eq!(sorted(b.min().collect().unwrap()), vec![(0, 1), (1, 10)]);
+        assert_eq!(sorted(b.max().collect().unwrap()), vec![(0, 3), (1, 10)]);
+        let mut means = b.mean_by(|x| *x as f64).collect().unwrap();
+        means.sort_by_key(|(t, _)| *t);
+        assert_eq!(means, vec![(0, Some(2.0)), (1, Some(10.0)), (2, None)]);
+    }
+
+    #[test]
+    fn lifted_left_outer_join_keeps_unmatched() {
+        let e = Engine::local();
+        let c = ctx(&e, vec![0, 1]);
+        let l = InnerBag::from_repr(
+            e.parallelize(vec![(0u64, (1u32, 'a')), (1, (1, 'b'))], 2),
+            c.clone(),
+        );
+        // Right side only has key 1 in tag 0: tag 1's 'b' is unmatched.
+        let r = InnerBag::from_repr(e.parallelize(vec![(0u64, (1u32, 9))], 1), c);
+        let out = sorted(l.left_outer_join(&r).collect().unwrap());
+        assert_eq!(out, vec![(0, (1, ('a', Some(9)))), (1, (1, ('b', None)))]);
+    }
+
+    #[test]
+    fn lifted_co_group_collects_both_sides_per_tag() {
+        let e = Engine::local();
+        let c = ctx(&e, vec![0]);
+        let l = InnerBag::from_repr(e.parallelize(vec![(0u64, (7u32, 'x')), (0, (7, 'y'))], 2), c.clone());
+        let r = InnerBag::from_repr(e.parallelize(vec![(0u64, (7u32, 1))], 1), c);
+        let mut out = l.co_group(&r).collect().unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, (k, (mut vs, ws))) = out.remove(0);
+        vs.sort();
+        assert_eq!((t, k), (0, 7));
+        assert_eq!(vs, vec!['x', 'y']);
+        assert_eq!(ws, vec![1]);
+    }
+
+    #[test]
+    fn nested_bag_flatten_pairs_and_sizes() {
+        let e = Engine::local();
+        let bag = e.parallelize(vec![(1u32, 'a'), (1, 'b'), (2, 'c')], 2);
+        let nested =
+            crate::nested::group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized())
+                .unwrap();
+        let pairs = sorted(nested.flatten_pairs().unwrap().collect().unwrap());
+        assert_eq!(pairs, vec![(1, 'a'), (1, 'b'), (2, 'c')]);
+        let sizes = sorted(nested.group_sizes().collect().unwrap());
+        assert_eq!(sizes, vec![(1, 2), (2, 1)]);
+    }
+}

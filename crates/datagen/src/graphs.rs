@@ -1,0 +1,205 @@
+//! Graph generation: grouped edge lists for per-group PageRank
+//! (paper Sec. 9.1) and component-structured graphs for Average Distances
+//! (Sec. 2.2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfSampler;
+use crate::KeyDist;
+
+/// Shape of a grouped random graph (many small graphs, one per group).
+#[derive(Debug, Clone)]
+pub struct GroupedGraphSpec {
+    /// Total number of edges across all groups (held constant in the
+    /// weak-scaling experiments while `groups` varies).
+    pub total_edges: u64,
+    /// Number of groups = number of inner PageRank computations.
+    pub groups: u32,
+    /// Vertices per *average-sized* group; per-group vertex counts scale
+    /// with the group's edge share.
+    pub vertices_per_group: u32,
+    /// Group-size distribution.
+    pub key_dist: KeyDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GroupedGraphSpec {
+    /// A small default suitable for tests.
+    pub fn small(groups: u32) -> Self {
+        GroupedGraphSpec {
+            total_edges: 8_000,
+            groups,
+            vertices_per_group: 50,
+            key_dist: KeyDist::Uniform,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate `(group, (src, dst))` edges. Vertex ids are disjoint across
+/// groups (the group id is encoded in the vertex id) and every group's
+/// vertex set is connected enough for PageRank to be interesting: vertex `i`
+/// always links to vertex `(i+1) % n` (a ring), with the remaining edges
+/// random.
+pub fn grouped_edges(spec: &GroupedGraphSpec) -> Vec<(u32, (u64, u64))> {
+    assert!(spec.groups > 0);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    // Decide each group's edge budget.
+    let budgets: Vec<u64> = match spec.key_dist {
+        KeyDist::Uniform => {
+            let per = spec.total_edges / spec.groups as u64;
+            (0..spec.groups).map(|_| per.max(1)).collect()
+        }
+        KeyDist::Zipf(s) => {
+            let z = ZipfSampler::new(spec.groups as usize, s);
+            (0..spec.groups as usize)
+                .map(|k| ((spec.total_edges as f64 * z.pmf(k)) as u64).max(1))
+                .collect()
+        }
+    };
+    let mut out = Vec::with_capacity(spec.total_edges as usize);
+    for (g, &budget) in budgets.iter().enumerate() {
+        let g = g as u32;
+        // Vertex count proportional to the group's edge share, at least 2.
+        let avg_budget = (spec.total_edges / spec.groups as u64).max(1);
+        let n = ((spec.vertices_per_group as u64 * budget) / avg_budget).clamp(2, budget.max(2)) as u64;
+        // Ring for connectivity.
+        for i in 0..n.min(budget) {
+            out.push((g, (vid(g, i), vid(g, (i + 1) % n))));
+        }
+        // Random extra edges.
+        for _ in n.min(budget)..budget {
+            let s = rng.gen_range(0..n);
+            let d = rng.gen_range(0..n);
+            out.push((g, (vid(g, s), vid(g, d))));
+        }
+    }
+    out
+}
+
+fn vid(group: u32, v: u64) -> u64 {
+    ((group as u64) << 32) | v
+}
+
+/// Shape of a multi-component undirected graph for Average Distances.
+#[derive(Debug, Clone)]
+pub struct ComponentGraphSpec {
+    /// Number of connected components.
+    pub components: u32,
+    /// Vertices per component.
+    pub vertices_per_component: u32,
+    /// Extra random edges per component on top of the spanning ring.
+    pub extra_edges_per_component: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ComponentGraphSpec {
+    /// A small default suitable for tests.
+    pub fn small(components: u32) -> Self {
+        ComponentGraphSpec {
+            components,
+            vertices_per_component: 12,
+            extra_edges_per_component: 6,
+            seed: 13,
+        }
+    }
+}
+
+/// Generate undirected edges `(u, v)` of a graph whose connected components
+/// are known by construction: component `c` owns the vertex ids
+/// `c << 32 | i`. Each component is a ring plus random chords, so it is
+/// connected and has nontrivial shortest-path structure.
+pub fn component_graph(spec: &ComponentGraphSpec) -> Vec<(u64, u64)> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let n = spec.vertices_per_component as u64;
+    assert!(n >= 2, "components need at least two vertices");
+    let mut out = Vec::new();
+    for c in 0..spec.components {
+        for i in 0..n {
+            out.push((vid(c, i), vid(c, (i + 1) % n)));
+        }
+        for _ in 0..spec.extra_edges_per_component {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                out.push((vid(c, a), vid(c, b)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grouped_edges_respect_total_and_groups() {
+        let spec = GroupedGraphSpec::small(8);
+        let edges = grouped_edges(&spec);
+        assert_eq!(edges.len() as u64, spec.total_edges);
+        let groups: HashSet<u32> = edges.iter().map(|(g, _)| *g).collect();
+        assert_eq!(groups.len(), 8);
+    }
+
+    #[test]
+    fn vertices_are_group_disjoint() {
+        let edges = grouped_edges(&GroupedGraphSpec::small(4));
+        for (g, (s, d)) in &edges {
+            assert_eq!((s >> 32) as u32, *g);
+            assert_eq!((d >> 32) as u32, *g);
+        }
+    }
+
+    #[test]
+    fn zipf_group_budgets_are_skewed() {
+        let spec = GroupedGraphSpec {
+            key_dist: KeyDist::Zipf(1.0),
+            total_edges: 50_000,
+            ..GroupedGraphSpec::small(64)
+        };
+        let edges = grouped_edges(&spec);
+        let mut counts = vec![0u64; 64];
+        for (g, _) in &edges {
+            counts[*g as usize] += 1;
+        }
+        assert!(counts[0] > 20 * counts[63].max(1));
+    }
+
+    #[test]
+    fn grouped_edges_deterministic() {
+        let spec = GroupedGraphSpec::small(3);
+        assert_eq!(grouped_edges(&spec), grouped_edges(&spec));
+    }
+
+    #[test]
+    fn component_graph_components_are_disjoint_and_connected() {
+        let spec = ComponentGraphSpec::small(5);
+        let edges = component_graph(&spec);
+        // Disjoint: edges never cross component boundaries.
+        for (u, v) in &edges {
+            assert_eq!(u >> 32, v >> 32);
+        }
+        // Connected: BFS from vertex 0 of component 0 reaches all of it.
+        let n = spec.vertices_per_component as u64;
+        let mut adj: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for (u, v) in &edges {
+            adj.entry(*u).or_default().push(*v);
+            adj.entry(*v).or_default().push(*u);
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![0u64];
+        while let Some(x) = stack.pop() {
+            if seen.insert(x) {
+                for y in adj.get(&x).into_iter().flatten() {
+                    stack.push(*y);
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, n);
+    }
+}

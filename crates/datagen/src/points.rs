@@ -1,0 +1,124 @@
+//! Point-cloud generation for K-means with multiple initial centroid
+//! configurations (paper Sec. 2.3, Fig. 1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in `d`-dimensional space.
+pub type Point = Vec<f64>;
+
+/// Shape of a K-means input.
+#[derive(Debug, Clone)]
+pub struct KmeansSpec {
+    /// Number of points.
+    pub points: u64,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of true (generating) clusters.
+    pub true_clusters: usize,
+    /// Number of clusters K to fit.
+    pub k: usize,
+    /// Standard deviation of each generated blob.
+    pub spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KmeansSpec {
+    /// A small default suitable for tests.
+    pub fn small() -> Self {
+        KmeansSpec { points: 2_000, dim: 2, true_clusters: 4, k: 4, spread: 0.05, seed: 21 }
+    }
+}
+
+/// Generate a point cloud: `true_clusters` Gaussian-ish blobs centered at
+/// deterministic positions in the unit cube (box-muller-free: sums of
+/// uniforms, which is plenty for clustering benchmarks).
+pub fn point_cloud(spec: &KmeansSpec) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let centers = blob_centers(spec.true_clusters, spec.dim, spec.seed);
+    (0..spec.points)
+        .map(|i| {
+            let c = &centers[(i % spec.true_clusters as u64) as usize];
+            (0..spec.dim)
+                .map(|d| {
+                    // Irwin-Hall(4) centered: approximately normal.
+                    let noise: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+                    c[d] + noise * spec.spread
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generate `configs` different random initial centroid sets of `k`
+/// centroids each — the hyperparameter configurations of Sec. 2.3. Returned
+/// as `(config_id, centroids)` pairs.
+pub fn initial_centroid_configs(spec: &KmeansSpec, configs: u32) -> Vec<(u32, Vec<Point>)> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_add(0x9e3779b9));
+    (0..configs)
+        .map(|id| {
+            let centroids =
+                (0..spec.k).map(|_| (0..spec.dim).map(|_| rng.gen::<f64>()).collect()).collect();
+            (id, centroids)
+        })
+        .collect()
+}
+
+fn blob_centers(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x2545F4914F6CDD1D));
+    (0..n).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_has_requested_shape() {
+        let spec = KmeansSpec::small();
+        let pts = point_cloud(&spec);
+        assert_eq!(pts.len() as u64, spec.points);
+        assert!(pts.iter().all(|p| p.len() == spec.dim));
+    }
+
+    #[test]
+    fn cloud_is_deterministic() {
+        let spec = KmeansSpec::small();
+        assert_eq!(point_cloud(&spec), point_cloud(&spec));
+    }
+
+    #[test]
+    fn configs_have_k_centroids_each() {
+        let spec = KmeansSpec::small();
+        let configs = initial_centroid_configs(&spec, 5);
+        assert_eq!(configs.len(), 5);
+        for (id, cs) in &configs {
+            assert!(*id < 5);
+            assert_eq!(cs.len(), spec.k);
+            assert!(cs.iter().all(|c| c.len() == spec.dim));
+        }
+    }
+
+    #[test]
+    fn different_configs_differ() {
+        let spec = KmeansSpec::small();
+        let configs = initial_centroid_configs(&spec, 2);
+        assert_ne!(configs[0].1, configs[1].1);
+    }
+
+    #[test]
+    fn points_cluster_around_blob_centers() {
+        let spec = KmeansSpec { spread: 0.01, ..KmeansSpec::small() };
+        let pts = point_cloud(&spec);
+        let centers = blob_centers(spec.true_clusters, spec.dim, spec.seed);
+        // Every point is near SOME blob center.
+        for p in pts.iter().take(200) {
+            let min_d2: f64 = centers
+                .iter()
+                .map(|c| c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d2 < 0.01, "point too far from all blob centers: {min_d2}");
+        }
+    }
+}

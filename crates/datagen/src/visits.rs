@@ -1,0 +1,150 @@
+//! Visit-log generation for the Bounce Rate task (paper Sec. 2.1, 9.4).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfSampler;
+use crate::KeyDist;
+
+/// Shape of a generated visit log.
+#[derive(Debug, Clone)]
+pub struct VisitSpec {
+    /// Total number of visit records.
+    pub visits: u64,
+    /// Number of grouping keys (days, or countries): the number of inner
+    /// computations in the weak-scaling experiments.
+    pub groups: u32,
+    /// Distinct visitors per group, controlling the bounce rate: fewer
+    /// visitors per visit means fewer bounces.
+    pub visitors_per_group: u64,
+    /// Fraction of visitors that are "bouncers" (visit exactly once).
+    pub bounce_fraction: f64,
+    /// Key distribution (uniform for the main experiments, Zipf for
+    /// Sec. 9.5).
+    pub key_dist: KeyDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl VisitSpec {
+    /// A small default suitable for tests.
+    pub fn small(groups: u32) -> Self {
+        VisitSpec {
+            visits: 10_000,
+            groups,
+            visitors_per_group: 200,
+            bounce_fraction: 0.3,
+            key_dist: KeyDist::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate `(day, ip)` visit records.
+///
+/// Visitor ids are disjoint across groups (visitor `ip` encodes its group),
+/// so per-group bounce rates are meaningful. Bouncer visitors contribute
+/// exactly one visit; the remaining visits are spread over the non-bouncer
+/// visitors of the group.
+pub fn visit_log(spec: &VisitSpec) -> Vec<(u32, u64)> {
+    assert!(spec.groups > 0, "need at least one group");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let zipf = match spec.key_dist {
+        KeyDist::Uniform => None,
+        KeyDist::Zipf(s) => Some(ZipfSampler::new(spec.groups as usize, s)),
+    };
+    let bouncers = ((spec.visitors_per_group as f64) * spec.bounce_fraction) as u64;
+    let mut out = Vec::with_capacity(spec.visits as usize);
+    // First, one visit per bouncer per group: these are the bounces.
+    for g in 0..spec.groups {
+        for b in 0..bouncers {
+            out.push((g, visitor_id(g, b)));
+        }
+    }
+    // Then fill with repeat visits from non-bouncers, keys per the
+    // distribution.
+    while (out.len() as u64) < spec.visits {
+        let g = match &zipf {
+            Some(z) => z.sample(&mut rng) as u32,
+            None => rng.gen_range(0..spec.groups),
+        };
+        let v = rng.gen_range(bouncers..spec.visitors_per_group.max(bouncers + 1));
+        out.push((g, visitor_id(g, v)));
+        // Non-bouncers must visit at least twice; add a paired visit with
+        // 50% probability to vary counts while keeping them >= 2 likely.
+        if rng.gen_bool(0.5) && (out.len() as u64) < spec.visits {
+            out.push((g, visitor_id(g, v)));
+        }
+    }
+    out
+}
+
+fn visitor_id(group: u32, visitor: u64) -> u64 {
+    ((group as u64) << 32) | visitor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn generates_requested_count_and_groups() {
+        let spec = VisitSpec::small(8);
+        let log = visit_log(&spec);
+        assert_eq!(log.len() as u64, spec.visits);
+        let groups: HashSet<u32> = log.iter().map(|(g, _)| *g).collect();
+        assert_eq!(groups.len(), 8);
+        assert!(groups.iter().all(|g| *g < 8));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = VisitSpec::small(4);
+        assert_eq!(visit_log(&spec), visit_log(&spec));
+        let other = VisitSpec { seed: 43, ..spec };
+        assert_ne!(visit_log(&spec), visit_log(&other));
+    }
+
+    #[test]
+    fn bouncers_visit_exactly_once() {
+        let spec = VisitSpec::small(4);
+        let log = visit_log(&spec);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for (_, ip) in &log {
+            *counts.entry(*ip).or_insert(0) += 1;
+        }
+        let bouncers = ((spec.visitors_per_group as f64) * spec.bounce_fraction) as u64;
+        for g in 0..4u32 {
+            for b in 0..bouncers {
+                assert_eq!(counts[&visitor_id(g, b)], 1, "bouncer must visit once");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed() {
+        let spec = VisitSpec {
+            visits: 50_000,
+            groups: 64,
+            key_dist: KeyDist::Zipf(1.0),
+            ..VisitSpec::small(64)
+        };
+        let log = visit_log(&spec);
+        let mut counts = vec![0u64; 64];
+        for (g, _) in &log {
+            counts[*g as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > 10 * min.max(1), "Zipf keys should be heavily skewed");
+    }
+
+    #[test]
+    fn visitor_ids_disjoint_across_groups() {
+        let log = visit_log(&VisitSpec::small(3));
+        for (g, ip) in &log {
+            assert_eq!((ip >> 32) as u32, *g);
+        }
+    }
+}

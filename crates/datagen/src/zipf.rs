@@ -1,0 +1,118 @@
+//! Zipf-distributed key sampling (for the skew experiment, paper Sec. 9.5).
+
+use rand::Rng;
+
+/// Samples keys `0..n` with probability proportional to `1 / (k+1)^s`.
+///
+/// Implemented as a precomputed cumulative table + binary search, which is
+/// exact and fast for the group-count ranges the experiments use (up to a
+/// few thousand keys).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` keys with exponent `s` (`s = 0` degenerates
+    /// to uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one key");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the sampler has exactly one key.
+    pub fn is_empty(&self) -> bool {
+        false // constructor enforces n > 0
+    }
+
+    /// Draw one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability mass of key `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_key_dominates_under_skew() {
+        let z = ZipfSampler::new(1024, 1.0);
+        assert!(z.pmf(0) > 0.1, "head key should carry >10% of mass");
+        assert!(z.pmf(0) > 100.0 * z.pmf(1023));
+    }
+
+    #[test]
+    fn samples_follow_expected_head_mass() {
+        let z = ZipfSampler::new(64, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
+        let expected = z.pmf(0) * n as f64;
+        assert!((head as f64 - expected).abs() < 0.05 * n as f64);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = ZipfSampler::new(32, 1.2);
+        let a: Vec<usize> =
+            (0..100).scan(SmallRng::seed_from_u64(3), |r, _| Some(z.sample(r))).collect();
+        let b: Vec<usize> =
+            (0..100).scan(SmallRng::seed_from_u64(3), |r, _| Some(z.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(5, 2.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

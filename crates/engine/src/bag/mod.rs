@@ -1,0 +1,276 @@
+//! The distributed-collection abstraction: a lazy, partitioned [`Bag`].
+//!
+//! A `Bag<T>` is a handle to a node in a lineage DAG, exactly like an RDD in
+//! Spark: transformations (`map`, `filter`, `join`, ...) build new nodes
+//! lazily; *actions* (`collect`, `count`, ...) launch a simulated job that
+//! evaluates the lineage. Evaluated nodes memoize their partitions (as if
+//! every RDD were cached), so iterative programs do not recompute their
+//! history and simulated costs are charged exactly once per operator.
+
+mod actions;
+mod ops_misc;
+mod ops_narrow;
+mod ops_wide;
+
+pub use ops_narrow::WorkEstimate;
+pub use ops_wide::JoinAlgorithm;
+
+/// How a bag's records are known to be distributed across partitions.
+///
+/// Wide by-key operators record that their output is hash-partitioned by
+/// key; a later by-key operator with the same partition count can then skip
+/// the shuffle entirely (Spark's co-partitioned narrow dependency — the
+/// reason `partitionBy` + cached lineage makes iterative joins cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// No known structure.
+    Arbitrary,
+    /// Records are placed by `stable_hash(key) % partitions` of their key
+    /// component.
+    HashByKey {
+        /// Number of partitions the hash was taken modulo.
+        partitions: usize,
+    },
+}
+
+use std::sync::{Arc, OnceLock};
+
+use crate::error::Result;
+use crate::types::Data;
+use crate::Engine;
+
+/// Evaluated partitions: cheap to clone and share across lineage.
+pub(crate) type Parts<T> = Arc<Vec<Arc<Vec<T>>>>;
+
+/// Wrap raw partition vectors.
+pub(crate) fn to_parts<T>(parts: Vec<Vec<T>>) -> Parts<T> {
+    Arc::new(parts.into_iter().map(Arc::new).collect())
+}
+
+pub(crate) struct Node<T> {
+    engine: Engine,
+    name: &'static str,
+    /// Approximate serialized bytes per record; drives shuffle/memory models.
+    /// For grouped bags (`Bag<(K, Vec<V>)>`) this refers to bytes per *inner
+    /// element* `V`, not per group (see `ops_wide::group_by_key`).
+    record_bytes: f64,
+    /// Statically known partition count of the output.
+    partitions: usize,
+    /// Known placement of records across partitions.
+    partitioning: Partitioning,
+    compute: Box<dyn Fn() -> Result<Parts<T>> + Send + Sync>,
+    cache: OnceLock<Result<Parts<T>>>,
+}
+
+/// A lazy, partitioned, immutable distributed collection (Spark RDD
+/// equivalent). Cloning is cheap (shares the lineage node).
+pub struct Bag<T: Data> {
+    pub(crate) node: Arc<Node<T>>,
+}
+
+impl<T: Data> Clone for Bag<T> {
+    fn clone(&self) -> Self {
+        Bag { node: Arc::clone(&self.node) }
+    }
+}
+
+impl<T: Data> Bag<T> {
+    pub(crate) fn new(
+        engine: Engine,
+        name: &'static str,
+        record_bytes: f64,
+        partitions: usize,
+        compute: impl Fn() -> Result<Parts<T>> + Send + Sync + 'static,
+    ) -> Bag<T> {
+        Bag::new_with_partitioning(engine, name, record_bytes, partitions, Partitioning::Arbitrary, compute)
+    }
+
+    pub(crate) fn new_with_partitioning(
+        engine: Engine,
+        name: &'static str,
+        record_bytes: f64,
+        partitions: usize,
+        partitioning: Partitioning,
+        compute: impl Fn() -> Result<Parts<T>> + Send + Sync + 'static,
+    ) -> Bag<T> {
+        Bag {
+            node: Arc::new(Node {
+                engine,
+                name,
+                record_bytes,
+                partitions: partitions.max(1),
+                partitioning,
+                compute: Box::new(compute),
+                cache: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Known placement of this bag's records (see [`Partitioning`]).
+    pub fn partitioning(&self) -> Partitioning {
+        self.node.partitioning
+    }
+
+    /// Evaluate (or fetch memoized) partitions, charging simulated costs on
+    /// the first evaluation only (which also appends the operator to the
+    /// engine's execution trace).
+    pub(crate) fn eval(&self) -> Result<Parts<T>> {
+        self.node
+            .cache
+            .get_or_init(|| {
+                let result = (self.node.compute)();
+                let (records, ok) = match &result {
+                    Ok(parts) => (parts.iter().map(|p| p.len() as u64).sum(), true),
+                    Err(_) => (0, false),
+                };
+                self.node.engine.record_trace(crate::TraceEvent {
+                    op: self.node.name,
+                    partitions: self.node.partitions,
+                    record_bytes: self.node.record_bytes,
+                    records,
+                    completed_at: self.node.engine.sim_time(),
+                    ok,
+                });
+                result
+            })
+            .clone()
+    }
+
+    /// The engine this bag belongs to.
+    pub fn engine(&self) -> &Engine {
+        &self.node.engine
+    }
+
+    /// Operator name of the defining node (diagnostics).
+    pub fn op_name(&self) -> &'static str {
+        self.node.name
+    }
+
+    /// Statically known partition count.
+    pub fn num_partitions(&self) -> usize {
+        self.node.partitions
+    }
+
+    /// Approximate serialized bytes per record used by the cost model.
+    pub fn record_bytes(&self) -> f64 {
+        self.node.record_bytes
+    }
+
+    /// Override the modeled bytes-per-record (no data movement, no cost).
+    ///
+    /// Use this where the default (`size_of::<T>()`) misrepresents the data
+    /// the record stands for, e.g. when a small in-memory struct models a
+    /// fat on-disk record in a scaled-down experiment.
+    pub fn with_record_bytes(&self, bytes: f64) -> Bag<T> {
+        let parent = self.clone();
+        Bag::new_with_partitioning(
+            self.engine().clone(),
+            "with_record_bytes",
+            bytes,
+            self.num_partitions(),
+            self.partitioning(),
+            move || parent.eval(),
+        )
+    }
+
+    /// Default modeled record size for `T`.
+    pub(crate) fn default_record_bytes() -> f64 {
+        (std::mem::size_of::<T>() as f64).max(8.0)
+    }
+
+    /// Modeled total size in bytes, available only once the bag has been
+    /// computed (Spark `SizeEstimator` equivalent: cheap, no job). Returns
+    /// `None` for unevaluated or failed bags.
+    pub fn size_estimate(&self) -> Option<u64> {
+        match self.node.cache.get() {
+            Some(Ok(parts)) => {
+                let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+                Some((records as f64 * self.node.record_bytes) as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of records, available only once the bag has been computed
+    /// (no job charged). Returns `None` for unevaluated or failed bags.
+    pub fn cached_count(&self) -> Option<u64> {
+        match self.node.cache.get() {
+            Some(Ok(parts)) => Some(parts.iter().map(|p| p.len() as u64).sum()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::ClusterConfig;
+    use crate::Engine;
+
+    #[test]
+    fn bags_are_lazy_until_action() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let before = e.stats();
+        let b = e.parallelize((0..100).collect::<Vec<i32>>(), 4);
+        let _mapped = b.map(|x| x * 2);
+        // No action ran: no jobs, no stages.
+        let after = e.stats();
+        assert_eq!(after.jobs, before.jobs);
+        assert_eq!(after.stages, before.stages);
+    }
+
+    #[test]
+    fn eval_is_memoized_and_charged_once() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let b = e.parallelize((0..1000).collect::<Vec<i32>>(), 4).map(|x| x + 1);
+        let t0 = e.sim_time();
+        let c1 = b.count().unwrap();
+        let t1 = e.sim_time();
+        let c2 = b.count().unwrap();
+        let t2 = e.sim_time();
+        assert_eq!(c1, c2);
+        // Second count only pays the job launch, not recomputation.
+        let first = t1 - t0;
+        let second = t2 - t1;
+        assert!(second < first, "memoized action should be cheaper: {second} vs {first}");
+    }
+
+    #[test]
+    fn trace_records_each_operator_once_in_topological_order() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let b = e.parallelize((0..100u32).map(|i| (i % 5, i)).collect::<Vec<_>>(), 4);
+        let r = b.map(|(k, v)| (*k, v + 1)).reduce_by_key(|a, b| a + b);
+        r.count().unwrap();
+        r.count().unwrap(); // memoized: no new trace entries
+        let trace = e.trace();
+        let names: Vec<&str> = trace.iter().map(|ev| ev.op).collect();
+        assert_eq!(names, vec!["parallelize", "map", "reduce_by_key"]);
+        assert!(trace.iter().all(|ev| ev.ok));
+        assert_eq!(trace[0].records, 100);
+        assert_eq!(trace[2].records, 5);
+        let report = e.trace_report();
+        assert!(report.contains("reduce_by_key"));
+    }
+
+    #[test]
+    fn trace_marks_failed_operators() {
+        let mut cfg = ClusterConfig::local_test();
+        cfg.memory_per_machine = 1; // everything OOMs
+        let e = Engine::new(cfg);
+        let b = e
+            .parallelize((0..100u32).map(|i| (0u8, i)).collect::<Vec<_>>(), 2)
+            .group_by_key();
+        assert!(b.collect().is_err());
+        let trace = e.trace();
+        assert!(trace.iter().any(|ev| ev.op == "group_by_key" && !ev.ok));
+    }
+
+    #[test]
+    fn record_bytes_override_propagates() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let b = e.parallelize(vec![1u8, 2, 3], 2).with_record_bytes(1024.0);
+        assert_eq!(b.record_bytes(), 1024.0);
+        let m = b.map(|x| *x as u64);
+        assert_eq!(m.record_bytes(), 1024.0, "derived bags inherit record bytes");
+        assert_eq!(m.collect().unwrap(), vec![1u64, 2, 3]);
+    }
+}

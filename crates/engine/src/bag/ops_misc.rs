@@ -1,0 +1,443 @@
+//! Additional operators rounding out the Spark-like surface: sampling,
+//! sorting, per-key aggregation/statistics, set operations and outer joins.
+//!
+//! These are not exercised by the headline experiments but belong to the
+//! substrate a flattening layer targets — several of the lifted operations
+//! in `matryoshka-core` (per-tag statistics, set differences in BFS-style
+//! loops) have natural implementations over them.
+
+use std::collections::HashSet;
+
+use super::{to_parts, Bag};
+use crate::partitioner::stable_hash;
+use crate::pool::parallel_map;
+use crate::types::{Data, Key};
+use crate::Result;
+
+impl<T: Data> Bag<T> {
+    /// Deterministic Bernoulli sample: keeps each record with probability
+    /// `fraction`, decided by a stable per-record hash of `(seed, index)` so
+    /// the sample is reproducible across runs and engines.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Bag<T> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let threshold = (fraction.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        Bag::new(engine.clone(), "sample", bytes, self.num_partitions(), move || {
+            let input = parent.eval()?;
+            let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+            let out: Vec<Vec<T>> = parallel_map(input.to_vec(), |pi, p: std::sync::Arc<Vec<T>>| {
+                p.iter()
+                    .enumerate()
+                    .filter(|(i, _)| stable_hash(&(seed, pi as u64, *i as u64)) <= threshold)
+                    .map(|(_, x)| x.clone())
+                    .collect()
+            });
+            engine.charge_compute(&in_counts, bytes, false)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Total sort by a key function: range-partition by sampled split
+    /// points, then sort each partition (Spark `sortBy`). Output partition
+    /// `i` holds keys entirely `<=` those of partition `i+1`.
+    pub fn sort_by<K: Data + Ord>(
+        &self,
+        partitions: usize,
+        key: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Bag<T> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let partitions = partitions.max(1);
+        Bag::new(engine.clone(), "sort_by", bytes, partitions, move || {
+            let input = parent.eval()?;
+            let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(records, bytes);
+            // Exact split points from the full key set (a simulator can
+            // afford exact quantiles; Spark samples).
+            let mut keys: Vec<K> = input.iter().flat_map(|p| p.iter().map(&key)).collect();
+            keys.sort();
+            let splits: Vec<K> = (1..partitions)
+                .filter_map(|i| keys.get(i * keys.len() / partitions).cloned())
+                .collect();
+            let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+            for p in input.iter() {
+                for x in p.iter() {
+                    let k = key(x);
+                    let idx = splits.partition_point(|s| *s <= k);
+                    out[idx].push(x.clone());
+                }
+            }
+            let factor = engine.config().costs.materialize_factor;
+            let ws: Vec<u64> = out.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
+            engine.charge_memory("sort_by", &ws)?;
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            let out: Vec<Vec<T>> = parallel_map(out, |_, mut p| {
+                p.sort_by(|a, b| key(a).cmp(&key(b)));
+                p
+            });
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// The `n` smallest records by a key function (driver-side result).
+    pub fn top_k_by<K: Data + Ord>(
+        &self,
+        n: usize,
+        key: impl Fn(&T) -> K + Send + Sync,
+    ) -> Result<Vec<T>> {
+        self.engine().charge_job();
+        let parts = self.eval()?;
+        let mut all: Vec<T> = parts.iter().flat_map(|p| p.iter().cloned()).collect();
+        all.sort_by(|a, b| key(a).cmp(&key(b)));
+        all.truncate(n);
+        self.engine().charge_driver_collect(all.len() as u64, self.record_bytes());
+        Ok(all)
+    }
+}
+
+impl<T: Data + Into<f64> + Copy> Bag<T> {
+    /// Sum of a numeric bag (action).
+    pub fn sum_f64(&self) -> Result<f64> {
+        self.fold(0.0, |a, x| a + Into::<f64>::into(*x))
+    }
+
+    /// Mean of a numeric bag (action); `None` when empty.
+    pub fn mean(&self) -> Result<Option<f64>> {
+        self.engine().charge_job();
+        let parts = self.eval()?;
+        let mut n = 0u64;
+        let mut s = 0.0;
+        for p in parts.iter() {
+            for x in p.iter() {
+                n += 1;
+                s += Into::<f64>::into(*x);
+            }
+        }
+        Ok(if n == 0 { None } else { Some(s / n as f64) })
+    }
+}
+
+impl<T: Key> Bag<T> {
+    /// Multiset difference: records of `self` whose value does not occur in
+    /// `other` (Spark `subtract`, by hash co-partitioning).
+    pub fn subtract(&self, other: &Bag<T>) -> Bag<T> {
+        assert!(self.engine().same_as(other.engine()), "subtract across engines");
+        let partitions = self.num_partitions().max(other.num_partitions()).max(1);
+        let left = self.clone();
+        let right = other.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        Bag::new(engine.clone(), "subtract", bytes, partitions, move || {
+            let lp = left.eval()?;
+            let rp = right.eval()?;
+            let lrec: u64 = lp.iter().map(|p| p.len() as u64).sum();
+            let rrec: u64 = rp.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(lrec, bytes);
+            engine.charge_shuffle(rrec, right.record_bytes());
+            let ls = scatter_by_value(&lp, partitions);
+            let rs = scatter_by_value(&rp, partitions);
+            let zipped: Vec<(Vec<T>, Vec<T>)> = ls.into_iter().zip(rs).collect();
+            let out: Vec<Vec<T>> = parallel_map(zipped, |_, (l, r)| {
+                let exclude: HashSet<T> = r.into_iter().collect();
+                l.into_iter().filter(|x| !exclude.contains(x)).collect()
+            });
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Set intersection (distinct records present in both bags).
+    pub fn intersection(&self, other: &Bag<T>) -> Bag<T> {
+        assert!(self.engine().same_as(other.engine()), "intersection across engines");
+        let partitions = self.num_partitions().max(other.num_partitions()).max(1);
+        let left = self.clone();
+        let right = other.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        Bag::new(engine.clone(), "intersection", bytes, partitions, move || {
+            let lp = left.eval()?;
+            let rp = right.eval()?;
+            let lrec: u64 = lp.iter().map(|p| p.len() as u64).sum();
+            let rrec: u64 = rp.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(lrec, bytes);
+            engine.charge_shuffle(rrec, right.record_bytes());
+            let ls = scatter_by_value(&lp, partitions);
+            let rs = scatter_by_value(&rp, partitions);
+            let zipped: Vec<(Vec<T>, Vec<T>)> = ls.into_iter().zip(rs).collect();
+            let out: Vec<Vec<T>> = parallel_map(zipped, |_, (l, r)| {
+                let rset: HashSet<T> = r.into_iter().collect();
+                let mut seen = HashSet::new();
+                l.into_iter().filter(|x| rset.contains(x) && seen.insert(x.clone())).collect()
+            });
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+}
+
+fn scatter_by_value<T: Key>(parts: &super::Parts<T>, partitions: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+    for p in parts.iter() {
+        for x in p.iter() {
+            out[crate::partitioner::partition_for(x, partitions)].push(x.clone());
+        }
+    }
+    out
+}
+
+impl<K: Key, V: Data> Bag<(K, V)> {
+    /// Value-side map that provably preserves the key — and therefore the
+    /// bag's hash partitioning (a narrow op that keeps co-partitioned joins
+    /// co-partitioned, like Spark `mapValues`).
+    pub fn map_values<W: Data>(&self, f: impl Fn(&V) -> W + Send + Sync + 'static) -> Bag<(K, W)> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        Bag::new_with_partitioning(
+            engine.clone(),
+            "map_values",
+            bytes,
+            self.num_partitions(),
+            self.partitioning(),
+            move || {
+                let input = parent.eval()?;
+                let out: Vec<Vec<(K, W)>> =
+                    parallel_map(input.to_vec(), |_, p: std::sync::Arc<Vec<(K, V)>>| {
+                        p.iter().map(|(k, v)| (k.clone(), f(v))).collect()
+                    });
+                let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+                engine.charge_compute(&counts, bytes, false)?;
+                Ok(to_parts(out))
+            },
+        )
+    }
+
+    /// Spark `combineByKey`/`aggregateByKey`: per-key aggregation with a
+    /// distinct accumulator type, map-side combining included.
+    pub fn aggregate_by_key<A: Data>(
+        &self,
+        zero: A,
+        seq_op: impl Fn(&A, &V) -> A + Send + Sync + 'static,
+        comb_op: impl Fn(&A, &A) -> A + Send + Sync + 'static,
+    ) -> Bag<(K, A)> {
+        let z = zero.clone();
+        self.map_values(move |v| seq_op(&z, v)).reduce_by_key(comb_op)
+    }
+
+    /// Per-key record counts (Spark `countByKey`, but distributed).
+    pub fn count_by_key(&self) -> Bag<(K, u64)> {
+        self.map_values(|_| 1u64).reduce_by_key(|a, b| a + b)
+    }
+
+    /// Full outer equi-join.
+    pub fn full_outer_join<W: Data>(
+        &self,
+        other: &Bag<(K, W)>,
+    ) -> Bag<(K, (Option<V>, Option<W>))> {
+        self.co_group(other).flat_map(|(k, (vs, ws))| {
+            let mut out = Vec::new();
+            match (vs.is_empty(), ws.is_empty()) {
+                (false, false) => {
+                    for v in vs {
+                        for w in ws {
+                            out.push((k.clone(), (Some(v.clone()), Some(w.clone()))));
+                        }
+                    }
+                }
+                (false, true) => {
+                    for v in vs {
+                        out.push((k.clone(), (Some(v.clone()), None)));
+                    }
+                }
+                (true, false) => {
+                    for w in ws {
+                        out.push((k.clone(), (None, Some(w.clone()))));
+                    }
+                }
+                (true, true) => {}
+            }
+            out
+        })
+    }
+
+    /// Right outer equi-join (the mirror of
+    /// [`Bag::left_outer_join`]).
+    pub fn right_outer_join<W: Data>(&self, other: &Bag<(K, W)>) -> Bag<(K, (Option<V>, W))> {
+        self.co_group(other).flat_map(|(k, (vs, ws))| {
+            let mut out = Vec::new();
+            for w in ws {
+                if vs.is_empty() {
+                    out.push((k.clone(), (None, w.clone())));
+                } else {
+                    for v in vs {
+                        out.push((k.clone(), (Some(v.clone()), w.clone())));
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Per-key minimum value by natural order.
+    pub fn min_by_key(&self) -> Bag<(K, V)>
+    where
+        V: Ord,
+    {
+        self.reduce_by_key(|a, b| if a <= b { a.clone() } else { b.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Engine, Partitioning};
+    use std::collections::HashMap;
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_sized() {
+        let e = Engine::local();
+        let b = e.parallelize((0..10_000u64).collect::<Vec<_>>(), 8);
+        let s1 = b.sample(0.25, 7).collect().unwrap();
+        let s2 = b.sample(0.25, 7).collect().unwrap();
+        assert_eq!(s1, s2, "same seed, same sample");
+        let frac = s1.len() as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "sample fraction {frac}");
+        let s3 = b.sample(0.25, 8).collect().unwrap();
+        assert_ne!(s1, s3, "different seed, different sample");
+    }
+
+    #[test]
+    fn sample_extremes() {
+        let e = Engine::local();
+        let b = e.parallelize((0..100u64).collect::<Vec<_>>(), 4);
+        assert_eq!(b.sample(0.0, 1).count().unwrap(), 0);
+        assert_eq!(b.sample(1.0, 1).count().unwrap(), 100);
+    }
+
+    #[test]
+    fn sort_by_globally_orders() {
+        let e = Engine::local();
+        let data: Vec<i64> = (0..500).map(|i| (i * 7919) % 1000 - 500).collect();
+        let b = e.parallelize(data.clone(), 7).sort_by(5, |x| *x);
+        let parts = b.collect_partitions().unwrap();
+        // Within-partition sorted...
+        for p in &parts {
+            assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // ...and across partitions ordered.
+        let flat: Vec<i64> = parts.into_iter().flatten().collect();
+        let mut expect = data;
+        expect.sort();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn top_k_by_returns_smallest() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![5, 1, 9, 3, 7], 3);
+        assert_eq!(b.top_k_by(2, |x| *x).unwrap(), vec![1, 3]);
+        assert_eq!(b.top_k_by(0, |x| *x).unwrap(), Vec::<i32>::new());
+        assert_eq!(b.top_k_by(99, |x| *x).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn subtract_and_intersection() {
+        let e = Engine::local();
+        let a = e.parallelize(vec![1, 2, 2, 3, 4], 3);
+        let b = e.parallelize(vec![2, 4, 5], 2);
+        assert_eq!(sorted(a.subtract(&b).collect().unwrap()), vec![1, 3]);
+        assert_eq!(sorted(a.intersection(&b).collect().unwrap()), vec![2, 4]);
+    }
+
+    #[test]
+    fn subtract_of_disjoint_is_identity() {
+        let e = Engine::local();
+        let a = e.parallelize(vec![1, 2, 3], 2);
+        let b = e.parallelize(vec![9], 1);
+        assert_eq!(sorted(a.subtract(&b).collect().unwrap()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn map_values_preserves_partitioning() {
+        let e = Engine::local();
+        let b = e
+            .parallelize((0..100u32).map(|i| (i % 7, i)).collect::<Vec<_>>(), 4)
+            .partition_by_key(5);
+        let m = b.map_values(|v| v * 2);
+        assert_eq!(m.partitioning(), Partitioning::HashByKey { partitions: 5 });
+        // And a by-key op after it skips the shuffle entirely.
+        m.count().unwrap();
+        let s0 = e.stats();
+        m.reduce_by_key_into(5, |a, b| a + b).count().unwrap();
+        assert_eq!(e.stats().since(&s0).shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn aggregate_by_key_computes_averages() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![(1u32, 10.0f64), (1, 20.0), (2, 5.0)], 2);
+        let sums = b.aggregate_by_key((0.0f64, 0u64), |z, v| (z.0 + v, z.1 + 1), |a, b| {
+            (a.0 + b.0, a.1 + b.1)
+        });
+        let mut avgs: Vec<(u32, f64)> =
+            sums.collect().unwrap().into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect();
+        avgs.sort_by_key(|(k, _)| *k);
+        assert_eq!(avgs, vec![(1, 15.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn count_by_key_matches_hashmap() {
+        let e = Engine::local();
+        let data: Vec<(u8, ())> = (0..300).map(|i| ((i % 5) as u8, ())).collect();
+        let expect: HashMap<u8, u64> = data.iter().fold(HashMap::new(), |mut m, (k, _)| {
+            *m.entry(*k).or_insert(0) += 1;
+            m
+        });
+        for (k, c) in e.parallelize(data, 4).count_by_key().collect().unwrap() {
+            assert_eq!(expect[&k], c);
+        }
+    }
+
+    #[test]
+    fn outer_joins_cover_all_sides() {
+        let e = Engine::local();
+        let l = e.parallelize(vec![(1u32, 'a'), (2, 'b')], 2);
+        let r = e.parallelize(vec![(2u32, 20), (3, 30)], 2);
+        let full = sorted(l.full_outer_join(&r).collect().unwrap());
+        assert_eq!(
+            full,
+            vec![
+                (1, (Some('a'), None)),
+                (2, (Some('b'), Some(20))),
+                (3, (None, Some(30))),
+            ]
+        );
+        let right = sorted(l.right_outer_join(&r).collect().unwrap());
+        assert_eq!(right, vec![(2, (Some('b'), 20)), (3, (None, 30))]);
+    }
+
+    #[test]
+    fn min_by_key_picks_minimum() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![(1u32, 5), (1, 2), (2, 9)], 2);
+        assert_eq!(sorted(b.min_by_key().collect().unwrap()), vec![(1, 2), (2, 9)]);
+    }
+
+    #[test]
+    fn numeric_actions() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![1.0f64, 2.0, 3.0], 2);
+        assert_eq!(b.sum_f64().unwrap(), 6.0);
+        assert_eq!(b.mean().unwrap(), Some(2.0));
+        assert_eq!(e.empty::<f64>().mean().unwrap(), None);
+    }
+}

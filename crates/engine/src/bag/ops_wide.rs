@@ -1,0 +1,647 @@
+//! Wide (shuffle) transformations: grouping, aggregation, joins, distinct,
+//! repartitioning.
+//!
+//! Every wide operator charges: map-side serialization + network transfer
+//! for the shuffled records, then a new stage (driver scheduling + task
+//! launch per output partition + per-record processing), and a memory check
+//! for whatever it materializes per task (hash tables, grouped values).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::{to_parts, Bag, Partitioning};
+use crate::partitioner::scatter_by_key;
+use crate::pool::parallel_map;
+use crate::types::{Data, Key};
+
+/// How a join should be executed. The Matryoshka optimizer (crate
+/// `matryoshka-core`) picks between these at runtime; baselines may force
+/// one (the ablation of the paper's Fig. 8, left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgorithm {
+    /// Shuffle both sides by key hash; build a hash table from the right
+    /// side per partition.
+    Repartition,
+    /// Collect and broadcast the right side; the left side stays in place
+    /// (narrow). Fails with simulated OOM if the right side cannot fit on a
+    /// single machine.
+    BroadcastRight,
+}
+
+impl<K: Key, V: Data> Bag<(K, V)> {
+    /// Group values by key into in-memory `Vec`s (Spark `groupByKey`).
+    ///
+    /// The output's `record_bytes` still refers to bytes per *inner element*
+    /// `V`; the memory model uses real group sizes, so a giant group makes a
+    /// giant task exactly as on a real engine (the outer-parallel failure
+    /// mode of the paper's Sec. 9.4-9.5).
+    pub fn group_by_key(&self) -> Bag<(K, Vec<V>)> {
+        self.group_by_key_into(self.default_wide_partitions())
+    }
+
+    /// Default output partition count for wide by-key operators: the parent
+    /// partition count capped at the configured default parallelism (as
+    /// Spark caps at `spark.default.parallelism`) — without the cap,
+    /// `union`-then-aggregate loops would grow partition counts without
+    /// bound.
+    fn default_wide_partitions(&self) -> usize {
+        self.num_partitions().min(self.engine().config().default_parallelism)
+    }
+
+    /// [`Bag::group_by_key`] with an explicit output partition count.
+    pub fn group_by_key_into(&self, partitions: usize) -> Bag<(K, Vec<V>)> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let partitions = partitions.max(1);
+        let co_partitioned = parent.partitioning() == Partitioning::HashByKey { partitions };
+        let meta = Partitioning::HashByKey { partitions };
+        Bag::new_with_partitioning(engine.clone(), "group_by_key", bytes, partitions, meta, move || {
+            let input = parent.eval()?;
+            let shuffled: Vec<Vec<(K, V)>> = if co_partitioned {
+                // Already hash-placed by key with the right modulus: a
+                // narrow dependency, no shuffle (Spark co-partitioning).
+                input.iter().map(|p| p.to_vec()).collect()
+            } else {
+                let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+                engine.charge_shuffle(records, bytes);
+                scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
+            };
+            let factor = engine.config().costs.materialize_factor;
+            let working_sets: Vec<u64> =
+                shuffled.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
+            engine.charge_memory("group_by_key", &working_sets)?;
+            let in_counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+            let out: Vec<Vec<(K, Vec<V>)>> = parallel_map(shuffled, |_, part| {
+                let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                for (k, v) in part {
+                    groups.entry(k).or_default().push(v);
+                }
+                groups.into_iter().collect()
+            });
+            engine.charge_compute(&in_counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Merge values per key with an associative function, with map-side
+    /// combining (Spark `reduceByKey`).
+    pub fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync + 'static) -> Bag<(K, V)> {
+        self.reduce_by_key_into(self.default_wide_partitions(), f)
+    }
+
+    /// [`Bag::reduce_by_key`] with an explicit output partition count.
+    pub fn reduce_by_key_into(
+        &self,
+        partitions: usize,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Bag<(K, V)> {
+        let bytes = self.record_bytes();
+        self.reduce_by_key_partials(partitions, bytes, f)
+    }
+
+    /// [`Bag::reduce_by_key_into`] with an explicit modeled size for the
+    /// *post-combine* partial records.
+    ///
+    /// By default partials inherit the input's record weight, which is right
+    /// when the key cardinality scales with the data (word counts). When the
+    /// key space is structural (one partial per cluster per configuration in
+    /// K-means), a partial is a small real record no matter how much data it
+    /// aggregates — pass that size here so the combine output's shuffle and
+    /// memory are modeled honestly.
+    pub fn reduce_by_key_partials(
+        &self,
+        partitions: usize,
+        partial_bytes: f64,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Bag<(K, V)> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let partitions = partitions.max(1);
+        let co_partitioned = parent.partitioning() == Partitioning::HashByKey { partitions };
+        let meta = Partitioning::HashByKey { partitions };
+        let f = Arc::new(f);
+        Bag::new_with_partitioning(engine.clone(), "reduce_by_key", partial_bytes, partitions, meta, move || {
+            let input = parent.eval()?;
+            let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+            // Map-side combine.
+            let fc = Arc::clone(&f);
+            let combined: Vec<Vec<(K, V)>> = parallel_map(input.to_vec(), move |_, p: Arc<Vec<(K, V)>>| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in p.iter() {
+                    match acc.get_mut(k) {
+                        Some(cur) => *cur = fc(cur, v),
+                        None => {
+                            acc.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            });
+            engine.charge_compute(&in_counts, bytes, false)?;
+            let factor = engine.config().costs.materialize_factor;
+            let combine_ws: Vec<u64> = combined
+                .iter()
+                .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
+                .collect();
+            engine.charge_memory("reduce_by_key(combine)", &combine_ws)?;
+            let shuffled = if co_partitioned {
+                combined
+            } else {
+                let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
+                engine.charge_shuffle(records, partial_bytes);
+                scatter_by_key(combined, partitions, |r| &r.0)
+            };
+            let reduce_ws: Vec<u64> = shuffled
+                .iter()
+                .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
+                .collect();
+            engine.charge_memory("reduce_by_key", &reduce_ws)?;
+            let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+            let fr = Arc::clone(&f);
+            let out: Vec<Vec<(K, V)>> = parallel_map(shuffled, move |_, part| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part {
+                    match acc.get_mut(&k) {
+                        Some(cur) => *cur = fr(cur, &v),
+                        None => {
+                            acc.insert(k, v);
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            });
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Equi-join with a selectable algorithm.
+    pub fn join_with<W: Data>(
+        &self,
+        other: &Bag<(K, W)>,
+        algorithm: JoinAlgorithm,
+    ) -> Bag<(K, (V, W))> {
+        match algorithm {
+            JoinAlgorithm::Repartition => self.join(other),
+            JoinAlgorithm::BroadcastRight => self.broadcast_join(other),
+        }
+    }
+
+    /// Repartition (shuffle) equi-join.
+    pub fn join<W: Data>(&self, other: &Bag<(K, W)>) -> Bag<(K, (V, W))> {
+        let p = self
+            .num_partitions()
+            .max(other.num_partitions())
+            .min(self.engine().config().default_parallelism);
+        self.join_into(p, other)
+    }
+
+    /// [`Bag::join`] with an explicit output partition count.
+    pub fn join_into<W: Data>(&self, partitions: usize, other: &Bag<(K, W)>) -> Bag<(K, (V, W))> {
+        assert!(self.engine().same_as(other.engine()), "join of bags from different engines");
+        let left = self.clone();
+        let right = other.clone();
+        let engine = self.engine().clone();
+        let lbytes = self.record_bytes();
+        let rbytes = other.record_bytes();
+        let out_bytes = lbytes + rbytes;
+        let partitions = partitions.max(1);
+        let l_co = left.partitioning() == Partitioning::HashByKey { partitions };
+        let r_co = right.partitioning() == Partitioning::HashByKey { partitions };
+        let meta = Partitioning::HashByKey { partitions };
+        Bag::new_with_partitioning(engine.clone(), "join", out_bytes, partitions, meta, move || {
+            let lp = left.eval()?;
+            let rp = right.eval()?;
+            let ls: Vec<Vec<(K, V)>> = if l_co {
+                lp.iter().map(|p| p.to_vec()).collect()
+            } else {
+                let lrecords: u64 = lp.iter().map(|p| p.len() as u64).sum();
+                engine.charge_shuffle(lrecords, lbytes);
+                scatter_by_key(lp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
+            };
+            let rs: Vec<Vec<(K, W)>> = if r_co {
+                rp.iter().map(|p| p.to_vec()).collect()
+            } else {
+                let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
+                engine.charge_shuffle(rrecords, rbytes);
+                scatter_by_key(rp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
+            };
+            let factor = engine.config().costs.materialize_factor;
+            let build_ws: Vec<u64> =
+                rs.iter().map(|p| (p.len() as f64 * rbytes * factor) as u64).collect();
+            engine.charge_memory("join(build)", &build_ws)?;
+            let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = ls.into_iter().zip(rs).collect();
+            let out: Vec<Vec<(K, (V, W))>> = parallel_map(zipped, |_, (l, r)| {
+                let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                for (k, w) in r {
+                    table.entry(k).or_default().push(w);
+                }
+                let mut res = Vec::new();
+                for (k, v) in l {
+                    if let Some(ws) = table.get(&k) {
+                        for w in ws {
+                            res.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                res
+            });
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, out_bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Broadcast-hash equi-join: the right side is collected and broadcast,
+    /// the left side is probed in place (no shuffle of the left side).
+    pub fn broadcast_join<W: Data>(&self, other: &Bag<(K, W)>) -> Bag<(K, (V, W))> {
+        assert!(self.engine().same_as(other.engine()), "join of bags from different engines");
+        let left = self.clone();
+        let right = other.clone();
+        let engine = self.engine().clone();
+        let lbytes = self.record_bytes();
+        let rbytes = other.record_bytes();
+        let out_bytes = lbytes + rbytes;
+        Bag::new(engine.clone(), "broadcast_join", out_bytes, self.num_partitions(), move || {
+            let rp = right.eval()?;
+            let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
+            engine.charge_driver_collect(rrecords, rbytes);
+            engine.charge_broadcast("broadcast_join", (rrecords as f64 * rbytes) as u64)?;
+            let mut table: HashMap<K, Vec<W>> = HashMap::new();
+            for p in rp.iter() {
+                for (k, w) in p.iter() {
+                    table.entry(k.clone()).or_default().push(w.clone());
+                }
+            }
+            let table = Arc::new(table);
+            let lp = left.eval()?;
+            let out: Vec<Vec<(K, (V, W))>> = parallel_map(lp.to_vec(), |_, p: Arc<Vec<(K, V)>>| {
+                let mut res = Vec::new();
+                for (k, v) in p.iter() {
+                    if let Some(ws) = table.get(k) {
+                        for w in ws {
+                            res.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                res
+            });
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, out_bytes, false)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Group both sides by key (Spark `cogroup`).
+    pub fn co_group<W: Data>(&self, other: &Bag<(K, W)>) -> Bag<(K, (Vec<V>, Vec<W>))> {
+        assert!(self.engine().same_as(other.engine()), "co_group of bags from different engines");
+        let partitions = self.num_partitions().max(other.num_partitions()).max(1);
+        let left = self.clone();
+        let right = other.clone();
+        let engine = self.engine().clone();
+        let lbytes = self.record_bytes();
+        let rbytes = other.record_bytes();
+        Bag::new(engine.clone(), "co_group", lbytes + rbytes, partitions, move || {
+            let lp = left.eval()?;
+            let rp = right.eval()?;
+            let lrecords: u64 = lp.iter().map(|p| p.len() as u64).sum();
+            let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(lrecords, lbytes);
+            engine.charge_shuffle(rrecords, rbytes);
+            let ls = scatter_by_key(lp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
+            let rs = scatter_by_key(rp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
+            let factor = engine.config().costs.materialize_factor;
+            let ws: Vec<u64> = ls
+                .iter()
+                .zip(rs.iter())
+                .map(|(l, r)| ((l.len() as f64 * lbytes + r.len() as f64 * rbytes) * factor) as u64)
+                .collect();
+            engine.charge_memory("co_group", &ws)?;
+            let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = ls.into_iter().zip(rs).collect();
+            let out: Vec<Vec<(K, (Vec<V>, Vec<W>))>> = parallel_map(zipped, |_, (l, r)| {
+                let mut table: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+                for (k, v) in l {
+                    table.entry(k).or_default().0.push(v);
+                }
+                for (k, w) in r {
+                    table.entry(k).or_default().1.push(w);
+                }
+                table.into_iter().collect()
+            });
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, lbytes + rbytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+
+    /// Left outer equi-join (implemented over [`Bag::co_group`]).
+    pub fn left_outer_join<W: Data>(&self, other: &Bag<(K, W)>) -> Bag<(K, (V, Option<W>))> {
+        self.co_group(other).flat_map(|(k, (vs, ws))| {
+            let mut res = Vec::new();
+            for v in vs {
+                if ws.is_empty() {
+                    res.push((k.clone(), (v.clone(), None)));
+                } else {
+                    for w in ws {
+                        res.push((k.clone(), (v.clone(), Some(w.clone()))));
+                    }
+                }
+            }
+            res
+        })
+    }
+
+    /// Hash-partition by key (identity wide operation, used to co-partition
+    /// inputs). A no-op if the bag is already hash-partitioned by key with
+    /// the same partition count.
+    pub fn partition_by_key(&self, partitions: usize) -> Bag<(K, V)> {
+        let partitions = partitions.max(1);
+        if self.partitioning() == (Partitioning::HashByKey { partitions }) {
+            return self.clone();
+        }
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let meta = Partitioning::HashByKey { partitions };
+        Bag::new_with_partitioning(engine.clone(), "partition_by_key", bytes, partitions, meta, move || {
+            let input = parent.eval()?;
+            let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(records, bytes);
+            let shuffled =
+                scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
+            let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(to_parts(shuffled))
+        })
+    }
+}
+
+impl<T: Key> Bag<T> {
+    /// Remove duplicates (shuffle by value, dedup per partition).
+    pub fn distinct(&self) -> Bag<T> {
+        self.distinct_into(self.num_partitions().min(self.engine().config().default_parallelism))
+    }
+
+    /// [`Bag::distinct`] with an explicit output partition count.
+    ///
+    /// Like Spark's `distinct` (a `reduceByKey` underneath), duplicates are
+    /// first removed per input partition (map-side combine), then the
+    /// partial results shuffle.
+    pub fn distinct_into(&self, partitions: usize) -> Bag<T> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let partitions = partitions.max(1);
+        Bag::new(engine.clone(), "distinct", bytes, partitions, move || {
+            let input = parent.eval()?;
+            let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+            // Map-side dedup.
+            let combined: Vec<Vec<T>> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
+                let mut seen: std::collections::HashSet<T> = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for x in p.iter() {
+                    if seen.insert(x.clone()) {
+                        out.push(x.clone());
+                    }
+                }
+                out
+            });
+            engine.charge_compute(&in_counts, bytes, false)?;
+            let factor = engine.config().costs.materialize_factor;
+            let combine_ws: Vec<u64> =
+                combined.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
+            engine.charge_memory("distinct(combine)", &combine_ws)?;
+            let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(records, bytes);
+            let shuffled: Vec<Vec<T>> = {
+                let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+                for p in combined {
+                    for rec in p {
+                        out[crate::partitioner::partition_for(&rec, partitions)].push(rec);
+                    }
+                }
+                out
+            };
+            let factor = engine.config().costs.materialize_factor;
+            let ws: Vec<u64> =
+                shuffled.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
+            engine.charge_memory("distinct", &ws)?;
+            let in_counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+            let out: Vec<Vec<T>> = parallel_map(shuffled, |_, part| {
+                let mut seen: std::collections::HashSet<T> = std::collections::HashSet::new();
+                let mut res = Vec::new();
+                for x in part {
+                    if seen.insert(x.clone()) {
+                        res.push(x);
+                    }
+                }
+                res
+            });
+            engine.charge_compute(&in_counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+}
+
+impl<T: Data> Bag<T> {
+    /// Round-robin shuffle into `n` partitions (Spark `repartition`).
+    pub fn repartition(&self, n: usize) -> Bag<T> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        let n = n.max(1);
+        Bag::new(engine.clone(), "repartition", bytes, n, move || {
+            let input = parent.eval()?;
+            let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+            engine.charge_shuffle(records, bytes);
+            let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+            let mut i = 0usize;
+            for p in input.iter() {
+                for rec in p.iter() {
+                    out[i % n].push(rec.clone());
+                    i += 1;
+                }
+            }
+            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(to_parts(out))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn group_by_key_groups_everything() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![(1u32, 10), (2, 20), (1, 11), (2, 21), (3, 30)], 3);
+        let out = b.group_by_key().collect().unwrap();
+        let mut groups: Vec<(u32, Vec<i32>)> =
+            out.into_iter().map(|(k, mut vs)| (k, sorted(std::mem::take(&mut vs)))).collect();
+        groups.sort_by_key(|(k, _)| *k);
+        assert_eq!(groups, vec![(1, vec![10, 11]), (2, vec![20, 21]), (3, vec![30])]);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_group_then_fold() {
+        let e = Engine::local();
+        let data: Vec<(u8, u64)> = (0..1000).map(|i| ((i % 7) as u8, i)).collect();
+        let expect: std::collections::HashMap<u8, u64> =
+            data.iter().fold(std::collections::HashMap::new(), |mut m, (k, v)| {
+                *m.entry(*k).or_insert(0) += v;
+                m
+            });
+        let b = e.parallelize(data, 8).reduce_by_key(|a, b| a + b);
+        for (k, v) in b.collect().unwrap() {
+            assert_eq!(expect[&k], v);
+        }
+    }
+
+    #[test]
+    fn join_algorithms_agree() {
+        let e = Engine::local();
+        let l = e.parallelize(vec![(1u32, "a"), (2, "b"), (2, "B"), (3, "c")], 2);
+        let r = e.parallelize(vec![(1u32, 10), (2, 20), (4, 40)], 3);
+        let rep = sorted(l.join_with(&r, JoinAlgorithm::Repartition).collect().unwrap());
+        let bro = sorted(l.join_with(&r, JoinAlgorithm::BroadcastRight).collect().unwrap());
+        assert_eq!(rep, bro);
+        assert_eq!(rep, vec![(1, ("a", 10)), (2, ("B", 20)), (2, ("b", 20))]);
+    }
+
+    #[test]
+    fn broadcast_join_avoids_shuffling_left() {
+        let e = Engine::local();
+        let l = e.parallelize((0..1000u32).map(|i| (i, i)).collect::<Vec<_>>(), 4);
+        let r = e.parallelize(vec![(1u32, 1u32)], 1);
+        let s0 = e.stats();
+        l.broadcast_join(&r).collect().unwrap();
+        let d = e.stats().since(&s0);
+        assert_eq!(d.shuffle_bytes, 0, "broadcast join must not shuffle");
+        assert!(d.broadcast_bytes > 0);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![1, 2, 2, 3, 3, 3, 1], 3).distinct();
+        assert_eq!(sorted(b.collect().unwrap()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left() {
+        let e = Engine::local();
+        let l = e.parallelize(vec![(1u32, "a"), (2, "b")], 2);
+        let r = e.parallelize(vec![(1u32, 10)], 1);
+        let out = sorted(l.left_outer_join(&r).collect().unwrap());
+        assert_eq!(out, vec![(1, ("a", Some(10))), (2, ("b", None))]);
+    }
+
+    #[test]
+    fn co_group_collects_both_sides() {
+        let e = Engine::local();
+        let l = e.parallelize(vec![(1u32, 'x'), (1, 'y')], 2);
+        let r = e.parallelize(vec![(1u32, 9), (2, 8)], 2);
+        let mut out = l.co_group(&r).collect().unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 2);
+        let (k1, (vs, ws)) = &out[0];
+        assert_eq!(*k1, 1);
+        assert_eq!(sorted(vs.clone()), vec!['x', 'y']);
+        assert_eq!(ws, &vec![9]);
+        assert_eq!(out[1], (2, (vec![], vec![8])));
+    }
+
+    #[test]
+    fn repartition_changes_partition_count_not_data() {
+        let e = Engine::local();
+        let b = e.parallelize((0..50).collect::<Vec<u32>>(), 2).repartition(7);
+        assert_eq!(b.num_partitions(), 7);
+        assert_eq!(sorted(b.collect().unwrap()), (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn partition_by_key_colocates_keys() {
+        let e = Engine::local();
+        let b = e
+            .parallelize((0..100u32).map(|i| (i % 5, i)).collect::<Vec<_>>(), 4)
+            .partition_by_key(3);
+        let parts = b.collect_partitions().unwrap();
+        for part in &parts {
+            // Every key must appear in exactly one partition.
+            for (k, _) in part {
+                let elsewhere = parts
+                    .iter()
+                    .filter(|p| !std::ptr::eq(*p, part))
+                    .any(|p| p.iter().any(|(k2, _)| k2 == k));
+                assert!(!elsewhere, "key {k} appears in multiple partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn co_partitioned_join_skips_shuffle() {
+        let e = Engine::local();
+        let l = e
+            .parallelize((0..1000u32).map(|i| (i, i)).collect::<Vec<_>>(), 4)
+            .partition_by_key(8);
+        let r = e
+            .parallelize((0..1000u32).map(|i| (i, i * 2)).collect::<Vec<_>>(), 4)
+            .partition_by_key(8);
+        // Force both sides computed so the join's delta is clean.
+        l.count().unwrap();
+        r.count().unwrap();
+        let s0 = e.stats();
+        let out = l.join_into(8, &r);
+        assert_eq!(out.count().unwrap(), 1000);
+        let d = e.stats().since(&s0);
+        assert_eq!(d.shuffle_bytes, 0, "co-partitioned join must not shuffle");
+        // And the result is marked partitioned for further by-key ops.
+        assert_eq!(out.partitioning(), Partitioning::HashByKey { partitions: 8 });
+    }
+
+    #[test]
+    fn partition_by_key_is_idempotent() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![(1u32, 1)], 1).partition_by_key(4);
+        b.count().unwrap();
+        let s0 = e.stats();
+        let again = b.partition_by_key(4);
+        again.count().unwrap();
+        assert_eq!(e.stats().since(&s0).shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn reduce_by_key_on_partitioned_input_skips_shuffle() {
+        let e = Engine::local();
+        let b = e
+            .parallelize((0..500u32).map(|i| (i % 7, 1u64)).collect::<Vec<_>>(), 4)
+            .partition_by_key(6);
+        b.count().unwrap();
+        let s0 = e.stats();
+        let out = b.reduce_by_key_into(6, |a, b| a + b).collect().unwrap();
+        assert_eq!(out.len(), 7);
+        assert_eq!(e.stats().since(&s0).shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn group_by_key_giant_group_ooms_on_small_cluster() {
+        let mut cfg = crate::ClusterConfig::local_test();
+        cfg.memory_per_machine = crate::MB;
+        let e = Engine::new(cfg);
+        // One key, many fat records: the single group cannot fit in a task.
+        let b = e
+            .parallelize_with_bytes((0..10_000u32).map(|i| (0u8, i)).collect::<Vec<_>>(), 4, 1000.0)
+            .group_by_key();
+        assert!(matches!(b.collect(), Err(crate::EngineError::OutOfMemory { .. })));
+    }
+}

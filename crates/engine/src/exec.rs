@@ -1,0 +1,222 @@
+//! Cost charging: where operators tell the simulator what they did.
+//!
+//! The stage model follows Spark: a *stage* starts at a source or a shuffle
+//! boundary and pipelines all narrow operators that follow. Sources and wide
+//! operators therefore charge per-task overheads (driver-side serial
+//! scheduling plus executor-side task launch, scheduled onto simulated cores
+//! with LPT); narrow operators charge per-record processing only, since
+//! their work rides inside an already-charged stage's tasks.
+
+use crate::error::{EngineError, Result};
+use crate::partitioner::stable_hash;
+use crate::sim::{check_stage_memory, lpt_makespan, SimTime};
+use crate::Engine;
+
+impl Engine {
+    /// CPU cost of processing one record of `bytes` payload.
+    pub(crate) fn record_cost(&self, bytes: f64) -> SimTime {
+        let c = &self.config().costs;
+        c.per_record + c.per_byte * bytes
+    }
+
+    /// Charge the compute portion of a stage: one simulated task per
+    /// partition with `counts[i]` records of `bytes` each.
+    ///
+    /// `task_overhead` is true for stage-starting operators (sources, shuffle
+    /// reads), which pay driver scheduling and task launch per task.
+    pub(crate) fn charge_compute(&self, counts: &[usize], bytes: f64, task_overhead: bool) -> Result<()> {
+        let per_record = self.record_cost(bytes);
+        let costs: Vec<SimTime> = counts
+            .iter()
+            .map(|&n| {
+                let launch = if task_overhead { self.config().costs.task_launch } else { SimTime::ZERO };
+                launch + per_record * n as u64
+            })
+            .collect();
+        self.charge_weighted(&costs, task_overhead)?;
+        self.core.stats.add_records(counts.iter().map(|&n| n as u64).sum());
+        Ok(())
+    }
+
+    /// Charge a stage from explicit per-task simulated costs (already
+    /// including task launch if `task_overhead`). Applies the fault model:
+    /// a failed attempt is re-run (its cost charged again, plus a task
+    /// launch); a task that exhausts its attempts fails the job, as Spark's
+    /// `spark.task.maxFailures` does.
+    pub(crate) fn charge_weighted(&self, task_costs: &[SimTime], task_overhead: bool) -> Result<()> {
+        let stage_id = self.core.stats.snapshot().stages;
+        if task_overhead {
+            self.core.stats.add_stage(task_costs.len() as u64);
+            // Driver schedules tasks serially; this is what makes very high
+            // task counts expensive independent of cluster size.
+            self.core
+                .clock
+                .advance(self.config().costs.task_schedule * task_costs.len() as u64);
+        }
+        let faults = &self.config().faults;
+        let mut effective = task_costs.to_vec();
+        if faults.task_failure_rate > 0.0 {
+            let threshold = (faults.task_failure_rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+            let launch = self.config().costs.task_launch;
+            for (i, cost) in effective.iter_mut().enumerate() {
+                let mut attempt = 0u32;
+                while stable_hash(&(faults.seed, stage_id, i as u64, attempt)) <= threshold {
+                    attempt += 1;
+                    if attempt >= faults.max_attempts {
+                        return Err(EngineError::TaskFailed { stage: stage_id, attempts: attempt });
+                    }
+                    // Re-run: the attempt's work is wasted and re-done.
+                    *cost = *cost + *cost + launch;
+                }
+            }
+        }
+        self.core.clock.advance(lpt_makespan(&effective, self.config().total_cores()));
+        Ok(())
+    }
+
+    /// Charge a shuffle of `records` records of `bytes` each: map-side
+    /// serialization (parallel across cores) plus network transfer at the
+    /// aggregate cluster bandwidth.
+    pub(crate) fn charge_shuffle(&self, records: u64, bytes: f64) {
+        let c = &self.config().costs;
+        let total_bytes = (records as f64 * bytes) as u64;
+        self.core.stats.add_shuffle_bytes(total_bytes);
+        let ser = SimTime::from_nanos(
+            c.per_shuffle_record.as_nanos().saturating_mul(records) / self.config().total_cores().max(1) as u64,
+        );
+        let net = SimTime::from_secs_f64(total_bytes as f64 / self.config().aggregate_bandwidth() as f64);
+        self.core.clock.advance(ser + net);
+    }
+
+    /// Memory-check a stage given per-task working sets (bytes, already
+    /// including any materialization factor). Spilling advances the clock;
+    /// overflow returns a simulated OutOfMemory.
+    pub(crate) fn charge_memory(&self, operator: &str, working_sets: &[u64]) -> Result<()> {
+        let outcome = check_stage_memory(self.config(), operator, working_sets)?;
+        if outcome.spilled_bytes > 0 {
+            self.core.stats.add_spill_bytes(outcome.spilled_bytes);
+            self.core.clock.advance(outcome.spill_time);
+        }
+        Ok(())
+    }
+
+    /// Charge one job launch (per action).
+    pub(crate) fn charge_job(&self) {
+        self.core.stats.add_job();
+        self.core.clock.advance(self.config().costs.job_launch);
+    }
+
+    /// Charge moving `records` records of `bytes` each to the driver over a
+    /// single machine's link, processed serially by the driver.
+    pub(crate) fn charge_driver_collect(&self, records: u64, bytes: f64) {
+        let total_bytes = records as f64 * bytes;
+        let cpu = self.record_cost(bytes) * records;
+        let net = SimTime::from_secs_f64(total_bytes / self.config().network_bandwidth as f64);
+        self.core.clock.advance(cpu + net);
+    }
+
+    /// Charge distributing a broadcast variable of `bytes` to every worker,
+    /// failing if the deserialized value cannot fit in worker memory.
+    pub(crate) fn charge_broadcast(&self, operator: &str, bytes: u64) -> Result<()> {
+        let expanded = (bytes as f64 * self.config().costs.materialize_factor) as u64;
+        // A broadcast must fit on *every single* machine (paper Sec. 9.6).
+        check_stage_memory(self.config(), operator, &[expanded])?;
+        self.core.stats.add_broadcast_bytes(bytes);
+        // Torrent-style distribution: pipeline bound by one machine's link.
+        let net = SimTime::from_secs_f64(bytes as f64 / self.config().network_bandwidth as f64);
+        self.core.clock.advance(net);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{ClusterConfig, GB};
+    use crate::sim::SimTime;
+    use crate::Engine;
+
+    #[test]
+    fn shuffle_time_scales_with_bytes() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let t0 = e.sim_time();
+        e.charge_shuffle(1000, 100.0);
+        let t1 = e.sim_time();
+        e.charge_shuffle(1000, 10_000.0);
+        let t2 = e.sim_time();
+        assert!((t2 - t1) > (t1 - t0));
+        assert!(e.stats().shuffle_bytes >= 1000 * 100);
+    }
+
+    #[test]
+    fn job_launch_advances_clock_by_configured_amount() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let before = e.sim_time();
+        e.charge_job();
+        assert_eq!(e.sim_time() - before, e.config().costs.job_launch);
+        assert_eq!(e.stats().jobs, 1);
+    }
+
+    #[test]
+    fn broadcast_too_large_for_one_machine_ooms() {
+        let e = Engine::new(ClusterConfig::local_test()); // 4 GB per machine
+        let err = e.charge_broadcast("broadcast", 2 * GB).unwrap_err();
+        assert!(matches!(err, crate::EngineError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn fault_injection_slows_jobs_deterministically() {
+        let mut cfg = ClusterConfig::local_test();
+        cfg.faults.task_failure_rate = 0.3;
+        let run = || {
+            let e = Engine::new(cfg.clone());
+            let b = e.generate(10_000, 8, |i| (i % 97, 1u64));
+            b.reduce_by_key(|a, b| a + b).count().unwrap();
+            e.sim_time()
+        };
+        let with_faults = run();
+        let baseline = {
+            let e = Engine::new(ClusterConfig::local_test());
+            let b = e.generate(10_000, 8, |i| (i % 97, 1u64));
+            b.reduce_by_key(|a, b| a + b).count().unwrap();
+            e.sim_time()
+        };
+        assert!(with_faults > baseline, "retries must cost simulated time");
+        assert_eq!(with_faults, run(), "fault injection is deterministic");
+    }
+
+    #[test]
+    fn pathological_failure_rate_fails_the_job() {
+        let mut cfg = ClusterConfig::local_test();
+        cfg.faults.task_failure_rate = 0.999999;
+        cfg.faults.max_attempts = 2;
+        let e = Engine::new(cfg);
+        let b = e.parallelize((0..100u64).collect::<Vec<_>>(), 4);
+        match b.count() {
+            Err(crate::EngineError::TaskFailed { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn results_are_unaffected_by_fault_injection() {
+        let mut cfg = ClusterConfig::local_test();
+        cfg.faults.task_failure_rate = 0.2;
+        let e = Engine::new(cfg);
+        let b = e.parallelize((0..1000u64).collect::<Vec<_>>(), 8);
+        assert_eq!(b.map(|x| x * 2).fold(0u64, |a, x| a + x).unwrap(), 999_000);
+    }
+
+    #[test]
+    fn task_overhead_charged_only_for_stage_starts() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let t0 = e.sim_time();
+        e.charge_compute(&[0, 0, 0, 0], 8.0, false).unwrap();
+        let narrow = e.sim_time() - t0;
+        assert_eq!(narrow, SimTime::ZERO, "narrow op over empty partitions is free");
+        let t1 = e.sim_time();
+        e.charge_compute(&[0, 0, 0, 0], 8.0, true).unwrap();
+        let wide = e.sim_time() - t1;
+        assert!(wide > SimTime::ZERO, "stage start pays scheduling/launch even when empty");
+        assert_eq!(e.stats().tasks, 4);
+    }
+}

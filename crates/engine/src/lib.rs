@@ -1,0 +1,304 @@
+//! # matryoshka-engine
+//!
+//! A flat-parallel dataflow engine with a simulated-cluster cost model: the
+//! substrate the Matryoshka flattening layer (crate `matryoshka-core`) runs
+//! on, standing in for Apache Spark in the SIGMOD 2021 paper *"The Power of
+//! Nested Parallelism in Big Data Processing"*.
+//!
+//! Programs execute **for real**, in-process and multi-threaded, so results
+//! are exact and testable. Simultaneously, a **simulated clock** accounts for
+//! what the identical program would cost on a configured cluster
+//! ([`ClusterConfig`]): job-launch overhead per action, per-task scheduling
+//! and launch overheads, LPT task scheduling onto simulated cores, shuffle
+//! network transfer, disk spilling and per-worker memory limits (with
+//! simulated `OutOfMemory` failures). Experiments read [`Engine::sim_time`].
+//!
+//! ```
+//! use matryoshka_engine::{ClusterConfig, Engine};
+//!
+//! let engine = Engine::new(ClusterConfig::local_test());
+//! let words = engine.parallelize(vec!["a", "b", "a", "c", "b", "a"], 4);
+//! let counts = words.map(|w| (w.to_string(), 1u64)).reduce_by_key(|a, b| a + b);
+//! let mut out = counts.collect().unwrap();
+//! out.sort();
+//! assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
+//! assert!(engine.sim_time().as_secs_f64() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bag;
+pub mod config;
+mod error;
+mod exec;
+pub mod partitioner;
+pub mod pool;
+pub mod sim;
+mod types;
+
+pub use bag::{Bag, JoinAlgorithm, Partitioning, WorkEstimate};
+pub use config::FaultConfig;
+pub use config::{ClusterConfig, CostModel, GB, KB, MB};
+pub use error::{EngineError, Result};
+pub use sim::{SimTime, StatsSnapshot};
+pub use types::{Data, Key};
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim::{SimClock, Stats};
+
+/// One entry of the execution trace: an operator that was evaluated, in
+/// evaluation (topological) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Operator name (`map`, `reduce_by_key`, ...).
+    pub op: &'static str,
+    /// Output partition count.
+    pub partitions: usize,
+    /// Modeled bytes per output record.
+    pub record_bytes: f64,
+    /// Records produced (0 for failed operators).
+    pub records: u64,
+    /// Simulated clock at completion.
+    pub completed_at: SimTime,
+    /// Whether evaluation succeeded.
+    pub ok: bool,
+}
+
+pub(crate) struct EngineCore {
+    cfg: ClusterConfig,
+    clock: SimClock,
+    stats: Stats,
+    trace: Mutex<Vec<TraceEvent>>,
+}
+
+/// Handle to a simulated cluster. Cheap to clone; all clones share the same
+/// simulated clock and statistics.
+#[derive(Clone)]
+pub struct Engine {
+    pub(crate) core: Arc<EngineCore>,
+}
+
+impl Engine {
+    /// Create an engine over the given simulated cluster.
+    pub fn new(cfg: ClusterConfig) -> Engine {
+        Engine {
+            core: Arc::new(EngineCore {
+                cfg,
+                clock: SimClock::default(),
+                stats: Stats::default(),
+                trace: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Convenience: an engine over [`ClusterConfig::local_test`].
+    pub fn local() -> Engine {
+        Engine::new(ClusterConfig::local_test())
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.core.cfg
+    }
+
+    /// Total simulated core count.
+    pub fn total_cores(&self) -> usize {
+        self.core.cfg.total_cores()
+    }
+
+    /// Current simulated time (monotonic; take before/after deltas to time a
+    /// program).
+    pub fn sim_time(&self) -> SimTime {
+        self.core.clock.now()
+    }
+
+    /// Snapshot of the execution statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// The execution trace: every operator evaluated so far, in evaluation
+    /// (topological) order, with output cardinalities and the simulated
+    /// clock at completion — the moral equivalent of an engine UI's
+    /// completed-stages view. Memoized operators appear exactly once.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.core.trace.lock().clone()
+    }
+
+    /// Render the trace as an indented text report.
+    pub fn trace_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for ev in self.trace() {
+            let status = if ev.ok { "" } else { "  [FAILED]" };
+            let _ = writeln!(
+                out,
+                "{:>10}  {:<22} {:>8} records  {:>5} partitions  {:>10.0} B/rec{}",
+                ev.completed_at.to_string(),
+                ev.op,
+                ev.records,
+                ev.partitions,
+                ev.record_bytes,
+                status
+            );
+        }
+        out
+    }
+
+    pub(crate) fn record_trace(&self, ev: TraceEvent) {
+        self.core.trace.lock().push(ev);
+    }
+
+    /// True if `other` is the same engine instance (bags from different
+    /// engines must not be combined).
+    pub fn same_as(&self, other: &Engine) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
+    /// Distribute a driver-side collection across `partitions` partitions.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> Bag<T> {
+        self.parallelize_with_bytes(data, partitions, Bag::<T>::default_record_bytes())
+    }
+
+    /// [`Engine::parallelize`] with an explicit modeled record size.
+    pub fn parallelize_with_bytes<T: Data>(
+        &self,
+        data: Vec<T>,
+        partitions: usize,
+        record_bytes: f64,
+    ) -> Bag<T> {
+        let engine = self.clone();
+        let partitions = partitions.max(1);
+        let data = Arc::new(data);
+        Bag::new(self.clone(), "parallelize", record_bytes, partitions, move || {
+            let n = data.len();
+            let chunk = n.div_ceil(partitions);
+            let mut parts: Vec<Vec<T>> = Vec::with_capacity(partitions);
+            for p in 0..partitions {
+                let lo = (p * chunk).min(n);
+                let hi = ((p + 1) * chunk).min(n);
+                parts.push(data[lo..hi].to_vec());
+            }
+            let counts: Vec<usize> = parts.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, record_bytes, true)?;
+            Ok(bag_parts(parts))
+        })
+    }
+
+    /// Generate `n` records with `f(i)` spread over `partitions` partitions
+    /// (computed on the simulated workers, in parallel for real).
+    pub fn generate<T: Data>(
+        &self,
+        n: u64,
+        partitions: usize,
+        f: impl Fn(u64) -> T + Send + Sync + 'static,
+    ) -> Bag<T> {
+        let engine = self.clone();
+        let partitions = partitions.max(1);
+        let bytes = Bag::<T>::default_record_bytes();
+        Bag::new(self.clone(), "generate", bytes, partitions, move || {
+            let chunk = n.div_ceil(partitions as u64);
+            let ranges: Vec<(u64, u64)> = (0..partitions as u64)
+                .map(|p| ((p * chunk).min(n), ((p + 1) * chunk).min(n)))
+                .collect();
+            let parts: Vec<Vec<T>> = pool::parallel_map(ranges, |_, (lo, hi)| (lo..hi).map(&f).collect());
+            let counts: Vec<usize> = parts.iter().map(Vec::len).collect();
+            engine.charge_compute(&counts, bytes, true)?;
+            Ok(bag_parts(parts))
+        })
+    }
+
+    /// An empty bag with one (empty) partition.
+    pub fn empty<T: Data>(&self) -> Bag<T> {
+        self.parallelize(Vec::new(), 1)
+    }
+
+    /// Ship `value` to every worker as a read-only broadcast variable.
+    ///
+    /// `bytes` is the modeled serialized size; the simulated memory model
+    /// rejects broadcasts that cannot fit on a single machine (the failure
+    /// mode of broadcast joins in the paper's Fig. 8).
+    pub fn broadcast<T: Data>(&self, value: T, bytes: u64) -> Result<Broadcast<T>> {
+        self.charge_broadcast("broadcast", bytes)?;
+        Ok(Broadcast { value: Arc::new(value), bytes })
+    }
+}
+
+/// A read-only value replicated to every simulated worker.
+pub struct Broadcast<T> {
+    value: Arc<T>,
+    bytes: u64,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast { value: Arc::clone(&self.value), bytes: self.bytes }
+    }
+}
+
+impl<T> Broadcast<T> {
+    /// Access the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+    /// Modeled serialized size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+pub(crate) use bag::to_parts as bag_parts;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_roundtrips() {
+        let e = Engine::local();
+        let b = e.parallelize((0..97).collect::<Vec<u32>>(), 8);
+        assert_eq!(b.num_partitions(), 8);
+        assert_eq!(b.collect().unwrap(), (0..97).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn generate_matches_parallelize() {
+        let e = Engine::local();
+        let g = e.generate(100, 5, |i| i * i);
+        assert_eq!(g.collect().unwrap(), (0..100).map(|i| i * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_bag_is_empty() {
+        let e = Engine::local();
+        assert_eq!(e.empty::<u8>().count().unwrap(), 0);
+        assert!(e.empty::<u8>().is_empty().unwrap());
+    }
+
+    #[test]
+    fn broadcast_small_value_ok() {
+        let e = Engine::local();
+        let b = e.broadcast(vec![1, 2, 3], 24).unwrap();
+        assert_eq!(b.value().len(), 3);
+        assert_eq!(b.bytes(), 24);
+        assert_eq!(e.stats().broadcast_bytes, 24);
+    }
+
+    #[test]
+    fn engines_are_distinguishable() {
+        let a = Engine::local();
+        let b = Engine::local();
+        assert!(a.same_as(&a));
+        assert!(!a.same_as(&b));
+    }
+
+    #[test]
+    fn zero_partitions_clamped() {
+        let e = Engine::local();
+        let b = e.parallelize(vec![1], 0);
+        assert_eq!(b.num_partitions(), 1);
+        assert_eq!(b.collect().unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic hash partitioning.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic hash of a key (SipHash-1-3 with fixed keys, the std default
+/// hasher constructed via `new()`), stable across runs and threads so that
+/// simulated schedules and test results are reproducible.
+pub fn stable_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Partition index for `key` among `partitions` partitions.
+pub fn partition_for<K: Hash>(key: &K, partitions: usize) -> usize {
+    (stable_hash(key) % partitions.max(1) as u64) as usize
+}
+
+/// Scatter `(key, value)`-shaped records of several input partitions into
+/// `partitions` output buckets by key hash.
+pub fn scatter_by_key<T, K: Hash, F: Fn(&T) -> &K>(
+    inputs: Vec<Vec<T>>,
+    partitions: usize,
+    key_of: F,
+) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..partitions.max(1)).map(|_| Vec::new()).collect();
+    for part in inputs {
+        for rec in part {
+            let p = partition_for(key_of(&rec), partitions);
+            out[p].push(rec);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(stable_hash(&42u64), stable_hash(&42u64));
+        assert_eq!(stable_hash(&"abc"), stable_hash(&"abc"));
+    }
+
+    #[test]
+    fn partition_in_range() {
+        for k in 0..1000u64 {
+            assert!(partition_for(&k, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn zero_partitions_clamped_to_one() {
+        assert_eq!(partition_for(&1u64, 0), 0);
+    }
+
+    #[test]
+    fn scatter_groups_same_keys_together() {
+        let inputs = vec![vec![(1u64, "a"), (2, "b")], vec![(1, "c"), (3, "d")]];
+        let out = scatter_by_key(inputs, 4, |r| &r.0);
+        // All records with key 1 must land in the same partition.
+        let p1 = partition_for(&1u64, 4);
+        let ones: Vec<_> = out[p1].iter().filter(|r| r.0 == 1).collect();
+        assert_eq!(ones.len(), 2);
+        let total: usize = out.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn scatter_spreads_distinct_keys() {
+        let inputs = vec![(0..1000u64).map(|k| (k, ())).collect::<Vec<_>>()];
+        let out = scatter_by_key(inputs, 8, |r| &r.0);
+        let nonempty = out.iter().filter(|p| !p.is_empty()).count();
+        assert!(nonempty >= 7, "hash partitioning should use nearly all partitions");
+    }
+}

@@ -1,0 +1,103 @@
+//! Longest-processing-time-first (LPT) list scheduling of simulated tasks
+//! onto simulated cores.
+//!
+//! The makespan of a stage's tasks under LPT is what drives the simulated
+//! clock. Using real per-partition record counts makes the model sensitive to
+//! skew: one giant partition yields one giant task, which dominates the
+//! makespan exactly as it would on a real cluster (paper Sec. 9.5).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::SimTime;
+
+/// Schedule `task_costs` greedily (longest first) onto `cores` identical
+/// cores and return the makespan.
+///
+/// LPT is a 4/3-approximation of optimal makespan scheduling, which is more
+/// than accurate enough for a cost model; Spark's own scheduler is also a
+/// greedy list scheduler.
+pub fn lpt_makespan(task_costs: &[SimTime], cores: usize) -> SimTime {
+    let cores = cores.max(1);
+    if task_costs.is_empty() {
+        return SimTime::ZERO;
+    }
+    if task_costs.len() <= cores {
+        return task_costs.iter().copied().max().unwrap_or(SimTime::ZERO);
+    }
+    let mut sorted: Vec<SimTime> = task_costs.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    // Min-heap of core loads.
+    let mut loads: BinaryHeap<Reverse<SimTime>> = (0..cores).map(|_| Reverse(SimTime::ZERO)).collect();
+    for t in sorted {
+        let Reverse(load) = loads.pop().expect("heap has `cores` entries");
+        loads.push(Reverse(load + t));
+    }
+    loads.into_iter().map(|Reverse(l)| l).max().unwrap_or(SimTime::ZERO)
+}
+
+/// Convenience: makespan of `n` identical tasks of cost `each`.
+pub fn uniform_makespan(n: usize, each: SimTime, cores: usize) -> SimTime {
+    if n == 0 {
+        return SimTime::ZERO;
+    }
+    let waves = n.div_ceil(cores.max(1)) as u64;
+    each * waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn fewer_tasks_than_cores_is_max() {
+        assert_eq!(lpt_makespan(&[ms(5), ms(3)], 8), ms(5));
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(lpt_makespan(&[], 4), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_core_is_sum() {
+        assert_eq!(lpt_makespan(&[ms(1), ms(2), ms(3)], 1), ms(6));
+    }
+
+    #[test]
+    fn balanced_tasks_divide_evenly() {
+        let tasks = vec![ms(2); 8];
+        assert_eq!(lpt_makespan(&tasks, 4), ms(4));
+    }
+
+    #[test]
+    fn skewed_task_dominates() {
+        // One 100ms task and many 1ms tasks: the long task is the makespan.
+        let mut tasks = vec![ms(1); 50];
+        tasks.push(ms(100));
+        assert_eq!(lpt_makespan(&tasks, 16), ms(100));
+    }
+
+    #[test]
+    fn uniform_makespan_counts_waves() {
+        assert_eq!(uniform_makespan(10, ms(2), 4), ms(6)); // 3 waves
+        assert_eq!(uniform_makespan(0, ms(2), 4), SimTime::ZERO);
+        assert_eq!(uniform_makespan(4, ms(2), 4), ms(2));
+    }
+
+    #[test]
+    fn lpt_never_below_lower_bounds() {
+        // makespan >= max task and >= sum/cores.
+        let tasks: Vec<SimTime> = (1..40).map(ms).collect();
+        let cores = 7;
+        let span = lpt_makespan(&tasks, cores);
+        let max = tasks.iter().copied().max().unwrap();
+        let total: u64 = tasks.iter().map(|t| t.as_nanos()).sum();
+        assert!(span >= max);
+        assert!(span.as_nanos() >= total / cores as u64);
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution statistics: jobs, stages, tasks, shuffled/spilled bytes.
+//!
+//! The experiment harnesses use these counters to explain *why* a strategy is
+//! slow (e.g. inner-parallel launching thousands of jobs), mirroring the
+//! paper's analysis in Sec. 9.2-9.3.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters. One instance lives in each `Engine`.
+#[derive(Debug, Default)]
+pub struct Stats {
+    jobs: AtomicU64,
+    stages: AtomicU64,
+    tasks: AtomicU64,
+    records: AtomicU64,
+    shuffle_bytes: AtomicU64,
+    spill_bytes: AtomicU64,
+    broadcast_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Jobs launched (actions executed).
+    pub jobs: u64,
+    /// Stages executed (source + shuffle boundaries + result stages).
+    pub stages: u64,
+    /// Tasks launched across all stages.
+    pub tasks: u64,
+    /// Records processed across all operators.
+    pub records: u64,
+    /// Bytes crossing shuffle boundaries.
+    pub shuffle_bytes: u64,
+    /// Bytes spilled to simulated disk.
+    pub spill_bytes: u64,
+    /// Bytes shipped for broadcast variables.
+    pub broadcast_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference since an earlier snapshot (for per-experiment deltas).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            jobs: self.jobs - earlier.jobs,
+            stages: self.stages - earlier.stages,
+            tasks: self.tasks - earlier.tasks,
+            records: self.records - earlier.records,
+            shuffle_bytes: self.shuffle_bytes - earlier.shuffle_bytes,
+            spill_bytes: self.spill_bytes - earlier.spill_bytes,
+            broadcast_bytes: self.broadcast_bytes - earlier.broadcast_bytes,
+        }
+    }
+}
+
+impl Stats {
+    /// Count one job launch.
+    pub fn add_job(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count one stage with `tasks` tasks.
+    pub fn add_stage(&self, tasks: u64) {
+        self.stages.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(tasks, Ordering::Relaxed);
+    }
+    /// Count processed records.
+    pub fn add_records(&self, n: u64) {
+        self.records.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Count shuffled bytes.
+    pub fn add_shuffle_bytes(&self, n: u64) {
+        self.shuffle_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Count spilled bytes.
+    pub fn add_spill_bytes(&self, n: u64) {
+        self.spill_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Count broadcast bytes.
+    pub fn add_broadcast_bytes(&self, n: u64) {
+        self.broadcast_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            stages: self.stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::default();
+        s.add_job();
+        s.add_job();
+        s.add_stage(10);
+        s.add_stage(5);
+        s.add_records(100);
+        s.add_shuffle_bytes(42);
+        s.add_spill_bytes(7);
+        s.add_broadcast_bytes(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.jobs, 2);
+        assert_eq!(snap.stages, 2);
+        assert_eq!(snap.tasks, 15);
+        assert_eq!(snap.records, 100);
+        assert_eq!(snap.shuffle_bytes, 42);
+        assert_eq!(snap.spill_bytes, 7);
+        assert_eq!(snap.broadcast_bytes, 3);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let s = Stats::default();
+        s.add_job();
+        let a = s.snapshot();
+        s.add_job();
+        s.add_stage(3);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.jobs, 1);
+        assert_eq!(d.tasks, 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Marker traits for data flowing through the engine.
+
+use std::hash::Hash;
+
+/// Element types storable in a [`crate::Bag`].
+///
+/// Blanket-implemented: any `Clone + Send + Sync + 'static` type qualifies.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// Key types usable for shuffles (grouping, joins, distinct) and as lifting
+/// tags. Blanket-implemented for hashable, equatable [`Data`].
+pub trait Key: Data + Eq + Hash {}
+impl<T: Data + Eq + Hash> Key for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_data<T: Data>() {}
+    fn assert_key<T: Key>() {}
+
+    #[test]
+    fn common_types_qualify() {
+        assert_data::<u64>();
+        assert_data::<(u32, Vec<f64>)>();
+        assert_data::<String>();
+        assert_key::<(u64, u64)>();
+        assert_key::<String>();
+        // f64 is Data but (correctly) not Key.
+        assert_data::<f64>();
+    }
+}

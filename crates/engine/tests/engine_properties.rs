@@ -1,0 +1,209 @@
+//! Property-based tests of the engine's operators against driver-side
+//! oracles: for arbitrary inputs, every distributed operator must compute
+//! exactly what the obvious sequential code computes, and the simulator's
+//! accounting must satisfy its structural invariants (monotonic clock,
+//! memoized single-charging, trace/topology consistency).
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use matryoshka_engine::{ClusterConfig, Engine};
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::local_test())
+}
+
+fn pairs() -> impl Strategy<Value = Vec<(u8, i64)>> {
+    proptest::collection::vec(((0u8..12), (-50i64..50)), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_filter_flat_map_match_iterators(data in proptest::collection::vec(-100i64..100, 0..300), parts in 1usize..9) {
+        let e = engine();
+        let b = e.parallelize(data.clone(), parts);
+        let got = b.map(|x| x * 2).filter(|x| *x >= 0).flat_map(|x| [*x, *x + 1]).collect().unwrap();
+        let expect: Vec<i64> = data
+            .iter()
+            .map(|x| x * 2)
+            .filter(|x| *x >= 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        // Order within partitions is preserved; across partitions it is the
+        // concatenation order, which parallelize also preserves.
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap(data in pairs(), parts in 1usize..9) {
+        let e = engine();
+        let expect: HashMap<u8, i64> = data.iter().fold(HashMap::new(), |mut m, (k, v)| {
+            *m.entry(*k).or_insert(0) += v;
+            m
+        });
+        let got = e.parallelize(data, parts).reduce_by_key(|a, b| a + b).collect().unwrap();
+        prop_assert_eq!(got.len(), expect.len());
+        for (k, v) in got {
+            prop_assert_eq!(expect.get(&k), Some(&v));
+        }
+    }
+
+    #[test]
+    fn group_by_key_partitions_nothing_away(data in pairs()) {
+        let e = engine();
+        let groups = e.parallelize(data.clone(), 5).group_by_key().collect().unwrap();
+        let total: usize = groups.iter().map(|(_, vs)| vs.len()).sum();
+        prop_assert_eq!(total, data.len());
+        let keys: HashSet<u8> = data.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(groups.len(), keys.len());
+    }
+
+    #[test]
+    fn join_matches_nested_loops(l in pairs(), r in pairs()) {
+        let e = engine();
+        let mut expect: Vec<(u8, (i64, i64))> = Vec::new();
+        for (k, v) in &l {
+            for (k2, w) in &r {
+                if k == k2 {
+                    expect.push((*k, (*v, *w)));
+                }
+            }
+        }
+        expect.sort();
+        let mut got = e
+            .parallelize(l.clone(), 4)
+            .join(&e.parallelize(r.clone(), 3))
+            .collect()
+            .unwrap();
+        got.sort();
+        prop_assert_eq!(&got, &expect);
+
+        // Broadcast join agrees with repartition join.
+        let e2 = engine();
+        let mut got2 = e2
+            .parallelize(l, 4)
+            .broadcast_join(&e2.parallelize(r, 3))
+            .collect()
+            .unwrap();
+        got2.sort();
+        prop_assert_eq!(got2, expect);
+    }
+
+    #[test]
+    fn distinct_matches_hashset(data in proptest::collection::vec(0u16..64, 0..300)) {
+        let e = engine();
+        let got: HashSet<u16> = e.parallelize(data.clone(), 6).distinct().collect().unwrap().into_iter().collect();
+        let expect: HashSet<u16> = data.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn subtract_and_intersection_match_sets(
+        a in proptest::collection::vec(0u16..40, 0..120),
+        b in proptest::collection::vec(0u16..40, 0..120),
+    ) {
+        let e = engine();
+        let ba = e.parallelize(a.clone(), 4);
+        let bb = e.parallelize(b.clone(), 3);
+        let bset: HashSet<u16> = b.iter().copied().collect();
+
+        let mut sub = ba.subtract(&bb).collect().unwrap();
+        sub.sort_unstable();
+        let mut expect_sub: Vec<u16> = a.iter().copied().filter(|x| !bset.contains(x)).collect();
+        expect_sub.sort_unstable();
+        prop_assert_eq!(sub, expect_sub);
+
+        let inter: HashSet<u16> = ba.intersection(&bb).collect().unwrap().into_iter().collect();
+        let aset: HashSet<u16> = a.into_iter().collect();
+        let expect_inter: HashSet<u16> = aset.intersection(&bset).copied().collect();
+        prop_assert_eq!(inter, expect_inter);
+    }
+
+    #[test]
+    fn sort_by_is_a_permutation_in_order(data in proptest::collection::vec(-1000i64..1000, 0..300), parts in 1usize..7) {
+        let e = engine();
+        let got = e.parallelize(data.clone(), 5).sort_by(parts, |x| *x).collect().unwrap();
+        let mut expect = data;
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn actions_agree_with_iterators(data in proptest::collection::vec(0u64..1000, 0..200)) {
+        let e = engine();
+        let b = e.parallelize(data.clone(), 4);
+        prop_assert_eq!(b.count().unwrap(), data.len() as u64);
+        prop_assert_eq!(b.fold(0u64, |a, x| a + x).unwrap(), data.iter().sum::<u64>());
+        prop_assert_eq!(b.reduce(|a, x| *a.max(x)).unwrap(), data.iter().copied().max());
+        prop_assert_eq!(b.is_empty().unwrap(), data.is_empty());
+    }
+
+    #[test]
+    fn union_is_multiset_concatenation(a in pairs(), b in pairs()) {
+        let e = engine();
+        let mut got = e.parallelize(a.clone(), 3).union(&e.parallelize(b.clone(), 2)).collect().unwrap();
+        got.sort();
+        let mut expect = a;
+        expect.extend(b);
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn simulated_clock_is_monotone_and_trace_is_topological(data in pairs()) {
+        let e = engine();
+        let t0 = e.sim_time();
+        let b = e.parallelize(data, 4);
+        let grouped = b.map(|(k, v)| (*k, v * 2)).reduce_by_key(|a, b| a + b);
+        grouped.count().unwrap();
+        let t1 = e.sim_time();
+        prop_assert!(t1 >= t0);
+        // Trace: parents complete before children; timestamps non-decreasing.
+        let trace = e.trace();
+        prop_assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            prop_assert!(w[0].completed_at <= w[1].completed_at);
+        }
+        let names: Vec<&str> = trace.iter().map(|ev| ev.op).collect();
+        let src = names.iter().position(|n| *n == "parallelize").unwrap();
+        let red = names.iter().position(|n| *n == "reduce_by_key").unwrap();
+        prop_assert!(src < red, "source must evaluate before the shuffle: {names:?}");
+    }
+
+    #[test]
+    fn memoization_never_recharges(data in pairs()) {
+        let e = engine();
+        let b = e.parallelize(data, 4).map(|(k, v)| (*k, v + 1)).reduce_by_key(|a, b| a + b);
+        b.count().unwrap();
+        let t1 = e.sim_time();
+        let s1 = e.stats();
+        b.count().unwrap();
+        let d_time = e.sim_time() - t1;
+        let d = e.stats().since(&s1);
+        prop_assert_eq!(d.stages, 0, "no stage re-runs on a memoized bag");
+        prop_assert_eq!(d_time, e.config().costs.job_launch, "second action costs one job launch");
+    }
+
+    #[test]
+    fn aggregate_by_key_matches_manual(data in pairs()) {
+        let e = engine();
+        let got = e
+            .parallelize(data.clone(), 4)
+            .aggregate_by_key((0i64, 0u64), |z, v| (z.0 + v, z.1 + 1), |a, b| (a.0 + b.0, a.1 + b.1))
+            .collect()
+            .unwrap();
+        let mut expect: HashMap<u8, (i64, u64)> = HashMap::new();
+        for (k, v) in &data {
+            let ent = expect.entry(*k).or_insert((0, 0));
+            ent.0 += v;
+            ent.1 += 1;
+        }
+        prop_assert_eq!(got.len(), expect.len());
+        for (k, acc) in got {
+            prop_assert_eq!(expect.get(&k), Some(&acc));
+        }
+    }
+}

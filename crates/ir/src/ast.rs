@@ -1,0 +1,405 @@
+//! The abstract syntax tree of the embedded nested-parallel language.
+//!
+//! This is the Rust equivalent of the paper's Emma programs: a collection
+//! (`Bag`) language with nested bags, nested parallel operations and
+//! imperative-style control flow. The paper's parsing phase operates on
+//! Scala ASTs via macros; here the AST is an explicit data structure that
+//! the parsing phase (`crate::parse`) rewrites, inserting the nesting
+//! primitives `GroupByKeyIntoNestedBag` and `MapWithLiftedUdf` — exactly the
+//! Listing 1 → Listing 2 transformation.
+//!
+//! Control flow note: `Loop` is already the *higher-order functional form*
+//! the paper's Sec. 6.1 converts `while` statements into — the body maps the
+//! previous loop-variable values to the next values plus the exit condition.
+
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Binary scalar operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (numeric).
+    Add,
+    /// Subtraction (numeric).
+    Sub,
+    /// Multiplication (numeric).
+    Mul,
+    /// Division (always produces a Double).
+    Div,
+    /// Equality (any values).
+    Eq,
+    /// Less-than (numeric).
+    Lt,
+    /// Greater-than (numeric).
+    Gt,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// Unary scalar operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation.
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// Long -> Double widening.
+    ToDouble,
+}
+
+/// A one-parameter anonymous function (UDF).
+#[derive(Debug, Clone)]
+pub struct Lambda {
+    /// Parameter name, bound inside `body`.
+    pub param: String,
+    /// Function body.
+    pub body: Arc<Expr>,
+}
+
+impl Lambda {
+    /// Construct a lambda.
+    pub fn new(param: &str, body: Expr) -> Lambda {
+        Lambda { param: param.to_string(), body: Arc::new(body) }
+    }
+}
+
+/// A two-parameter anonymous function (for reductions and joins-by-UDF).
+#[derive(Debug, Clone)]
+pub struct Lambda2 {
+    /// First parameter name.
+    pub a: String,
+    /// Second parameter name.
+    pub b: String,
+    /// Function body.
+    pub body: Arc<Expr>,
+}
+
+impl Lambda2 {
+    /// Construct a two-parameter lambda.
+    pub fn new(a: &str, b: &str, body: Expr) -> Lambda2 {
+        Lambda2 { a: a.to_string(), b: b.to_string(), body: Arc::new(body) }
+    }
+}
+
+/// Expressions of the nested-parallel language. Scalar- and bag-typed
+/// expressions share one syntax; the parsing phase's shape analysis tells
+/// them apart.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A variable reference.
+    Var(String),
+    /// Tuple construction.
+    Tuple(Vec<Expr>),
+    /// Tuple projection.
+    Proj(Box<Expr>, usize),
+    /// Binary scalar operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary scalar operation.
+    Un(UnOp, Box<Expr>),
+    /// `let name = value in body`.
+    Let(String, Box<Expr>, Box<Expr>),
+    /// Conditional (both scalar- and bag-typed branches are allowed).
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A while loop in higher-order functional form (Sec. 6.1): the
+    /// variables start from `init`, each iteration rebinds them to `step`'s
+    /// values, and iteration continues while `cond` (evaluated on the
+    /// current variables) holds. Evaluates to `result`.
+    Loop {
+        /// Loop variables with their initializers.
+        init: Vec<(String, Expr)>,
+        /// Continue-condition over the loop variables.
+        cond: Box<Expr>,
+        /// Next values of the loop variables, in order.
+        step: Vec<Expr>,
+        /// Result expression over the final loop variables.
+        result: Box<Expr>,
+    },
+
+    // --- bag operations -----------------------------------------------
+    /// A named input bag, bound when the program runs.
+    Source(String),
+    /// Element-wise transformation.
+    Map(Box<Expr>, Lambda),
+    /// Element-wise filtering.
+    Filter(Box<Expr>, Lambda),
+    /// Element-to-many transformation; the lambda returns a tuple whose
+    /// components are emitted individually.
+    FlatMapTuple(Box<Expr>, Lambda),
+    /// Group a bag of `(key, value)` tuples by key. The paper's nested-bag
+    /// producer: its conceptual output type is `Bag[(K, Bag[V])]`.
+    GroupByKey(Box<Expr>),
+    /// Merge values per key of a `(key, value)` bag.
+    ReduceByKey(Box<Expr>, Lambda2),
+    /// Equi-join two `(key, value)` bags on their keys.
+    Join(Box<Expr>, Box<Expr>),
+    /// Duplicate elimination.
+    Distinct(Box<Expr>),
+    /// Bag union.
+    Union(Box<Expr>, Box<Expr>),
+    /// Number of elements (scalar result).
+    Count(Box<Expr>),
+    /// Fold to a scalar with zero and combine (the UDF must be scalar-only:
+    /// bags inside aggregation UDFs are outside the flattening's
+    /// completeness preconditions, Sec. 7).
+    Fold(Box<Expr>, Box<Expr>, Lambda2),
+
+    // --- nesting primitives (inserted by the parsing phase) ------------
+    /// `groupByKeyIntoNestedBag` (paper Listing 2 line 3).
+    GroupByKeyIntoNestedBag(Box<Expr>),
+    /// `mapWithLiftedUDF` (paper Listing 2 line 4): the UDF runs *once*
+    /// over the lifted primitives. `closures` lists outer variables the UDF
+    /// reads (made explicit by the parsing phase, Sec. 5).
+    MapWithLiftedUdf {
+        /// The (nested) input.
+        input: Box<Expr>,
+        /// The lifted UDF; its parameter binds to the `(outer, inner)`
+        /// pair of the NestedBag.
+        udf: Lambda,
+        /// Names of enclosing bindings the UDF captures.
+        closures: Vec<String>,
+    },
+}
+
+impl Expr {
+    /// `let`-builder.
+    pub fn let_(name: &str, value: Expr, body: Expr) -> Expr {
+        Expr::Let(name.to_string(), Box::new(value), Box::new(body))
+    }
+    /// Variable reference builder.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+    /// Long literal builder.
+    pub fn long(x: i64) -> Expr {
+        Expr::Const(Value::Long(x))
+    }
+    /// Binary-op builder.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+    /// Projection builder.
+    pub fn proj(e: Expr, i: usize) -> Expr {
+        Expr::Proj(Box::new(e), i)
+    }
+
+    /// Does this expression *contain* any bag operation? (Used by the
+    /// parsing phase to decide which map UDFs must be lifted: "the
+    /// operation's UDF contains bag operations", Sec. 7.)
+    pub fn contains_bag_ops(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(
+                e,
+                Expr::Source(_)
+                    | Expr::Map(..)
+                    | Expr::Filter(..)
+                    | Expr::FlatMapTuple(..)
+                    | Expr::GroupByKey(..)
+                    | Expr::ReduceByKey(..)
+                    | Expr::Join(..)
+                    | Expr::Distinct(..)
+                    | Expr::Union(..)
+                    | Expr::Count(..)
+                    | Expr::Fold(..)
+                    | Expr::GroupByKeyIntoNestedBag(..)
+                    | Expr::MapWithLiftedUdf { .. }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Visit every sub-expression (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => {}
+            Expr::Tuple(items) => items.iter().for_each(|e| e.visit(f)),
+            Expr::Proj(e, _) | Expr::Un(_, e) => e.visit(f),
+            Expr::Bin(_, a, b) | Expr::Join(a, b) | Expr::Union(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Let(_, v, b) => {
+                v.visit(f);
+                b.visit(f);
+            }
+            Expr::If(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Expr::Loop { init, cond, step, result } => {
+                init.iter().for_each(|(_, e)| e.visit(f));
+                cond.visit(f);
+                step.iter().for_each(|e| e.visit(f));
+                result.visit(f);
+            }
+            Expr::Map(e, l) | Expr::Filter(e, l) | Expr::FlatMapTuple(e, l) => {
+                e.visit(f);
+                l.body.visit(f);
+            }
+            Expr::GroupByKey(e)
+            | Expr::Distinct(e)
+            | Expr::Count(e)
+            | Expr::GroupByKeyIntoNestedBag(e) => e.visit(f),
+            Expr::ReduceByKey(e, l2) => {
+                e.visit(f);
+                l2.body.visit(f);
+            }
+            Expr::Fold(e, z, l2) => {
+                e.visit(f);
+                z.visit(f);
+                l2.body.visit(f);
+            }
+            Expr::MapWithLiftedUdf { input, udf, .. } => {
+                input.visit(f);
+                udf.body.visit(f);
+            }
+        }
+    }
+
+    /// Free variables of the expression (everything not bound by a `let`,
+    /// lambda parameter, or loop variable), excluding source names.
+    pub fn free_vars(&self) -> Vec<String> {
+        fn go(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
+            match e {
+                Expr::Var(n) => {
+                    if !bound.iter().any(|b| b == n) && !out.iter().any(|o| o == n) {
+                        out.push(n.clone());
+                    }
+                }
+                Expr::Const(_) | Expr::Source(_) => {}
+                Expr::Tuple(items) => items.iter().for_each(|x| go(x, bound, out)),
+                Expr::Proj(x, _) | Expr::Un(_, x) => go(x, bound, out),
+                Expr::Bin(_, a, b) | Expr::Join(a, b) | Expr::Union(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Expr::Let(n, v, b) => {
+                    go(v, bound, out);
+                    bound.push(n.clone());
+                    go(b, bound, out);
+                    bound.pop();
+                }
+                Expr::If(c, t, el) => {
+                    go(c, bound, out);
+                    go(t, bound, out);
+                    go(el, bound, out);
+                }
+                Expr::Loop { init, cond, step, result } => {
+                    for (_, x) in init {
+                        go(x, bound, out);
+                    }
+                    let n0 = bound.len();
+                    bound.extend(init.iter().map(|(n, _)| n.clone()));
+                    go(cond, bound, out);
+                    step.iter().for_each(|x| go(x, bound, out));
+                    go(result, bound, out);
+                    bound.truncate(n0);
+                }
+                Expr::Map(x, l) | Expr::Filter(x, l) | Expr::FlatMapTuple(x, l) => {
+                    go(x, bound, out);
+                    bound.push(l.param.clone());
+                    go(&l.body, bound, out);
+                    bound.pop();
+                }
+                Expr::GroupByKey(x)
+                | Expr::Distinct(x)
+                | Expr::Count(x)
+                | Expr::GroupByKeyIntoNestedBag(x) => go(x, bound, out),
+                Expr::ReduceByKey(x, l2) => {
+                    go(x, bound, out);
+                    bound.push(l2.a.clone());
+                    bound.push(l2.b.clone());
+                    go(&l2.body, bound, out);
+                    bound.pop();
+                    bound.pop();
+                }
+                Expr::Fold(x, z, l2) => {
+                    go(x, bound, out);
+                    go(z, bound, out);
+                    bound.push(l2.a.clone());
+                    bound.push(l2.b.clone());
+                    go(&l2.body, bound, out);
+                    bound.pop();
+                    bound.pop();
+                }
+                Expr::MapWithLiftedUdf { input, udf, .. } => {
+                    go(input, bound, out);
+                    bound.push(udf.param.clone());
+                    go(&udf.body, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_bag_ops_detects_nesting() {
+        let scalar_only = Expr::bin(BinOp::Add, Expr::long(1), Expr::var("x"));
+        assert!(!scalar_only.contains_bag_ops());
+        let with_bag = Expr::Count(Box::new(Expr::Source("xs".into())));
+        assert!(with_bag.contains_bag_ops());
+        let nested = Expr::let_("n", with_bag, Expr::var("n"));
+        assert!(nested.contains_bag_ops());
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // let a = x in a + b   -> free: x, b
+        let e = Expr::let_(
+            "a",
+            Expr::var("x"),
+            Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+        );
+        assert_eq!(e.free_vars(), vec!["x".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn lambda_params_are_bound() {
+        // xs.map(p => p + q): free = q (xs is a source, not a var)
+        let e = Expr::Map(
+            Box::new(Expr::Source("xs".into())),
+            Lambda::new("p", Expr::bin(BinOp::Add, Expr::var("p"), Expr::var("q"))),
+        );
+        assert_eq!(e.free_vars(), vec!["q".to_string()]);
+    }
+
+    #[test]
+    fn loop_vars_are_bound_in_body() {
+        let e = Expr::Loop {
+            init: vec![("i".into(), Expr::long(0))],
+            cond: Box::new(Expr::bin(BinOp::Lt, Expr::var("i"), Expr::var("limit"))),
+            step: vec![Expr::bin(BinOp::Add, Expr::var("i"), Expr::long(1))],
+            result: Box::new(Expr::var("i")),
+        };
+        assert_eq!(e.free_vars(), vec!["limit".to_string()]);
+    }
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let e = Expr::If(
+            Box::new(Expr::var("c")),
+            Box::new(Expr::long(1)),
+            Box::new(Expr::Tuple(vec![Expr::long(2), Expr::long(3)])),
+        );
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        assert_eq!(n, 6); // if, c, 1, tuple, 2, 3
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors of the parsing phase and the lowering interpreter.
+
+use std::fmt;
+
+/// Errors raised while flattening or executing a nested-parallel program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The program is ill-typed (e.g. a projection on a scalar).
+    Type(String),
+    /// An unbound variable or input name.
+    Unbound(String),
+    /// The program violates a precondition of the flattening procedure
+    /// (Theorem 1's assumptions: no bags inside other data structures, no
+    /// bag operations inside aggregation UDFs) or uses a feature the chosen
+    /// dialect rejects (DIQL-like dialects reject inner control flow).
+    Unsupported(String),
+    /// The underlying engine failed (simulated OOM, etc.).
+    Engine(matryoshka_engine::EngineError),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Type(m) => write!(f, "type error: {m}"),
+            IrError::Unbound(n) => write!(f, "unbound name: {n}"),
+            IrError::Unsupported(m) => write!(f, "unsupported program: {m}"),
+            IrError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<matryoshka_engine::EngineError> for IrError {
+    fn from(e: matryoshka_engine::EngineError) -> Self {
+        IrError::Engine(e)
+    }
+}
+
+/// Convenience alias.
+pub type IrResult<T> = Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: IrError = matryoshka_engine::EngineError::Unsupported("x".into()).into();
+        assert!(e.to_string().contains("engine error"));
+        assert!(IrError::Unbound("v".into()).to_string().contains('v'));
+    }
+}

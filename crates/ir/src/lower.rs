@@ -1,0 +1,956 @@
+//! The **lowering phase** (paper Sec. 4.1.2): executing the explicitly
+//! nested program produced by the parsing phase, resolving the nesting
+//! primitives to flat operations of the engine via `matryoshka-core` — with
+//! the runtime optimizer's physical choices (Sec. 8) applied by that crate.
+//!
+//! The interpreter runs in two modes. *Driver mode* evaluates ordinary
+//! expressions over engine bags. When it reaches a `MapWithLiftedUdf`, it
+//! evaluates the UDF body **once** in *lifted mode*, where every value is an
+//! `InnerScalar`/`InnerBag` and every operation is the lifted operation:
+//! scalars become tag-joined bags (Sec. 4.3), bags become tagged flat bags
+//! (Sec. 4.4), loops become the lifted do-while (Sec. 6.2), closures become
+//! tag joins or half-lifted cross products (Sec. 5, 8.3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use matryoshka_core::{
+    group_by_key_into_nested_bag, lifted_while, InnerBag, InnerScalar, LiftedData, LiftingContext,
+    MatryoshkaConfig, NestedBag,
+};
+use matryoshka_engine::{Bag, Engine, EngineError};
+
+use crate::ast::{BinOp, Expr, Lambda2, UnOp};
+use crate::error::{IrError, IrResult};
+use crate::value::Value;
+
+/// A runtime value in driver mode.
+#[derive(Clone)]
+pub enum RtVal {
+    /// A driver-side scalar.
+    Scalar(Value),
+    /// A flat distributed bag.
+    Bag(Bag<Value>),
+    /// A flattened nested bag.
+    Nested(NestedBag<Value, Value, Value>),
+}
+
+impl std::fmt::Debug for RtVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtVal::Scalar(v) => write!(f, "Scalar({v})"),
+            RtVal::Bag(_) => write!(f, "Bag(..)"),
+            RtVal::Nested(_) => write!(f, "Nested(..)"),
+        }
+    }
+}
+
+/// A runtime value in lifted mode.
+#[derive(Clone)]
+enum LVal {
+    Scalar(InnerScalar<Value, Value>),
+    Bag(InnerBag<Value, Value>),
+    /// The `(outer, inner)` parameter of a lifted UDF over a NestedBag.
+    Pair(Box<LVal>, Box<LVal>),
+    /// A closure from the driver environment, not yet lifted.
+    Driver(RtVal),
+}
+
+/// Executes parsed programs on an engine.
+pub struct Lowering {
+    engine: Engine,
+    config: MatryoshkaConfig,
+}
+
+type Env = HashMap<String, RtVal>;
+type LEnv = HashMap<String, LVal>;
+type PureEnv = HashMap<String, Value>;
+
+/// Evaluate a scalar-only expression over plain values (used inside engine
+/// UDF closures, where the parsing phase guarantees no bag operations
+/// remain). Loops and conditionals over scalars are allowed.
+pub fn eval_pure(e: &Expr, env: &PureEnv) -> IrResult<Value> {
+    Ok(match e {
+        Expr::Const(v) => v.clone(),
+        Expr::Var(n) => env.get(n).cloned().ok_or_else(|| IrError::Unbound(n.clone()))?,
+        Expr::Tuple(items) => {
+            Value::tuple(items.iter().map(|x| eval_pure(x, env)).collect::<IrResult<_>>()?)
+        }
+        Expr::Proj(x, i) => eval_pure(x, env)?.proj(*i)?,
+        Expr::Bin(op, a, b) => apply_bin(*op, &eval_pure(a, env)?, &eval_pure(b, env)?)?,
+        Expr::Un(op, a) => apply_un(*op, &eval_pure(a, env)?)?,
+        Expr::Let(n, v, b) => {
+            let mut env2 = env.clone();
+            env2.insert(n.clone(), eval_pure(v, env)?);
+            eval_pure(b, &env2)?
+        }
+        Expr::If(c, t, el) => {
+            if eval_pure(c, env)?.as_bool()? {
+                eval_pure(t, env)?
+            } else {
+                eval_pure(el, env)?
+            }
+        }
+        Expr::Loop { init, cond, step, result } => {
+            let mut env2 = env.clone();
+            let names: Vec<&String> = init.iter().map(|(n, _)| n).collect();
+            for (n, x) in init {
+                let v = eval_pure(x, &env2)?;
+                env2.insert(n.clone(), v);
+            }
+            while eval_pure(cond, &env2)?.as_bool()? {
+                let next: Vec<Value> =
+                    step.iter().map(|x| eval_pure(x, &env2)).collect::<IrResult<_>>()?;
+                for (n, v) in names.iter().zip(next) {
+                    env2.insert((*n).clone(), v);
+                }
+            }
+            eval_pure(result, &env2)?
+        }
+        other => {
+            return Err(IrError::Unsupported(format!(
+                "bag operation in a scalar-only context: {other:?}"
+            )))
+        }
+    })
+}
+
+/// Apply a binary scalar operator.
+pub fn apply_bin(op: BinOp, a: &Value, b: &Value) -> IrResult<Value> {
+    Ok(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => match (a, b) {
+            (Value::Long(x), Value::Long(y)) => Value::Long(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                _ => x * y,
+            }),
+            _ => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                Value::Double(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    _ => x * y,
+                })
+            }
+        },
+        BinOp::Div => Value::Double(a.as_f64()? / b.as_f64()?),
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Lt => Value::Bool(a.as_f64()? < b.as_f64()?),
+        BinOp::Gt => Value::Bool(a.as_f64()? > b.as_f64()?),
+        BinOp::And => Value::Bool(a.as_bool()? && b.as_bool()?),
+        BinOp::Or => Value::Bool(a.as_bool()? || b.as_bool()?),
+    })
+}
+
+/// Apply a unary scalar operator.
+pub fn apply_un(op: UnOp, a: &Value) -> IrResult<Value> {
+    Ok(match op {
+        UnOp::Not => Value::Bool(!a.as_bool()?),
+        UnOp::Neg => match a {
+            Value::Long(x) => Value::Long(-x),
+            _ => Value::Double(-a.as_f64()?),
+        },
+        UnOp::ToDouble => Value::Double(a.as_f64()?),
+    })
+}
+
+/// Split a bag of 2-tuples into engine `(key, value)` pairs.
+fn pairize(bag: &Bag<Value>) -> Bag<(Value, Value)> {
+    bag.map(|v| {
+        let k = v.proj(0).expect("pair-shaped record expected (parsing phase admits (k, v) bags)");
+        let w = v.proj(1).expect("pair-shaped record");
+        (k, w)
+    })
+}
+
+fn unpairize(bag: &Bag<(Value, Value)>) -> Bag<Value> {
+    bag.map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()]))
+}
+
+/// Capture a pure-closure environment: every free variable of `body` except
+/// `skip`, resolved from the lifted/driver environments to a plain value.
+/// Returns the lifted (InnerScalar) captures separately.
+fn split_captures(
+    body: &Expr,
+    skip: &[&str],
+    lenv: &LEnv,
+) -> IrResult<(PureEnv, Vec<(String, InnerScalar<Value, Value>)>)> {
+    let mut pure = PureEnv::new();
+    let mut lifted = Vec::new();
+    for name in body.free_vars() {
+        if skip.contains(&name.as_str()) {
+            continue;
+        }
+        match lenv.get(&name) {
+            Some(LVal::Scalar(s)) => lifted.push((name, s.clone())),
+            Some(LVal::Driver(RtVal::Scalar(v))) => {
+                pure.insert(name, v.clone());
+            }
+            Some(other) => {
+                let kind = match other {
+                    LVal::Bag(_) => "an inner bag",
+                    LVal::Pair(..) => "a nested value",
+                    LVal::Driver(_) => "a driver bag",
+                    LVal::Scalar(_) => unreachable!(),
+                };
+                return Err(IrError::Unsupported(format!(
+                    "UDF captures {kind} ({name}); only scalars can be captured by leaf UDFs"
+                )));
+            }
+            None => return Err(IrError::Unbound(name)),
+        }
+    }
+    Ok((pure, lifted))
+}
+
+/// Zip several lifted scalars into one whose values are tuples (so a single
+/// tag join delivers all closure values, like the paper's single
+/// `mapWithClosure` argument).
+fn combine_scalars(
+    scalars: &[(String, InnerScalar<Value, Value>)],
+) -> InnerScalar<Value, Value> {
+    let mut iter = scalars.iter();
+    let (_, first) = iter.next().expect("at least one lifted closure");
+    let mut combined = first.map(|v| Value::tuple(vec![v.clone()]));
+    for (_, s) in iter {
+        combined = combined.zip_with(s, |t, v| {
+            let mut items = match t {
+                Value::Tuple(xs) => xs.as_ref().clone(),
+                _ => unreachable!("combined closure is a tuple"),
+            };
+            items.push(v.clone());
+            Value::tuple(items)
+        });
+    }
+    combined
+}
+
+fn bind_combined(names: &[(String, InnerScalar<Value, Value>)], combined: &Value, env: &mut PureEnv) {
+    for (i, (name, _)) in names.iter().enumerate() {
+        env.insert(name.clone(), combined.proj(i).expect("combined closure arity"));
+    }
+}
+
+fn to_engine_err(e: IrError) -> EngineError {
+    match e {
+        IrError::Engine(e) => e,
+        other => EngineError::InvalidPlan(other.to_string()),
+    }
+}
+
+/// Loop state for lifted `Loop`s: a vector of lifted values.
+#[derive(Clone)]
+struct LState(Vec<LStateItem>);
+
+#[derive(Clone)]
+enum LStateItem {
+    S(InnerScalar<Value, Value>),
+    B(InnerBag<Value, Value>),
+}
+
+impl LiftedData<Value> for LState {
+    fn ctx(&self) -> &LiftingContext<Value> {
+        match self.0.first().expect("loop has at least one variable") {
+            LStateItem::S(s) => s.ctx(),
+            LStateItem::B(b) => b.ctx(),
+        }
+    }
+    fn filter_by_cond(
+        &self,
+        cond: &InnerScalar<Value, bool>,
+        keep: bool,
+        new_ctx: &LiftingContext<Value>,
+    ) -> Self {
+        LState(
+            self.0
+                .iter()
+                .map(|it| match it {
+                    LStateItem::S(s) => LStateItem::S(s.filter_by_cond(cond, keep, new_ctx)),
+                    LStateItem::B(b) => LStateItem::B(b.filter_by_cond(cond, keep, new_ctx)),
+                })
+                .collect(),
+        )
+    }
+    fn union_with(&self, other: &Self) -> Self {
+        LState(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| match (a, b) {
+                    (LStateItem::S(x), LStateItem::S(y)) => LStateItem::S(x.union_with(y)),
+                    (LStateItem::B(x), LStateItem::B(y)) => LStateItem::B(x.union_with(y)),
+                    _ => unreachable!("loop variable shapes are stable"),
+                })
+                .collect(),
+        )
+    }
+    fn with_ctx(&self, ctx: &LiftingContext<Value>) -> Self {
+        LState(
+            self.0
+                .iter()
+                .map(|it| match it {
+                    LStateItem::S(s) => LStateItem::S(LiftedData::with_ctx(s, ctx)),
+                    LStateItem::B(b) => LStateItem::B(LiftedData::with_ctx(b, ctx)),
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Lowering {
+    /// Create a lowering over `engine` with the given optimizer config.
+    pub fn new(engine: Engine, config: MatryoshkaConfig) -> Lowering {
+        Lowering { engine, config }
+    }
+
+    /// Execute a parsed program. `inputs` binds the program's `Source`
+    /// names to engine bags.
+    pub fn run(&self, program: &Expr, inputs: &HashMap<String, Bag<Value>>) -> IrResult<RtVal> {
+        self.eval(program, &Env::new(), inputs)
+    }
+
+    fn eval(&self, e: &Expr, env: &Env, inputs: &HashMap<String, Bag<Value>>) -> IrResult<RtVal> {
+        Ok(match e {
+            Expr::Const(v) => RtVal::Scalar(v.clone()),
+            Expr::Var(n) => env.get(n).cloned().ok_or_else(|| IrError::Unbound(n.clone()))?,
+            Expr::Source(n) => RtVal::Bag(
+                inputs.get(n).cloned().ok_or_else(|| IrError::Unbound(format!("source {n}")))?,
+            ),
+            Expr::Tuple(items) => {
+                let vals: Vec<Value> = items
+                    .iter()
+                    .map(|x| match self.eval(x, env, inputs)? {
+                        RtVal::Scalar(v) => Ok(v),
+                        _ => Err(IrError::Unsupported("bag inside tuple".into())),
+                    })
+                    .collect::<IrResult<_>>()?;
+                RtVal::Scalar(Value::tuple(vals))
+            }
+            Expr::Proj(x, i) => match self.eval(x, env, inputs)? {
+                RtVal::Scalar(v) => RtVal::Scalar(v.proj(*i)?),
+                _ => return Err(IrError::Type("projection on a bag".into())),
+            },
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.scalar(a, env, inputs)?, self.scalar(b, env, inputs)?);
+                RtVal::Scalar(apply_bin(*op, &a, &b)?)
+            }
+            Expr::Un(op, a) => RtVal::Scalar(apply_un(*op, &self.scalar(a, env, inputs)?)?),
+            Expr::Let(n, v, b) => {
+                let rv = self.eval(v, env, inputs)?;
+                let mut env2 = env.clone();
+                env2.insert(n.clone(), rv);
+                self.eval(b, &env2, inputs)?
+            }
+            Expr::If(c, t, el) => {
+                if self.scalar(c, env, inputs)?.as_bool()? {
+                    self.eval(t, env, inputs)?
+                } else {
+                    self.eval(el, env, inputs)?
+                }
+            }
+            Expr::Loop { init, cond, step, result } => {
+                let mut env2 = env.clone();
+                let names: Vec<&String> = init.iter().map(|(n, _)| n).collect();
+                for (n, x) in init {
+                    let v = self.eval(x, &env2, inputs)?;
+                    env2.insert(n.clone(), v);
+                }
+                while self.scalar(cond, &env2, inputs)?.as_bool()? {
+                    let next: Vec<RtVal> =
+                        step.iter().map(|x| self.eval(x, &env2, inputs)).collect::<IrResult<_>>()?;
+                    for (n, v) in names.iter().zip(next) {
+                        env2.insert((*n).clone(), v);
+                    }
+                }
+                self.eval(result, &env2, inputs)?
+            }
+            Expr::Map(input, udf) => {
+                let bag = self.bag(input, env, inputs)?;
+                let (pure, lifted) = driver_captures(&udf.body, &[&udf.param], env)?;
+                let _ = lifted;
+                let body = Arc::clone(&udf.body);
+                let param = udf.param.clone();
+                RtVal::Bag(bag.map(move |v| {
+                    let mut env = pure.clone();
+                    env.insert(param.clone(), v.clone());
+                    eval_pure(&body, &env).expect("scalar UDF evaluation (validated at parse)")
+                }))
+            }
+            Expr::Filter(input, udf) => {
+                let bag = self.bag(input, env, inputs)?;
+                let (pure, _) = driver_captures(&udf.body, &[&udf.param], env)?;
+                let body = Arc::clone(&udf.body);
+                let param = udf.param.clone();
+                RtVal::Bag(bag.filter(move |v| {
+                    let mut env = pure.clone();
+                    env.insert(param.clone(), v.clone());
+                    eval_pure(&body, &env)
+                        .and_then(|v| v.as_bool())
+                        .expect("boolean filter UDF (validated at parse)")
+                }))
+            }
+            Expr::FlatMapTuple(input, udf) => {
+                let bag = self.bag(input, env, inputs)?;
+                let (pure, _) = driver_captures(&udf.body, &[&udf.param], env)?;
+                let body = Arc::clone(&udf.body);
+                let param = udf.param.clone();
+                RtVal::Bag(bag.flat_map(move |v| {
+                    let mut env = pure.clone();
+                    env.insert(param.clone(), v.clone());
+                    match eval_pure(&body, &env).expect("scalar UDF") {
+                        Value::Tuple(items) => items.as_ref().clone(),
+                        other => vec![other],
+                    }
+                }))
+            }
+            Expr::GroupByKey(_) => {
+                return Err(IrError::Unsupported(
+                    "raw groupByKey cannot execute; run the parsing phase first \
+                     (it becomes groupByKeyIntoNestedBag)"
+                        .into(),
+                ))
+            }
+            Expr::GroupByKeyIntoNestedBag(x) => {
+                let bag = self.bag(x, env, inputs)?;
+                RtVal::Nested(group_by_key_into_nested_bag(
+                    &self.engine,
+                    &pairize(&bag),
+                    self.config.clone(),
+                )?)
+            }
+            Expr::ReduceByKey(x, l2) => {
+                let bag = self.bag(x, env, inputs)?;
+                RtVal::Bag(unpairize(&pairize(&bag).reduce_by_key(pure2(l2))))
+            }
+            Expr::Join(a, b) => {
+                let (a, b) = (self.bag(a, env, inputs)?, self.bag(b, env, inputs)?);
+                RtVal::Bag(pairize(&a).join(&pairize(&b)).map(|(k, (v, w))| {
+                    Value::tuple(vec![k.clone(), Value::tuple(vec![v.clone(), w.clone()])])
+                }))
+            }
+            Expr::Union(a, b) => {
+                RtVal::Bag(self.bag(a, env, inputs)?.union(&self.bag(b, env, inputs)?))
+            }
+            Expr::Distinct(x) => RtVal::Bag(self.bag(x, env, inputs)?.distinct()),
+            Expr::Count(x) => match self.eval(x, env, inputs)? {
+                RtVal::Bag(b) => RtVal::Scalar(Value::Long(b.count()? as i64)),
+                RtVal::Nested(nb) => RtVal::Scalar(Value::Long(nb.ctx().size() as i64)),
+                RtVal::Scalar(_) => return Err(IrError::Type("count of a scalar".into())),
+            },
+            Expr::Fold(x, zero, l2) => {
+                let bag = self.bag(x, env, inputs)?;
+                let z = self.scalar(zero, env, inputs)?;
+                let f = pure2(l2);
+                RtVal::Scalar(bag.fold(z, move |acc, v| f(&acc, v))?)
+            }
+            Expr::MapWithLiftedUdf { input, udf, closures } => {
+                self.eval_map_with_lifted_udf(input, udf, closures, env, inputs)?
+            }
+        })
+    }
+
+    fn scalar(&self, e: &Expr, env: &Env, inputs: &HashMap<String, Bag<Value>>) -> IrResult<Value> {
+        match self.eval(e, env, inputs)? {
+            RtVal::Scalar(v) => Ok(v),
+            _ => Err(IrError::Type("expected a scalar".into())),
+        }
+    }
+
+    fn bag(&self, e: &Expr, env: &Env, inputs: &HashMap<String, Bag<Value>>) -> IrResult<Bag<Value>> {
+        match self.eval(e, env, inputs)? {
+            RtVal::Bag(b) => Ok(b),
+            _ => Err(IrError::Type("expected a flat bag".into())),
+        }
+    }
+
+    /// `mapWithLiftedUDF`: invoke the UDF once, in lifted mode (Sec. 4.2).
+    fn eval_map_with_lifted_udf(
+        &self,
+        input: &Expr,
+        udf: &crate::ast::Lambda,
+        closures: &[String],
+        env: &Env,
+        inputs: &HashMap<String, Bag<Value>>,
+    ) -> IrResult<RtVal> {
+        let (ctx, param_val) = match self.eval(input, env, inputs)? {
+            RtVal::Nested(nb) => {
+                let ctx = nb.ctx().clone();
+                let pv = LVal::Pair(
+                    Box::new(LVal::Scalar(nb.outer().clone())),
+                    Box::new(LVal::Bag(nb.inner().clone())),
+                );
+                (ctx, pv)
+            }
+            RtVal::Bag(b) => {
+                // Non-nested input: tags via zipWithUniqueId (Sec. 4.3).
+                let tagged = b.zip_with_unique_id().map(|(v, id)| (Value::Long(*id as i64), v.clone()));
+                let tags = tagged.map(|(t, _)| t.clone());
+                let ctx =
+                    LiftingContext::counted(self.engine.clone(), tags, self.config.clone())?;
+                (ctx.clone(), LVal::Scalar(InnerScalar::from_repr(tagged, ctx)))
+            }
+            RtVal::Scalar(_) => return Err(IrError::Type("mapWithLiftedUDF over a scalar".into())),
+        };
+        let mut lenv = LEnv::new();
+        lenv.insert(udf.param.clone(), param_val);
+        for name in closures {
+            let v = env.get(name).cloned().ok_or_else(|| IrError::Unbound(name.clone()))?;
+            lenv.insert(name.clone(), LVal::Driver(v));
+        }
+        match self.eval_lifted(&udf.body, &lenv, &ctx, inputs)? {
+            // A scalar-valued UDF: the map's result is the bag of per-tag
+            // results.
+            LVal::Scalar(s) => Ok(RtVal::Bag(s.repr().map(|(_, v)| v.clone()))),
+            LVal::Pair(a, b) => {
+                let s = self.pair_to_scalar(LVal::Pair(a, b), &ctx)?;
+                Ok(RtVal::Bag(s.repr().map(|(_, v)| v.clone())))
+            }
+            // A bag-valued UDF: the result is nested again.
+            LVal::Bag(b) => Ok(RtVal::Nested(NestedBag::from_parts(ctx.tags_scalar(), b))),
+            LVal::Driver(_) => Err(IrError::Type("lifted UDF returned a driver value".into())),
+        }
+    }
+
+    fn pair_to_scalar(
+        &self,
+        v: LVal,
+        ctx: &LiftingContext<Value>,
+    ) -> IrResult<InnerScalar<Value, Value>> {
+        match v {
+            LVal::Scalar(s) => Ok(s),
+            LVal::Driver(RtVal::Scalar(x)) => Ok(ctx.constant(x)),
+            LVal::Pair(a, b) => {
+                let a = self.pair_to_scalar(*a, ctx)?;
+                let b = self.pair_to_scalar(*b, ctx)?;
+                Ok(a.zip_with(&b, |x, y| Value::tuple(vec![x.clone(), y.clone()])))
+            }
+            LVal::Bag(_) => Err(IrError::Type("an inner bag where a scalar is needed".into())),
+            LVal::Driver(_) => Err(IrError::Type("a driver bag where a scalar is needed".into())),
+        }
+    }
+
+    fn eval_lifted(
+        &self,
+        e: &Expr,
+        lenv: &LEnv,
+        ctx: &LiftingContext<Value>,
+        inputs: &HashMap<String, Bag<Value>>,
+    ) -> IrResult<LVal> {
+        Ok(match e {
+            // A literal inside a lifted UDF is the lifted-UDF closure case
+            // of Sec. 5.2: replicate per tag.
+            Expr::Const(v) => LVal::Scalar(ctx.constant(v.clone())),
+            Expr::Var(n) => {
+                let v = lenv.get(n).cloned().ok_or_else(|| IrError::Unbound(n.clone()))?;
+                match v {
+                    LVal::Driver(RtVal::Scalar(x)) => LVal::Scalar(ctx.constant(x)),
+                    other => other,
+                }
+            }
+            // A source read inside a lifted UDF is a driver-side bag
+            // closure (the hyperparameter-optimization shape of Sec. 2.3):
+            // consumed via half-lifted operations.
+            Expr::Source(n) => LVal::Driver(RtVal::Bag(
+                inputs.get(n).cloned().ok_or_else(|| IrError::Unbound(format!("source {n}")))?,
+            )),
+            Expr::Tuple(items) => {
+                let parts: Vec<InnerScalar<Value, Value>> = items
+                    .iter()
+                    .map(|x| {
+                        let v = self.eval_lifted(x, lenv, ctx, inputs)?;
+                        self.pair_to_scalar(v, ctx)
+                    })
+                    .collect::<IrResult<_>>()?;
+                let mut iter = parts.into_iter();
+                let first = iter
+                    .next()
+                    .ok_or_else(|| IrError::Type("empty tuple".into()))?
+                    .map(|v| Value::tuple(vec![v.clone()]));
+                let combined = iter.fold(first, |acc, s| {
+                    acc.zip_with(&s, |t, v| {
+                        let mut items = match t {
+                            Value::Tuple(xs) => xs.as_ref().clone(),
+                            _ => unreachable!(),
+                        };
+                        items.push(v.clone());
+                        Value::tuple(items)
+                    })
+                });
+                LVal::Scalar(combined)
+            }
+            Expr::Proj(x, i) => match self.eval_lifted(x, lenv, ctx, inputs)? {
+                LVal::Pair(a, b) => match i {
+                    0 => *a,
+                    1 => *b,
+                    _ => return Err(IrError::Type("nested pair has two components".into())),
+                },
+                LVal::Scalar(s) => {
+                    let i = *i;
+                    LVal::Scalar(s.map(move |v| v.proj(i).expect("lifted projection")))
+                }
+                _ => return Err(IrError::Type("projection on an inner bag".into())),
+            },
+            Expr::Bin(op, a, b) => {
+                // binaryScalarOp (Sec. 4.3): a tag join.
+                let a = self.lifted_scalar(a, lenv, ctx, inputs)?;
+                let b = self.lifted_scalar(b, lenv, ctx, inputs)?;
+                let op = *op;
+                LVal::Scalar(a.zip_with(&b, move |x, y| {
+                    apply_bin(op, x, y).expect("lifted scalar op")
+                }))
+            }
+            Expr::Un(op, a) => {
+                // unaryScalarOp (Sec. 4.3): a tagged map.
+                let a = self.lifted_scalar(a, lenv, ctx, inputs)?;
+                let op = *op;
+                LVal::Scalar(a.map(move |x| apply_un(op, x).expect("lifted scalar op")))
+            }
+            Expr::Let(n, v, b) => {
+                let rv = self.eval_lifted(v, lenv, ctx, inputs)?;
+                let mut lenv2 = lenv.clone();
+                lenv2.insert(n.clone(), rv);
+                self.eval_lifted(b, &lenv2, ctx, inputs)?
+            }
+            Expr::If(c, t, el) => {
+                // Lifted if over pure expressions: evaluate both branches
+                // for all tags and select per tag (Sec. 6.2; selection is
+                // equivalent to the join+filter routing because the language
+                // is side-effect free).
+                let c = self.lifted_scalar(c, lenv, ctx, inputs)?;
+                let t = self.lifted_scalar(t, lenv, ctx, inputs)?;
+                let el = self.lifted_scalar(el, lenv, ctx, inputs)?;
+                let picked = c
+                    .zip_with(&t, |c, t| Value::tuple(vec![c.clone(), t.clone()]))
+                    .zip_with(&el, |ct, e| {
+                        let c = ct.proj(0).expect("cond");
+                        if c.as_bool().expect("boolean condition") {
+                            ct.proj(1).expect("then")
+                        } else {
+                            e.clone()
+                        }
+                    });
+                LVal::Scalar(picked)
+            }
+            Expr::Loop { init, cond, step, result } => {
+                self.eval_lifted_loop(init, cond, step, result, lenv, ctx, inputs)?
+            }
+            Expr::Map(input, udf) => {
+                let inp = self.eval_lifted(input, lenv, ctx, inputs)?;
+                let (pure, lifted) = split_captures(&udf.body, &[&udf.param], lenv)?;
+                let body = Arc::clone(&udf.body);
+                let param = udf.param.clone();
+                match inp {
+                    LVal::Bag(b) if lifted.is_empty() => LVal::Bag(b.map(move |v| {
+                        let mut env = pure.clone();
+                        env.insert(param.clone(), v.clone());
+                        eval_pure(&body, &env).expect("lifted map UDF")
+                    })),
+                    // mapWithClosure (Sec. 5.1): the UDF reads lifted
+                    // scalars -> tag join.
+                    LVal::Bag(b) => {
+                        let combined = combine_scalars(&lifted);
+                        let names = lifted;
+                        LVal::Bag(b.map_with_scalar(&combined, move |v, c| {
+                            let mut env = pure.clone();
+                            bind_combined(&names, c, &mut env);
+                            env.insert(param.clone(), v.clone());
+                            eval_pure(&body, &env).expect("mapWithClosure UDF")
+                        }))
+                    }
+                    // Half-lifted mapWithClosure (Sec. 5.2/8.3): mapping a
+                    // *driver* bag with lifted closures is a cross product.
+                    LVal::Driver(RtVal::Bag(db)) if !lifted.is_empty() => {
+                        let combined = combine_scalars(&lifted);
+                        let names = lifted;
+                        LVal::Bag(combined.cross_with_bag(&db, move |_t, c, p| {
+                            let mut env = pure.clone();
+                            bind_combined(&names, c, &mut env);
+                            env.insert(param.clone(), p.clone());
+                            Some(eval_pure(&body, &env).expect("half-lifted UDF"))
+                        })?)
+                    }
+                    LVal::Driver(RtVal::Bag(db)) => {
+                        // No lifted state involved: stays a driver map.
+                        LVal::Driver(RtVal::Bag(db.map(move |v| {
+                            let mut env = pure.clone();
+                            env.insert(param.clone(), v.clone());
+                            eval_pure(&body, &env).expect("driver map UDF")
+                        })))
+                    }
+                    _ => return Err(IrError::Type("map over a non-bag".into())),
+                }
+            }
+            Expr::Filter(input, udf) => {
+                let b = self.lifted_bag(input, lenv, ctx, inputs)?;
+                let (pure, lifted) = split_captures(&udf.body, &[&udf.param], lenv)?;
+                let body = Arc::clone(&udf.body);
+                let param = udf.param.clone();
+                if lifted.is_empty() {
+                    LVal::Bag(b.filter(move |v| {
+                        let mut env = pure.clone();
+                        env.insert(param.clone(), v.clone());
+                        eval_pure(&body, &env).and_then(|v| v.as_bool()).expect("filter UDF")
+                    }))
+                } else {
+                    let combined = combine_scalars(&lifted);
+                    let names = lifted;
+                    LVal::Bag(b.filter_with_scalar(&combined, move |v, c| {
+                        let mut env = pure.clone();
+                        bind_combined(&names, c, &mut env);
+                        env.insert(param.clone(), v.clone());
+                        eval_pure(&body, &env).and_then(|v| v.as_bool()).expect("filter UDF")
+                    }))
+                }
+            }
+            Expr::FlatMapTuple(input, udf) => {
+                let b = self.lifted_bag(input, lenv, ctx, inputs)?;
+                let (pure, lifted) = split_captures(&udf.body, &[&udf.param], lenv)?;
+                if !lifted.is_empty() {
+                    return Err(IrError::Unsupported(
+                        "flatMap with lifted closures is not supported in the IR dialect".into(),
+                    ));
+                }
+                let body = Arc::clone(&udf.body);
+                let param = udf.param.clone();
+                LVal::Bag(b.flat_map(move |v| {
+                    let mut env = pure.clone();
+                    env.insert(param.clone(), v.clone());
+                    match eval_pure(&body, &env).expect("flatMap UDF") {
+                        Value::Tuple(items) => items.as_ref().clone(),
+                        other => vec![other],
+                    }
+                }))
+            }
+            Expr::ReduceByKey(input, l2) => {
+                // Lifted reduceByKey: composite (tag, key) re-keying
+                // (Sec. 4.4) via the typed layer.
+                let b = self.lifted_bag(input, lenv, ctx, inputs)?;
+                let f = pure2(l2);
+                let pairs = b.map(|v| {
+                    (v.proj(0).expect("(k,v) record"), v.proj(1).expect("(k,v) record"))
+                });
+                let reduced = pairs.reduce_by_key(move |a, b| f(a, b));
+                LVal::Bag(reduced.map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()])))
+            }
+            Expr::Join(a, b) => {
+                let left = self.eval_lifted(a, lenv, ctx, inputs)?;
+                let right = self.eval_lifted(b, lenv, ctx, inputs)?;
+                match (left, right) {
+                    (LVal::Bag(l), LVal::Bag(r)) => {
+                        let lp = l.map(|v| (v.proj(0).expect("pair"), v.proj(1).expect("pair")));
+                        let rp = r.map(|v| (v.proj(0).expect("pair"), v.proj(1).expect("pair")));
+                        LVal::Bag(lp.join(&rp).map(|(k, (v, w))| {
+                            Value::tuple(vec![k.clone(), Value::tuple(vec![v.clone(), w.clone()])])
+                        }))
+                    }
+                    // Half-lifted join (Sec. 5.2): InnerBag x driver bag.
+                    (LVal::Bag(l), LVal::Driver(RtVal::Bag(r))) => {
+                        let lp = l.map(|v| (v.proj(0).expect("pair"), v.proj(1).expect("pair")));
+                        LVal::Bag(lp.half_lifted_join(&pairize(&r)).map(|(k, (v, w))| {
+                            Value::tuple(vec![k.clone(), Value::tuple(vec![v.clone(), w.clone()])])
+                        }))
+                    }
+                    _ => {
+                        return Err(IrError::Unsupported(
+                            "lifted join requires inner bags (left) and inner or driver bags (right)"
+                                .into(),
+                        ))
+                    }
+                }
+            }
+            Expr::Union(a, b) => {
+                let a = self.lifted_bag(a, lenv, ctx, inputs)?;
+                let b = self.lifted_bag(b, lenv, ctx, inputs)?;
+                LVal::Bag(a.union(&b))
+            }
+            Expr::Distinct(x) => LVal::Bag(self.lifted_bag(x, lenv, ctx, inputs)?.distinct()),
+            Expr::Count(x) => match self.eval_lifted(x, lenv, ctx, inputs)? {
+                LVal::Bag(b) => {
+                    LVal::Scalar(InnerScalar::from_repr(
+                        b.count().repr().map(|(t, n)| (t.clone(), Value::Long(*n as i64))),
+                        b.ctx().clone(),
+                    ))
+                }
+                LVal::Driver(RtVal::Bag(db)) => {
+                    LVal::Scalar(ctx.constant(Value::Long(db.count()? as i64)))
+                }
+                _ => return Err(IrError::Type("count of a non-bag".into())),
+            },
+            Expr::Fold(x, zero, l2) => {
+                let b = self.lifted_bag(x, lenv, ctx, inputs)?;
+                let (pure, lifted) = split_captures(zero, &[], lenv)?;
+                if !lifted.is_empty() {
+                    return Err(IrError::Unsupported("fold zero must not be lifted".into()));
+                }
+                let z = eval_pure(zero, &pure)?;
+                let f = pure2(l2);
+                let g = pure2(l2);
+                let folded = b.fold(z, move |a, v| f(a, v), move |a, b| g(a, b));
+                LVal::Scalar(folded)
+            }
+            Expr::GroupByKey(_) | Expr::GroupByKeyIntoNestedBag(_) | Expr::MapWithLiftedUdf { .. } => {
+                return Err(IrError::Unsupported(
+                    "more than two levels of parallel operations in the IR dialect \
+                     (the typed API in matryoshka-core supports deeper nesting)"
+                        .into(),
+                ))
+            }
+        })
+    }
+
+    fn eval_lifted_loop(
+        &self,
+        init: &[(String, Expr)],
+        cond: &Expr,
+        step: &[Expr],
+        result: &Expr,
+        lenv: &LEnv,
+        ctx: &LiftingContext<Value>,
+        inputs: &HashMap<String, Bag<Value>>,
+    ) -> IrResult<LVal> {
+        // Evaluate initializers and gather the loop state (Sec. 6.2: loop
+        // variables become InnerScalars/InnerBags).
+        let mut lenv2 = lenv.clone();
+        let mut items = Vec::with_capacity(init.len());
+        for (n, x) in init {
+            let v = self.eval_lifted(x, &lenv2, ctx, inputs)?;
+            let item = match v {
+                LVal::Scalar(s) => LStateItem::S(s),
+                LVal::Bag(b) => LStateItem::B(b),
+                LVal::Driver(RtVal::Scalar(x)) => LStateItem::S(ctx.constant(x)),
+                _ => {
+                    return Err(IrError::Unsupported(
+                        "lifted loop variables must be scalars or inner bags".into(),
+                    ))
+                }
+            };
+            lenv2.insert(
+                n.clone(),
+                match &item {
+                    LStateItem::S(s) => LVal::Scalar(s.clone()),
+                    LStateItem::B(b) => LVal::Bag(b.clone()),
+                },
+            );
+            items.push(item);
+        }
+        let names: Vec<String> = init.iter().map(|(n, _)| n.clone()).collect();
+        let state0 = LState(items);
+        let this = self;
+        let final_state = lifted_while(
+            &state0,
+            |state: &LState| {
+                let mut env = lenv.clone();
+                for (n, item) in names.iter().zip(&state.0) {
+                    env.insert(
+                        n.clone(),
+                        match item {
+                            LStateItem::S(s) => LVal::Scalar(s.clone()),
+                            LStateItem::B(b) => LVal::Bag(b.clone()),
+                        },
+                    );
+                }
+                let mut next = Vec::with_capacity(step.len());
+                for x in step {
+                    let v = this.eval_lifted(x, &env, ctx, inputs).map_err(to_engine_err)?;
+                    next.push(match v {
+                        LVal::Scalar(s) => LStateItem::S(s),
+                        LVal::Bag(b) => LStateItem::B(b),
+                        _ => {
+                            return Err(to_engine_err(IrError::Unsupported(
+                                "lifted loop step must produce scalars or inner bags".into(),
+                            )))
+                        }
+                    });
+                }
+                // The condition is evaluated on the *new* variable values
+                // (do-while semantics, Listing 4).
+                let mut env2 = lenv.clone();
+                for (n, item) in names.iter().zip(&next) {
+                    env2.insert(
+                        n.clone(),
+                        match item {
+                            LStateItem::S(s) => LVal::Scalar(s.clone()),
+                            LStateItem::B(b) => LVal::Bag(b.clone()),
+                        },
+                    );
+                }
+                let c = this.lifted_scalar(cond, &env2, ctx, inputs).map_err(to_engine_err)?;
+                let cond_bool = InnerScalar::from_repr(
+                    c.repr().map(|(t, v)| (t.clone(), v.as_bool().expect("loop condition"))),
+                    c.ctx().clone(),
+                );
+                Ok((LState(next), cond_bool))
+            },
+            Some(10_000),
+        )?;
+        let mut env = lenv.clone();
+        for (n, item) in names.iter().zip(&final_state.0) {
+            env.insert(
+                n.clone(),
+                match item {
+                    LStateItem::S(s) => LVal::Scalar(s.clone()),
+                    LStateItem::B(b) => LVal::Bag(b.clone()),
+                },
+            );
+        }
+        self.eval_lifted(result, &env, ctx, inputs)
+    }
+
+    fn lifted_scalar(
+        &self,
+        e: &Expr,
+        lenv: &LEnv,
+        ctx: &LiftingContext<Value>,
+        inputs: &HashMap<String, Bag<Value>>,
+    ) -> IrResult<InnerScalar<Value, Value>> {
+        let v = self.eval_lifted(e, lenv, ctx, inputs)?;
+        self.pair_to_scalar(v, ctx)
+    }
+
+    fn lifted_bag(
+        &self,
+        e: &Expr,
+        lenv: &LEnv,
+        ctx: &LiftingContext<Value>,
+        inputs: &HashMap<String, Bag<Value>>,
+    ) -> IrResult<InnerBag<Value, Value>> {
+        match self.eval_lifted(e, lenv, ctx, inputs)? {
+            LVal::Bag(b) => Ok(b),
+            _ => Err(IrError::Type("expected an inner bag".into())),
+        }
+    }
+}
+
+/// Capture driver-mode UDF closures: free variables must be scalars.
+fn driver_captures(body: &Expr, skip: &[&str], env: &Env) -> IrResult<(PureEnv, ())> {
+    let mut pure = PureEnv::new();
+    for name in body.free_vars() {
+        if skip.contains(&name.as_str()) {
+            continue;
+        }
+        match env.get(&name) {
+            Some(RtVal::Scalar(v)) => {
+                pure.insert(name, v.clone());
+            }
+            Some(_) => {
+                return Err(IrError::Unsupported(format!(
+                    "UDF captures the bag {name}; nested bag use requires lifting \
+                     (run the parsing phase)"
+                )))
+            }
+            None => return Err(IrError::Unbound(name)),
+        }
+    }
+    Ok((pure, ()))
+}
+
+fn pure2(l2: &Lambda2) -> impl Fn(&Value, &Value) -> Value + Send + Sync + Clone + 'static {
+    let body = Arc::clone(&l2.body);
+    let (a, b) = (l2.a.clone(), l2.b.clone());
+    move |x: &Value, y: &Value| {
+        let mut env = PureEnv::new();
+        env.insert(a.clone(), x.clone());
+        env.insert(b.clone(), y.clone());
+        eval_pure(&body, &env).expect("scalar aggregation UDF (validated at parse)")
+    }
+}

@@ -1,0 +1,460 @@
+//! The **parsing phase** (paper Sec. 4.1.1): compile-time rewriting of a
+//! nested-parallel program into one whose nesting is explicit.
+//!
+//! Operating on the program as data (the paper uses Scala macros; here the
+//! AST is explicit), this phase:
+//!
+//! 1. runs a *shape analysis* distinguishing scalar-, bag- and nested-bag-
+//!    typed expressions;
+//! 2. rewrites `GroupByKey` into the `GroupByKeyIntoNestedBag` primitive
+//!    (the only flat-to-nested producer, Sec. 7 case 2);
+//! 3. rewrites every `Map` whose UDF contains bag operations — and every
+//!    `Map` over a nested bag — into `MapWithLiftedUdf` (Sec. 7 cases 1+3);
+//! 4. makes closures explicit: the free variables a lifted UDF captures are
+//!    recorded on the primitive (Sec. 5);
+//! 5. validates the completeness preconditions of Theorem 1 (no bags inside
+//!    tuples, no bag operations inside aggregation UDFs) and the dialect's
+//!    restrictions (a DIQL-like dialect rejects control flow inside lifted
+//!    UDFs, reproducing the limitation the paper evaluates in Sec. 9.4).
+//!
+//! Control flow needs no syntactic change here because the AST's `Loop` is
+//! already the higher-order functional form of Sec. 6.1; the lowering phase
+//! gives it lifted semantics inside lifted UDFs.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Lambda};
+use crate::error::{IrError, IrResult};
+
+/// Which flattening system's capabilities to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// Full Matryoshka: lifts control flow at inner nesting levels.
+    Matryoshka,
+    /// DIQL/MRQL-like: flattening, but no control flow inside lifted UDFs
+    /// (Sec. 9.1: "DIQL does not support control flow statements in the
+    /// inner levels").
+    DiqlLike,
+}
+
+/// Shapes assigned by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A scalar (non-bag) value, including tuples of scalars.
+    Scalar,
+    /// A flat bag.
+    Bag,
+    /// A nested bag (`Bag[(K, Bag[V])]`, conceptually).
+    Nested,
+}
+
+/// Infer the shape of `e` under `env` (variable shapes).
+pub fn shape_of(e: &Expr, env: &HashMap<String, Shape>) -> IrResult<Shape> {
+    Ok(match e {
+        Expr::Const(_) | Expr::Bin(..) | Expr::Un(..) | Expr::Count(_) | Expr::Fold(..) => Shape::Scalar,
+        Expr::Proj(inner, _) => {
+            // Projections apply to scalar tuples only.
+            match shape_of(inner, env)? {
+                Shape::Scalar => Shape::Scalar,
+                other => {
+                    return Err(IrError::Type(format!("projection on a {other:?}-shaped expression")))
+                }
+            }
+        }
+        Expr::Var(n) => *env
+            .get(n)
+            .ok_or_else(|| IrError::Unbound(n.clone()))?,
+        Expr::Tuple(items) => {
+            for it in items {
+                if shape_of(it, env)? != Shape::Scalar {
+                    // Theorem 1 precondition: bags do not appear inside
+                    // other data structures.
+                    return Err(IrError::Unsupported(
+                        "bags may not appear inside tuples (Sec. 7 precondition)".into(),
+                    ));
+                }
+            }
+            Shape::Scalar
+        }
+        Expr::Let(n, v, b) => {
+            let sv = shape_of(v, env)?;
+            let mut env2 = env.clone();
+            env2.insert(n.clone(), sv);
+            shape_of(b, &env2)?
+        }
+        Expr::If(_, t, e2) => {
+            let st = shape_of(t, env)?;
+            let se = shape_of(e2, env)?;
+            if st != se {
+                return Err(IrError::Type(format!("if branches have different shapes: {st:?} vs {se:?}")));
+            }
+            st
+        }
+        Expr::Loop { init, cond: _, step: _, result } => {
+            let mut env2 = env.clone();
+            for (n, x) in init {
+                let s = shape_of(x, &env2)?;
+                env2.insert(n.clone(), s);
+            }
+            shape_of(result, &env2)?
+        }
+        Expr::Source(_)
+        | Expr::Map(..)
+        | Expr::Filter(..)
+        | Expr::FlatMapTuple(..)
+        | Expr::ReduceByKey(..)
+        | Expr::Join(..)
+        | Expr::Distinct(..)
+        | Expr::Union(..)
+        | Expr::MapWithLiftedUdf { .. } => Shape::Bag,
+        Expr::GroupByKey(_) | Expr::GroupByKeyIntoNestedBag(_) => Shape::Nested,
+    })
+}
+
+/// Run the parsing phase: rewrite `program` into its explicitly-nested form.
+///
+/// `sources` names the input bags (everything else referenced free is an
+/// error). The result uses only constructs the lowering phase executes
+/// directly.
+pub fn parsing_phase(program: &Expr, sources: &[&str], dialect: Dialect) -> IrResult<Expr> {
+    let mut env: HashMap<String, Shape> = HashMap::new();
+    for s in sources {
+        env.insert(s.to_string(), Shape::Bag);
+    }
+    let rewritten = rewrite(program, &env, dialect, false)?;
+    // Final validation sweep.
+    validate(&rewritten, dialect)?;
+    Ok(rewritten)
+}
+
+fn rewrite(
+    e: &Expr,
+    env: &HashMap<String, Shape>,
+    dialect: Dialect,
+    inside_lifted: bool,
+) -> IrResult<Expr> {
+    Ok(match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => e.clone(),
+        Expr::Tuple(items) => Expr::Tuple(
+            items.iter().map(|x| rewrite(x, env, dialect, inside_lifted)).collect::<IrResult<_>>()?,
+        ),
+        Expr::Proj(x, i) => Expr::Proj(Box::new(rewrite(x, env, dialect, inside_lifted)?), *i),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(rewrite(a, env, dialect, inside_lifted)?),
+            Box::new(rewrite(b, env, dialect, inside_lifted)?),
+        ),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(rewrite(a, env, dialect, inside_lifted)?)),
+        Expr::Let(n, v, b) => {
+            let rv = rewrite(v, env, dialect, inside_lifted)?;
+            let sv = shape_of(&rv, env)?;
+            let mut env2 = env.clone();
+            env2.insert(n.clone(), sv);
+            Expr::Let(n.clone(), Box::new(rv), Box::new(rewrite(b, &env2, dialect, inside_lifted)?))
+        }
+        Expr::If(c, t, el) => Expr::If(
+            Box::new(rewrite(c, env, dialect, inside_lifted)?),
+            Box::new(rewrite(t, env, dialect, inside_lifted)?),
+            Box::new(rewrite(el, env, dialect, inside_lifted)?),
+        ),
+        Expr::Loop { init, cond, step, result } => {
+            if inside_lifted && dialect == Dialect::DiqlLike {
+                return Err(IrError::Unsupported(
+                    "DIQL-like flattening does not support control flow at inner nesting levels"
+                        .into(),
+                ));
+            }
+            let mut env2 = env.clone();
+            let mut new_init = Vec::with_capacity(init.len());
+            for (n, x) in init {
+                let rx = rewrite(x, &env2, dialect, inside_lifted)?;
+                let s = shape_of(&rx, &env2)?;
+                env2.insert(n.clone(), s);
+                new_init.push((n.clone(), rx));
+            }
+            Expr::Loop {
+                init: new_init,
+                cond: Box::new(rewrite(cond, &env2, dialect, inside_lifted)?),
+                step: step
+                    .iter()
+                    .map(|x| rewrite(x, &env2, dialect, inside_lifted))
+                    .collect::<IrResult<_>>()?,
+                result: Box::new(rewrite(result, &env2, dialect, inside_lifted)?),
+            }
+        }
+        // The nested-bag producer becomes the nesting primitive (Sec. 4.5).
+        Expr::GroupByKey(x) => Expr::GroupByKeyIntoNestedBag(Box::new(rewrite(
+            x,
+            env,
+            dialect,
+            inside_lifted,
+        )?)),
+        Expr::GroupByKeyIntoNestedBag(x) => Expr::GroupByKeyIntoNestedBag(Box::new(rewrite(
+            x,
+            env,
+            dialect,
+            inside_lifted,
+        )?)),
+        Expr::Map(input, udf) => {
+            let rin = rewrite(input, env, dialect, inside_lifted)?;
+            let in_shape = shape_of(&rin, env)?;
+            let needs_lift = udf.body.contains_bag_ops() || in_shape == Shape::Nested;
+            if needs_lift && !inside_lifted {
+                // Lift: rewrite the UDF body in lifted context, record the
+                // closures (free variables of the UDF, Sec. 5).
+                let mut env2 = env.clone();
+                env2.insert(udf.param.clone(), Shape::Scalar);
+                let body = rewrite(&udf.body, &env2, dialect, true)?;
+                let closures: Vec<String> = Lambda { param: udf.param.clone(), body: body.clone().into() }
+                    .body
+                    .free_vars()
+                    .into_iter()
+                    .filter(|n| n != &udf.param)
+                    .collect();
+                Expr::MapWithLiftedUdf {
+                    input: Box::new(rin),
+                    udf: Lambda { param: udf.param.clone(), body: body.into() },
+                    closures,
+                }
+            } else if needs_lift && inside_lifted {
+                return Err(IrError::Unsupported(
+                    "more than two levels of parallel operations in the IR dialect \
+                     (the typed API in matryoshka-core supports deeper nesting)"
+                        .into(),
+                ));
+            } else {
+                let mut env2 = env.clone();
+                env2.insert(udf.param.clone(), Shape::Scalar);
+                let body = rewrite(&udf.body, &env2, dialect, inside_lifted)?;
+                Expr::Map(Box::new(rin), Lambda { param: udf.param.clone(), body: body.into() })
+            }
+        }
+        Expr::Filter(input, udf) => {
+            check_scalar_udf("filter", udf)?;
+            Expr::Filter(
+                Box::new(rewrite(input, env, dialect, inside_lifted)?),
+                udf.clone(),
+            )
+        }
+        Expr::FlatMapTuple(input, udf) => {
+            check_scalar_udf("flatMap", udf)?;
+            Expr::FlatMapTuple(
+                Box::new(rewrite(input, env, dialect, inside_lifted)?),
+                udf.clone(),
+            )
+        }
+        Expr::ReduceByKey(input, l2) => {
+            if l2.body.contains_bag_ops() {
+                return Err(IrError::Unsupported(
+                    "bag operations inside aggregation UDFs (Sec. 7 precondition)".into(),
+                ));
+            }
+            Expr::ReduceByKey(Box::new(rewrite(input, env, dialect, inside_lifted)?), l2.clone())
+        }
+        Expr::Fold(input, zero, l2) => {
+            if l2.body.contains_bag_ops() || zero.contains_bag_ops() {
+                return Err(IrError::Unsupported(
+                    "bag operations inside aggregation UDFs (Sec. 7 precondition)".into(),
+                ));
+            }
+            Expr::Fold(
+                Box::new(rewrite(input, env, dialect, inside_lifted)?),
+                zero.clone(),
+                l2.clone(),
+            )
+        }
+        Expr::Join(a, b) => Expr::Join(
+            Box::new(rewrite(a, env, dialect, inside_lifted)?),
+            Box::new(rewrite(b, env, dialect, inside_lifted)?),
+        ),
+        Expr::Union(a, b) => Expr::Union(
+            Box::new(rewrite(a, env, dialect, inside_lifted)?),
+            Box::new(rewrite(b, env, dialect, inside_lifted)?),
+        ),
+        Expr::Distinct(x) => Expr::Distinct(Box::new(rewrite(x, env, dialect, inside_lifted)?)),
+        Expr::Count(x) => Expr::Count(Box::new(rewrite(x, env, dialect, inside_lifted)?)),
+        Expr::MapWithLiftedUdf { input, udf, closures } => Expr::MapWithLiftedUdf {
+            input: Box::new(rewrite(input, env, dialect, inside_lifted)?),
+            udf: udf.clone(),
+            closures: closures.clone(),
+        },
+    })
+}
+
+fn check_scalar_udf(op: &str, udf: &Lambda) -> IrResult<()> {
+    if udf.body.contains_bag_ops() {
+        return Err(IrError::Unsupported(format!(
+            "bag operations inside a {op} UDF are eliminated by splitting in the paper \
+             (Sec. 4.6); this IR requires them to be expressed as a map"
+        )));
+    }
+    Ok(())
+}
+
+fn validate(e: &Expr, dialect: Dialect) -> IrResult<()> {
+    let mut err: Option<IrError> = None;
+    e.visit(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        if let Expr::MapWithLiftedUdf { udf, .. } = node {
+            if dialect == Dialect::DiqlLike {
+                let mut has_loop = false;
+                udf.body.visit(&mut |n| {
+                    if matches!(n, Expr::Loop { .. }) {
+                        has_loop = true;
+                    }
+                });
+                if has_loop {
+                    err = Some(IrError::Unsupported(
+                        "DIQL-like flattening does not support control flow at inner nesting levels"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    /// The bounce-rate program of the paper's Listing 1 (per-day groups,
+    /// nested UDF with bag operations).
+    pub fn bounce_rate_program() -> Expr {
+        // visits: Bag[(day, ip)]
+        let group = Expr::proj(Expr::var("g"), 1); // inner bag
+        let counts = Expr::ReduceByKey(
+            Box::new(Expr::Map(
+                Box::new(group.clone()),
+                Lambda::new("ip", Expr::Tuple(vec![Expr::var("ip"), Expr::long(1)])),
+            )),
+            crate::ast::Lambda2::new("a", "b", Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b"))),
+        );
+        let bounces = Expr::Count(Box::new(Expr::Filter(
+            Box::new(counts),
+            Lambda::new("kv", Expr::bin(BinOp::Eq, Expr::proj(Expr::var("kv"), 1), Expr::long(1))),
+        )));
+        let total = Expr::Count(Box::new(Expr::Distinct(Box::new(group))));
+        let rate = Expr::bin(
+            BinOp::Div,
+            Expr::Un(crate::ast::UnOp::ToDouble, Box::new(bounces)),
+            Expr::Un(crate::ast::UnOp::ToDouble, Box::new(total)),
+        );
+        Expr::Map(
+            Box::new(Expr::GroupByKey(Box::new(Expr::Source("visits".into())))),
+            Lambda::new("g", Expr::Tuple(vec![Expr::proj(Expr::var("g"), 0), rate])),
+        )
+    }
+
+    #[test]
+    fn group_by_becomes_nested_bag_primitive_and_map_is_lifted() {
+        let parsed = parsing_phase(&bounce_rate_program(), &["visits"], Dialect::Matryoshka).unwrap();
+        match &parsed {
+            Expr::MapWithLiftedUdf { input, closures, .. } => {
+                assert!(matches!(**input, Expr::GroupByKeyIntoNestedBag(_)));
+                assert!(closures.is_empty(), "bounce rate has no closures");
+            }
+            other => panic!("expected MapWithLiftedUdf at top level, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_are_made_explicit() {
+        // let w = 2 in groupByKey(visits).map(g => w * count(g.1))
+        let prog = Expr::let_(
+            "w",
+            Expr::long(2),
+            Expr::Map(
+                Box::new(Expr::GroupByKey(Box::new(Expr::Source("visits".into())))),
+                Lambda::new(
+                    "g",
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::var("w"),
+                        Expr::Count(Box::new(Expr::proj(Expr::var("g"), 1))),
+                    ),
+                ),
+            ),
+        );
+        let parsed = parsing_phase(&prog, &["visits"], Dialect::Matryoshka).unwrap();
+        let mut found = false;
+        parsed.visit(&mut |n| {
+            if let Expr::MapWithLiftedUdf { closures, .. } = n {
+                assert_eq!(closures, &vec!["w".to_string()]);
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn diql_dialect_rejects_loops_inside_lifted_udfs() {
+        // groupByKey(xs).map(g => loop over count(g.1))
+        let prog = Expr::Map(
+            Box::new(Expr::GroupByKey(Box::new(Expr::Source("xs".into())))),
+            Lambda::new(
+                "g",
+                Expr::Loop {
+                    init: vec![("i".into(), Expr::Count(Box::new(Expr::proj(Expr::var("g"), 1))))],
+                    cond: Box::new(Expr::bin(BinOp::Gt, Expr::var("i"), Expr::long(0))),
+                    step: vec![Expr::bin(BinOp::Sub, Expr::var("i"), Expr::long(1))],
+                    result: Box::new(Expr::var("i")),
+                },
+            ),
+        );
+        assert!(parsing_phase(&prog, &["xs"], Dialect::Matryoshka).is_ok());
+        let err = parsing_phase(&prog, &["xs"], Dialect::DiqlLike).unwrap_err();
+        assert!(matches!(err, IrError::Unsupported(_)));
+    }
+
+    #[test]
+    fn aggregation_udfs_with_bag_ops_are_rejected() {
+        let prog = Expr::ReduceByKey(
+            Box::new(Expr::Source("xs".into())),
+            crate::ast::Lambda2::new("a", "b", Expr::Count(Box::new(Expr::Source("ys".into())))),
+        );
+        let err = parsing_phase(&prog, &["xs", "ys"], Dialect::Matryoshka).unwrap_err();
+        assert!(matches!(err, IrError::Unsupported(_)));
+    }
+
+    #[test]
+    fn tuples_of_bags_are_rejected() {
+        let prog = Expr::Tuple(vec![Expr::long(1), Expr::Source("xs".into())]);
+        // Shape analysis rejects on demand.
+        let mut env = HashMap::new();
+        env.insert("xs".to_string(), Shape::Bag);
+        assert!(matches!(shape_of(&prog, &env), Err(IrError::Unsupported(_))));
+    }
+
+    #[test]
+    fn plain_maps_stay_unlifted() {
+        let prog = Expr::Map(
+            Box::new(Expr::Source("xs".into())),
+            Lambda::new("x", Expr::bin(BinOp::Add, Expr::var("x"), Expr::long(1))),
+        );
+        let parsed = parsing_phase(&prog, &["xs"], Dialect::Matryoshka).unwrap();
+        assert!(matches!(parsed, Expr::Map(..)));
+    }
+
+    #[test]
+    fn three_level_nesting_in_ir_is_rejected_with_pointer_to_typed_api() {
+        // groupByKey(xs).map(g => groupByKey(g.1).map(h => count(h.1)) ...)
+        let inner_map = Expr::Map(
+            Box::new(Expr::GroupByKey(Box::new(Expr::proj(Expr::var("g"), 1)))),
+            Lambda::new("h", Expr::Count(Box::new(Expr::proj(Expr::var("h"), 1)))),
+        );
+        let prog = Expr::Map(
+            Box::new(Expr::GroupByKey(Box::new(Expr::Source("xs".into())))),
+            Lambda::new("g", Expr::Count(Box::new(inner_map))),
+        );
+        let err = parsing_phase(&prog, &["xs"], Dialect::Matryoshka).unwrap_err();
+        assert!(err.to_string().contains("typed API"));
+    }
+}

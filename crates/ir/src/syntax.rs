@@ -1,0 +1,668 @@
+//! A concrete text syntax for the nested-parallel language: tokenizer and
+//! recursive-descent parser producing [`crate::ast::Expr`].
+//!
+//! The paper embeds its language (Emma) in Scala; this front-end gives the
+//! Rust reproduction an equivalent surface so programs can be written as
+//! text, run through the parsing phase, and lowered — see the
+//! `two_phase_flattening` example. Grammar (expression-oriented):
+//!
+//! ```text
+//! expr    := "let" ident "=" expr "in" expr
+//!          | "if" expr "then" expr "else" expr
+//!          | "loop" "(" ident "=" expr {"," ident "=" expr} ")"
+//!            "while" expr "do" "(" expr {"," expr} ")" "yield" expr
+//!          | or
+//! or      := and { "||" and }
+//! and     := cmp { "&&" cmp }
+//! cmp     := add [ ("==" | "<" | ">") add ]
+//! add     := mul { ("+" | "-") mul }
+//! mul     := unary { ("*" | "/") unary }
+//! unary   := "-" unary | "!" unary | postfix
+//! postfix := primary { "." nat }                  -- tuple projection
+//! primary := nat | float | "true" | "false" | ident
+//!          | "(" expr { "," expr } ")"            -- parens / tuples
+//!          | builtin "(" args ")"
+//! builtin := source | map | filter | flatMap | groupByKey | reduceByKey
+//!          | join | distinct | union | count | fold | toDouble
+//! lambda  := ident "=>" expr
+//! lambda2 := "(" ident "," ident ")" "=>" expr
+//! ```
+//!
+//! `map(b, x => e)`, `filter(b, x => e)`, `flatMap(b, x => e)`,
+//! `reduceByKey(b, (a, c) => e)`, `fold(b, zero, (a, c) => e)`,
+//! `join(a, b)`, `union(a, b)`, `groupByKey(b)`, `distinct(b)`,
+//! `count(b)`, `source(name)`, `toDouble(e)`.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Lambda, Lambda2, UnOp};
+use crate::value::Value;
+
+/// A parse error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub at: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // Line comments: `//` to end of line.
+            if self.pos + 1 < self.src.len() && &self.src[self.pos..self.pos + 2] == b"//" {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let start = self.pos;
+            let c = self.src[self.pos];
+            let tok = if c.is_ascii_alphabetic() || c == b'_' {
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            } else if c.is_ascii_digit() {
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                if self.pos < self.src.len()
+                    && self.src[self.pos] == b'.'
+                    && self.pos + 1 < self.src.len()
+                    && self.src[self.pos + 1].is_ascii_digit()
+                {
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    Tok::Float(text.parse().map_err(|_| ParseError {
+                        at: start,
+                        message: format!("bad float literal {text}"),
+                    })?)
+                } else {
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    Tok::Int(text.parse().map_err(|_| ParseError {
+                        at: start,
+                        message: format!("bad integer literal {text}"),
+                    })?)
+                }
+            } else if c == b'"' {
+                self.pos += 1;
+                let s0 = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(ParseError { at: start, message: "unterminated string".into() });
+                }
+                let s = String::from_utf8_lossy(&self.src[s0..self.pos]).into_owned();
+                self.pos += 1;
+                Tok::Str(s)
+            } else {
+                // Multi-char symbols first.
+                let two = if self.pos + 1 < self.src.len() {
+                    &self.src[self.pos..self.pos + 2]
+                } else {
+                    &self.src[self.pos..self.pos + 1]
+                };
+                let sym: &'static str = match two {
+                    b"=>" => "=>",
+                    b"==" => "==",
+                    b"&&" => "&&",
+                    b"||" => "||",
+                    _ => match c {
+                        b'(' => "(",
+                        b')' => ")",
+                        b',' => ",",
+                        b'.' => ".",
+                        b'+' => "+",
+                        b'-' => "-",
+                        b'*' => "*",
+                        b'/' => "/",
+                        b'<' => "<",
+                        b'>' => ">",
+                        b'=' => "=",
+                        b'!' => "!",
+                        _ => {
+                            return Err(ParseError {
+                                at: start,
+                                message: format!("unexpected character {:?}", c as char),
+                            })
+                        }
+                    },
+                };
+                self.pos += sym.len();
+                Tok::Sym(sym)
+            };
+            out.push((start, tok));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or_else(|| {
+            self.toks.last().map(|(p, _)| *p + 1).unwrap_or(0)
+        })
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.at(), message: message.into() })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(x)) if *x == s => {
+                self.i += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(x)) if x == kw => {
+                self.i += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected keyword `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(x)) if x == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(x)) => Ok(x),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek_kw("let") {
+            self.eat_kw("let")?;
+            let name = self.ident()?;
+            self.eat_sym("=")?;
+            let value = self.expr()?;
+            self.eat_kw("in")?;
+            let body = self.expr()?;
+            return Ok(Expr::Let(name, Box::new(value), Box::new(body)));
+        }
+        if self.peek_kw("if") {
+            self.eat_kw("if")?;
+            let c = self.expr()?;
+            self.eat_kw("then")?;
+            let t = self.expr()?;
+            self.eat_kw("else")?;
+            let e = self.expr()?;
+            return Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        if self.peek_kw("loop") {
+            self.eat_kw("loop")?;
+            self.eat_sym("(")?;
+            let mut init = Vec::new();
+            loop {
+                let n = self.ident()?;
+                self.eat_sym("=")?;
+                let v = self.expr()?;
+                init.push((n, v));
+                if matches!(self.peek(), Some(Tok::Sym(","))) {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            self.eat_sym(")")?;
+            self.eat_kw("while")?;
+            let cond = self.expr()?;
+            self.eat_kw("do")?;
+            self.eat_sym("(")?;
+            let mut step = vec![self.expr()?];
+            while matches!(self.peek(), Some(Tok::Sym(","))) {
+                self.i += 1;
+                step.push(self.expr()?);
+            }
+            self.eat_sym(")")?;
+            self.eat_kw("yield")?;
+            let result = self.expr()?;
+            if step.len() != init.len() {
+                return self.err(format!(
+                    "loop has {} variables but {} step expressions",
+                    init.len(),
+                    step.len()
+                ));
+            }
+            return Ok(Expr::Loop { init, cond: Box::new(cond), step, result: Box::new(result) });
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Sym("||"))) {
+            self.i += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Some(Tok::Sym("&&"))) {
+            self.i += 1;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("==")) => Some(BinOp::Eq),
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.i += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => BinOp::Add,
+                Some(Tok::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => BinOp::Mul,
+                Some(Tok::Sym("/")) => BinOp::Div,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Sym("-")) => {
+                self.i += 1;
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Some(Tok::Sym("!")) => {
+                self.i += 1;
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while matches!(self.peek(), Some(Tok::Sym("."))) {
+            self.i += 1;
+            match self.bump() {
+                Some(Tok::Int(i)) if i >= 0 => e = Expr::Proj(Box::new(e), i as usize),
+                other => return self.err(format!("expected tuple index after `.`, found {other:?}")),
+            }
+        }
+        Ok(e)
+    }
+
+    fn lambda(&mut self) -> Result<Lambda, ParseError> {
+        let p = self.ident()?;
+        self.eat_sym("=>")?;
+        let body = self.expr()?;
+        Ok(Lambda::new(&p, body))
+    }
+
+    fn lambda2(&mut self) -> Result<Lambda2, ParseError> {
+        self.eat_sym("(")?;
+        let a = self.ident()?;
+        self.eat_sym(",")?;
+        let b = self.ident()?;
+        self.eat_sym(")")?;
+        self.eat_sym("=>")?;
+        let body = self.expr()?;
+        Ok(Lambda2::new(&a, &b, body))
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(i)) => {
+                self.i += 1;
+                Ok(Expr::Const(Value::Long(i)))
+            }
+            Some(Tok::Float(x)) => {
+                self.i += 1;
+                Ok(Expr::Const(Value::Double(x)))
+            }
+            Some(Tok::Str(s)) => {
+                self.i += 1;
+                Ok(Expr::Const(Value::str(&s)))
+            }
+            Some(Tok::Sym("(")) => {
+                self.i += 1;
+                let mut items = vec![self.expr()?];
+                while matches!(self.peek(), Some(Tok::Sym(","))) {
+                    self.i += 1;
+                    items.push(self.expr()?);
+                }
+                self.eat_sym(")")?;
+                if items.len() == 1 {
+                    Ok(items.pop().expect("one item"))
+                } else {
+                    Ok(Expr::Tuple(items))
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                // Builtins take call syntax; plain identifiers are variables.
+                let is_call = matches!(self.toks.get(self.i + 1), Some((_, Tok::Sym("("))));
+                if !is_call {
+                    match name.as_str() {
+                        "true" => {
+                            self.i += 1;
+                            return Ok(Expr::Const(Value::Bool(true)));
+                        }
+                        "false" => {
+                            self.i += 1;
+                            return Ok(Expr::Const(Value::Bool(false)));
+                        }
+                        _ => {
+                            self.i += 1;
+                            return Ok(Expr::var(&name));
+                        }
+                    }
+                }
+                self.i += 1; // name
+                self.eat_sym("(")?;
+                let e = match name.as_str() {
+                    "source" => {
+                        let n = self.ident()?;
+                        Expr::Source(n)
+                    }
+                    "toDouble" => Expr::Un(UnOp::ToDouble, Box::new(self.expr()?)),
+                    "map" | "filter" | "flatMap" => {
+                        let bag = self.expr()?;
+                        self.eat_sym(",")?;
+                        let l = self.lambda()?;
+                        match name.as_str() {
+                            "map" => Expr::Map(Box::new(bag), l),
+                            "filter" => Expr::Filter(Box::new(bag), l),
+                            _ => Expr::FlatMapTuple(Box::new(bag), l),
+                        }
+                    }
+                    "reduceByKey" => {
+                        let bag = self.expr()?;
+                        self.eat_sym(",")?;
+                        let l2 = self.lambda2()?;
+                        Expr::ReduceByKey(Box::new(bag), l2)
+                    }
+                    "fold" => {
+                        let bag = self.expr()?;
+                        self.eat_sym(",")?;
+                        let zero = self.expr()?;
+                        self.eat_sym(",")?;
+                        let l2 = self.lambda2()?;
+                        Expr::Fold(Box::new(bag), Box::new(zero), l2)
+                    }
+                    "join" | "union" => {
+                        let a = self.expr()?;
+                        self.eat_sym(",")?;
+                        let b = self.expr()?;
+                        if name == "join" {
+                            Expr::Join(Box::new(a), Box::new(b))
+                        } else {
+                            Expr::Union(Box::new(a), Box::new(b))
+                        }
+                    }
+                    "groupByKey" => Expr::GroupByKey(Box::new(self.expr()?)),
+                    "distinct" => Expr::Distinct(Box::new(self.expr()?)),
+                    "count" => Expr::Count(Box::new(self.expr()?)),
+                    other => return self.err(format!("unknown function `{other}`")),
+                };
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// Parse a program text into an AST.
+pub fn parse_program(src: &str) -> Result<Expr, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, i: 0 };
+    let e = p.expr()?;
+    if p.i != p.toks.len() {
+        return p.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_arithmetic_with_precedence() {
+        let e = parse_program("1 + 2 * 3").unwrap();
+        // 1 + (2 * 3)
+        match e {
+            Expr::Bin(BinOp::Add, _, rhs) => assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _))),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_program("1.5 / 2.0").is_ok());
+        assert!(parse_program("true && !false || 1 < 2").is_ok());
+    }
+
+    #[test]
+    fn parses_tuples_and_projections() {
+        let e = parse_program("(1, 2, 3).1").unwrap();
+        assert!(matches!(e, Expr::Proj(_, 1)));
+        // Single parens are grouping, not tuples.
+        assert!(matches!(parse_program("(1)").unwrap(), Expr::Const(_)));
+    }
+
+    #[test]
+    fn parses_let_and_if() {
+        let e = parse_program("let x = 2 in if x > 1 then x else 0").unwrap();
+        assert!(matches!(e, Expr::Let(..)));
+    }
+
+    #[test]
+    fn parses_loops() {
+        let e = parse_program(
+            "loop (i = 0, acc = 1) while i < 5 do (i + 1, acc * 2) yield acc",
+        )
+        .unwrap();
+        match e {
+            Expr::Loop { init, step, .. } => {
+                assert_eq!(init.len(), 2);
+                assert_eq!(step.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_arity_mismatch_is_an_error() {
+        let err = parse_program("loop (i = 0, j = 0) while i < 1 do (i + 1) yield i").unwrap_err();
+        assert!(err.message.contains("step"));
+    }
+
+    #[test]
+    fn parses_bag_operations() {
+        let e = parse_program(
+            "count(filter(map(source(xs), x => x + 1), y => y > 2))",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Count(_)));
+        assert!(parse_program("reduceByKey(source(xs), (a, b) => a + b)").is_ok());
+        assert!(parse_program("fold(source(xs), 0, (a, b) => a + b)").is_ok());
+        assert!(parse_program("join(source(xs), distinct(source(ys)))").is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_program("map(source(xs), )").unwrap_err();
+        assert!(err.at > 0);
+        let err2 = parse_program("1 +").unwrap_err();
+        assert!(err2.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let e = parse_program(
+            "// a comment\nlet x = 1 in // another\n x + 1",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Let(..)));
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let err = parse_program("frobnicate(1)").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_program("\"abc").is_err());
+    }
+
+    #[test]
+    fn full_bounce_rate_program_parses_and_flattens() {
+        let src = r#"
+            map(groupByKey(source(visits)), g =>
+              let group = g.1 in
+              let counts = reduceByKey(map(group, ip => (ip, 1)), (a, b) => a + b) in
+              let bounces = count(filter(counts, kv => kv.1 == 1)) in
+              let total = count(distinct(group)) in
+              (g.0, toDouble(bounces) / toDouble(total)))
+        "#;
+        let ast = parse_program(src).unwrap();
+        let parsed =
+            crate::parse::parsing_phase(&ast, &["visits"], crate::parse::Dialect::Matryoshka)
+                .unwrap();
+        assert!(matches!(parsed, Expr::MapWithLiftedUdf { .. }));
+    }
+
+    #[test]
+    fn parsed_program_executes_end_to_end() {
+        use std::collections::HashMap;
+        let src = "map(groupByKey(source(xs)), g => (g.0, count(g.1)))";
+        let ast = parse_program(src).unwrap();
+        let parsed =
+            crate::parse::parsing_phase(&ast, &["xs"], crate::parse::Dialect::Matryoshka).unwrap();
+        let e = matryoshka_engine::Engine::local();
+        let xs = e.parallelize(
+            vec![
+                Value::tuple(vec![Value::Long(1), Value::Long(0)]),
+                Value::tuple(vec![Value::Long(1), Value::Long(0)]),
+                Value::tuple(vec![Value::Long(2), Value::Long(0)]),
+            ],
+            2,
+        );
+        let lowering =
+            crate::lower::Lowering::new(e, matryoshka_core::MatryoshkaConfig::optimized());
+        let out = lowering.run(&parsed, &HashMap::from([("xs".to_string(), xs)])).unwrap();
+        let mut rows = match out {
+            crate::lower::RtVal::Bag(b) => b.collect().unwrap(),
+            other => panic!("{other:?}"),
+        };
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                Value::tuple(vec![Value::Long(1), Value::Long(2)]),
+                Value::tuple(vec![Value::Long(2), Value::Long(1)]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Dynamically typed data values for the nested-parallel language.
+//!
+//! The parsing phase manipulates *code as data* (paper Sec. 4.1.1); the
+//! lowering interpreter then needs a runtime datum that can flow through
+//! engine bags and be used as grouping keys and lifting tags — hence a
+//! dynamically typed `Value` with total equality and hashing (doubles
+//! compare by bit pattern).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{IrError, IrResult};
+
+/// A datum of the embedded language: scalars and tuples. Bags are *not*
+/// values (they are collections of values), mirroring the paper's assumption
+/// that bags do not nest inside other data structures (Sec. 7).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Long(i64),
+    /// A 64-bit float (equality and hashing by bit pattern).
+    Double(f64),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A tuple of values.
+    Tuple(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Convenience tuple constructor.
+    pub fn tuple(items: Vec<Value>) -> Value {
+        Value::Tuple(Arc::new(items))
+    }
+
+    /// Project a tuple component.
+    pub fn proj(&self, i: usize) -> IrResult<Value> {
+        match self {
+            Value::Tuple(items) => items
+                .get(i)
+                .cloned()
+                .ok_or_else(|| IrError::Type(format!("tuple index {i} out of bounds (len {})", items.len()))),
+            other => Err(IrError::Type(format!("projection .{i} on non-tuple {other}"))),
+        }
+    }
+
+    /// As a boolean, or a type error.
+    pub fn as_bool(&self) -> IrResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(IrError::Type(format!("expected Bool, got {other}"))),
+        }
+    }
+
+    /// As a long, or a type error.
+    pub fn as_long(&self) -> IrResult<i64> {
+        match self {
+            Value::Long(x) => Ok(*x),
+            other => Err(IrError::Type(format!("expected Long, got {other}"))),
+        }
+    }
+
+    /// Numeric view (longs widen to doubles).
+    pub fn as_f64(&self) -> IrResult<f64> {
+        match self {
+            Value::Long(x) => Ok(*x as f64),
+            Value::Double(x) => Ok(*x),
+            other => Err(IrError::Type(format!("expected number, got {other}"))),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Long(a), Value::Long(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Unit => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Long(x) => x.hash(state),
+            Value::Double(x) => x.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Tuple(items) => items.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Unit => 0,
+                Value::Bool(_) => 1,
+                Value::Long(_) => 2,
+                Value::Double(_) => 3,
+                Value::Str(_) => 4,
+                Value::Tuple(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Long(a), Value::Long(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Tuple(a), Value::Tuple(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)).then(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Long(x) => write!(f, "{x}"),
+            Value::Double(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_covers_doubles_by_bits() {
+        assert_eq!(Value::Double(1.5), Value::Double(1.5));
+        assert_ne!(Value::Double(0.0), Value::Double(-0.0));
+        assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
+    }
+
+    #[test]
+    fn hashing_is_consistent_with_equality() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::tuple(vec![Value::Long(1), Value::str("a")]));
+        assert!(set.contains(&Value::tuple(vec![Value::Long(1), Value::str("a")])));
+        assert!(!set.contains(&Value::tuple(vec![Value::Long(2), Value::str("a")])));
+    }
+
+    #[test]
+    fn projection_and_accessors() {
+        let t = Value::tuple(vec![Value::Long(7), Value::Bool(true)]);
+        assert_eq!(t.proj(0).unwrap(), Value::Long(7));
+        assert!(t.proj(5).is_err());
+        assert!(Value::Long(1).proj(0).is_err());
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert_eq!(Value::Long(3).as_f64().unwrap(), 3.0);
+        assert!(Value::str("x").as_long().is_err());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Long(2),
+            Value::Unit,
+            Value::Double(1.0),
+            Value::Long(1),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Unit);
+        assert_eq!(vs[1], Value::Long(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Value::tuple(vec![Value::Long(1), Value::str("x")]);
+        assert_eq!(t.to_string(), "(1, \"x\")");
+    }
+}

@@ -1,0 +1,327 @@
+//! Sequential reference implementations of the inner computations.
+//!
+//! These serve two purposes: they are the UDF bodies of the
+//! **outer-parallel** workaround (which processes each inner collection
+//! sequentially on one simulated core), and they are the test oracles every
+//! distributed strategy is checked against.
+//!
+//! Each function also reports how much work it did (in "element operations")
+//! so the simulator can price the sequential execution honestly via
+//! `Bag::map_with_work`.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use matryoshka_datagen::Point;
+
+/// Result of a sequential computation plus its work accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seq<T> {
+    /// The computed value.
+    pub value: T,
+    /// Element operations performed (drives the simulated cost).
+    pub work: u64,
+}
+
+/// Bounce rate of one group of visits: `#(visitors with exactly one visit) /
+/// #(distinct visitors)` (paper Sec. 2.1).
+pub fn bounce_rate(ips: &[u64]) -> Seq<f64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for ip in ips {
+        *counts.entry(*ip).or_insert(0) += 1;
+    }
+    let bounces = counts.values().filter(|&&c| c == 1).count() as f64;
+    let total = counts.len() as f64;
+    Seq { value: if total > 0.0 { bounces / total } else { 0.0 }, work: 3 * ips.len() as u64 }
+}
+
+/// Parameters shared by every PageRank implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankParams {
+    /// Damping factor (0.85 in the classic formulation).
+    pub damping: f64,
+    /// Convergence threshold on the max per-vertex rank change.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankParams {
+    fn default() -> Self {
+        PageRankParams { damping: 0.85, epsilon: 1e-4, max_iterations: 25 }
+    }
+}
+
+/// Sequential PageRank over one edge list. Dangling mass is redistributed
+/// uniformly, matching the distributed implementations exactly.
+pub fn pagerank(edges: &[(u64, u64)], params: &PageRankParams) -> Seq<Vec<(u64, f64)>> {
+    let mut vertices: Vec<u64> = edges.iter().flat_map(|&(s, d)| [s, d]).collect();
+    vertices.sort_unstable();
+    vertices.dedup();
+    let n = vertices.len();
+    if n == 0 {
+        return Seq { value: Vec::new(), work: 0 };
+    }
+    let index: HashMap<u64, usize> = vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut out_deg = vec![0u64; n];
+    for (s, _) in edges {
+        out_deg[index[s]] += 1;
+    }
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut work = 0u64;
+    for _ in 0..params.max_iterations {
+        let mut contrib = vec![0.0f64; n];
+        for (s, d) in edges {
+            let si = index[s];
+            contrib[index[d]] += ranks[si] / out_deg[si] as f64;
+        }
+        let dangling: f64 = (0..n).filter(|&i| out_deg[i] == 0).map(|i| ranks[i]).sum();
+        let base = (1.0 - params.damping) / n as f64 + params.damping * dangling / n as f64;
+        let mut delta: f64 = 0.0;
+        for i in 0..n {
+            let new = base + params.damping * contrib[i];
+            delta = delta.max((new - ranks[i]).abs());
+            ranks[i] = new;
+        }
+        work += edges.len() as u64 + n as u64;
+        if delta <= params.epsilon {
+            break;
+        }
+    }
+    Seq { value: vertices.into_iter().zip(ranks).collect(), work }
+}
+
+/// Parameters shared by every K-means implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansParams {
+    /// Convergence threshold on the max centroid shift.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for KmeansParams {
+    fn default() -> Self {
+        KmeansParams { epsilon: 1e-4, max_iterations: 20 }
+    }
+}
+
+/// Index of the centroid nearest to `p` (ties break to the lower index, so
+/// every implementation agrees).
+pub fn nearest_centroid(centroids: &[Point], p: &Point) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d: f64 = c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Lloyd's algorithm from one initial configuration. Returns the final
+/// centroids and the clustering cost (sum of squared distances).
+pub fn kmeans(points: &[Point], init: &[Point], params: &KmeansParams) -> Seq<(Vec<Point>, f64)> {
+    let k = init.len();
+    let dim = init.first().map(Vec::len).unwrap_or(0);
+    let mut centroids: Vec<Point> = init.to_vec();
+    let mut work = 0u64;
+    for _ in 0..params.max_iterations {
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0u64; k];
+        for p in points {
+            let c = nearest_centroid(&centroids, p);
+            for d in 0..dim {
+                sums[c][d] += p[d];
+            }
+            counts[c] += 1;
+        }
+        work += points.len() as u64 * k as u64;
+        let mut shift: f64 = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue; // empty cluster keeps its centroid
+            }
+            let new: Point = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            let d: f64 =
+                new.iter().zip(&centroids[c]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            shift = shift.max(d);
+            centroids[c] = new;
+        }
+        if shift <= params.epsilon {
+            break;
+        }
+    }
+    let cost: f64 = points
+        .iter()
+        .map(|p| {
+            let c = nearest_centroid(&centroids, p);
+            centroids[c].iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        })
+        .sum();
+    work += points.len() as u64 * k as u64;
+    Seq { value: (centroids, cost), work }
+}
+
+/// Average shortest-path distance over all ordered vertex pairs of one
+/// connected graph (BFS from every vertex), the inner computation of the
+/// Average Distances task (paper Sec. 2.2).
+pub fn avg_distances(edges: &[(u64, u64)]) -> Seq<f64> {
+    let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    let vertices: Vec<u64> = {
+        let mut vs: Vec<u64> = adj.keys().copied().collect();
+        vs.sort_unstable();
+        vs
+    };
+    let n = vertices.len() as u64;
+    if n <= 1 {
+        return Seq { value: 0.0, work: 0 };
+    }
+    let mut total = 0u64;
+    let mut work = 0u64;
+    for &src in &vertices {
+        let mut dist: HashMap<u64, u64> = HashMap::new();
+        dist.insert(src, 0);
+        let mut q = VecDeque::from([src]);
+        while let Some(x) = q.pop_front() {
+            let dx = dist[&x];
+            for y in adj.get(&x).into_iter().flatten() {
+                work += 1;
+                if !dist.contains_key(y) {
+                    dist.insert(*y, dx + 1);
+                    q.push_back(*y);
+                }
+            }
+        }
+        total += dist.values().sum::<u64>();
+    }
+    Seq { value: total as f64 / (n * (n - 1)) as f64, work }
+}
+
+/// Connected components by sequential flood fill: returns `(vertex,
+/// component_label)` with the label being the smallest vertex id of the
+/// component (matching the distributed label-propagation result).
+pub fn connected_components(edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    let mut vertices: Vec<u64> = adj.keys().copied().collect();
+    vertices.sort_unstable();
+    let mut label: HashMap<u64, u64> = HashMap::new();
+    for &v in &vertices {
+        if label.contains_key(&v) {
+            continue;
+        }
+        // v is the smallest unvisited id, hence its component's label.
+        let mut stack = vec![v];
+        let mut seen: HashSet<u64> = HashSet::new();
+        while let Some(x) = stack.pop() {
+            if seen.insert(x) {
+                label.insert(x, v);
+                for y in adj.get(&x).into_iter().flatten() {
+                    if !seen.contains(y) {
+                        stack.push(*y);
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(u64, u64)> = label.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounce_rate_counts_single_visitors() {
+        // 10 visits once, 11 twice, 12 once: 2 of 3 visitors bounced.
+        let r = bounce_rate(&[10, 11, 12, 11]);
+        assert!((r.value - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(bounce_rate(&[]).value, 0.0);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hub_higher() {
+        // Star: everyone links to 0.
+        let edges = vec![(1, 0), (2, 0), (3, 0), (0, 1)];
+        let r = pagerank(&edges, &PageRankParams::default());
+        let total: f64 = r.value.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "ranks must sum to 1, got {total}");
+        let rank = |v: u64| r.value.iter().find(|(x, _)| *x == v).unwrap().1;
+        assert!(rank(0) > rank(2));
+        assert!(r.work > 0);
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_vertices() {
+        // 1 -> 0, 0 dangles: mass must not leak.
+        let r = pagerank(&[(1, 0)], &PageRankParams::default());
+        let total: f64 = r.value.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        let r = pagerank(&[], &PageRankParams::default());
+        assert!(r.value.is_empty());
+    }
+
+    #[test]
+    fn kmeans_separates_two_obvious_blobs() {
+        let mut pts: Vec<Point> = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![0.0 + (i % 5) as f64 * 0.001, 0.0]);
+            pts.push(vec![10.0 + (i % 5) as f64 * 0.001, 10.0]);
+        }
+        let init = vec![vec![1.0, 1.0], vec![9.0, 9.0]];
+        let r = kmeans(&pts, &init, &KmeansParams::default());
+        let (cs, cost) = r.value;
+        assert!(cs[0][0] < 1.0 && cs[1][0] > 9.0);
+        assert!(cost < 1.0);
+    }
+
+    #[test]
+    fn kmeans_keeps_empty_cluster_centroid() {
+        let pts = vec![vec![0.0], vec![0.1]];
+        let init = vec![vec![0.05], vec![100.0]]; // second cluster never wins
+        let r = kmeans(&pts, &init, &KmeansParams::default());
+        assert_eq!(r.value.0[1], vec![100.0]);
+    }
+
+    #[test]
+    fn nearest_centroid_breaks_ties_low() {
+        let cs = vec![vec![1.0], vec![1.0]];
+        assert_eq!(nearest_centroid(&cs, &vec![1.0]), 0);
+    }
+
+    #[test]
+    fn avg_distances_path_graph() {
+        // Path 0-1-2: distances (0,1)=1 (0,2)=2 (1,2)=1 both directions:
+        // sum = 8 over 6 ordered pairs.
+        let r = avg_distances(&[(0, 1), (1, 2)]);
+        assert!((r.value - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_distances_trivial_graphs() {
+        assert_eq!(avg_distances(&[]).value, 0.0);
+        assert_eq!(avg_distances(&[(5, 5)]).value, 0.0);
+    }
+
+    #[test]
+    fn connected_components_labels_by_min_vertex() {
+        let edges = vec![(1, 2), (2, 3), (10, 11)];
+        let cc = connected_components(&edges);
+        assert_eq!(cc, vec![(1, 1), (2, 1), (3, 1), (10, 10), (11, 10)]);
+    }
+}

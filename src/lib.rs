@@ -1,0 +1,22 @@
+//! # matryoshka
+//!
+//! Umbrella crate for the Matryoshka reproduction — *"The Power of Nested
+//! Parallelism in Big Data Processing — Hitting Three Flies with One Slap"*
+//! (SIGMOD 2021) — re-exporting the workspace members:
+//!
+//! - [`engine`]: the flat-parallel dataflow engine with a simulated-cluster
+//!   cost model (the Spark stand-in).
+//! - [`core`]: the nesting primitives, lifted operations, lifted control
+//!   flow and runtime optimizer (the lowering phase).
+//! - [`ir`]: the nested-parallel language and the parsing phase.
+//! - [`tasks`]: the paper's evaluation workloads in every strategy.
+//! - [`datagen`]: deterministic dataset generators.
+//!
+//! See the repository README for a tour and `examples/` for runnable
+//! programs.
+
+pub use matryoshka_core as core;
+pub use matryoshka_datagen as datagen;
+pub use matryoshka_engine as engine;
+pub use matryoshka_ir as ir;
+pub use matryoshka_tasks as tasks;

@@ -1,0 +1,245 @@
+//! Property-based tests of the flattening's correctness invariants
+//! (paper Sec. 7): for arbitrary nested data, the lifted operations must
+//! preserve the semantics of the original per-group operations — the
+//! isomorphism `m(op(x)) = op'(m(x))` checked on randomly generated inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use matryoshka::core::{
+    group_by_key_into_nested_bag, lifted_while, InnerScalar, LiftingContext, MatryoshkaConfig,
+};
+use matryoshka::engine::{ClusterConfig, Engine};
+use matryoshka::tasks::bounce_rate;
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::local_test())
+}
+
+/// Arbitrary tagged records: small key space so groups collide, values in a
+/// small range so aggregations are interesting.
+fn tagged_records() -> impl Strategy<Value = Vec<(u32, i64)>> {
+    proptest::collection::vec(((0u32..8), (-20i64..20)), 0..120)
+}
+
+/// Per-group sequential oracle for a map/filter/aggregate pipeline.
+fn oracle_pipeline(records: &[(u32, i64)]) -> Vec<(u32, (i64, u64))> {
+    let mut groups: HashMap<u32, Vec<i64>> = HashMap::new();
+    for &(k, v) in records {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut out: Vec<(u32, (i64, u64))> = groups
+        .into_iter()
+        .map(|(k, vs)| {
+            let mapped: Vec<i64> = vs.iter().map(|v| v * 3 + 1).filter(|v| v % 2 != 0).collect();
+            let sum: i64 = mapped.iter().sum();
+            (k, (sum, mapped.len() as u64))
+        })
+        .collect();
+    out.sort_by_key(|(k, _)| *k);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// m(op(x)) = op'(m(x)) for a map+filter+fold+count pipeline over
+    /// arbitrary nested data.
+    #[test]
+    fn lifted_pipeline_matches_per_group_oracle(records in tagged_records()) {
+        let expect = oracle_pipeline(&records);
+        let e = engine();
+        let bag = e.parallelize(records.clone(), 5);
+        let nested = group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
+        let result = nested.map_with_lifted_udf(|_k, group| {
+            let mapped = group.map(|v| v * 3 + 1).filter(|v| v % 2 != 0);
+            let sum = mapped.fold(0i64, |a, v| a + v, |a, b| a + b);
+            let count = mapped.count();
+            sum.zip_with(&count, |s, c| (*s, *c))
+        });
+        let mut got = result.collect().unwrap();
+        got.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Lifted distinct+count equals per-group set cardinality.
+    #[test]
+    fn lifted_distinct_count_matches(records in tagged_records()) {
+        let mut expect: Vec<(u32, u64)> = {
+            let mut m: HashMap<u32, std::collections::HashSet<i64>> = HashMap::new();
+            for &(k, v) in &records {
+                m.entry(k).or_default().insert(v);
+            }
+            m.into_iter().map(|(k, s)| (k, s.len() as u64)).collect()
+        };
+        expect.sort_by_key(|(k, _)| *k);
+        let e = engine();
+        let bag = e.parallelize(records.clone(), 4);
+        let nested = group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
+        let mut got = nested
+            .map_with_lifted_udf(|_k, group| group.distinct().count())
+            .collect()
+            .unwrap();
+        got.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Lifted reduce_by_key never merges across tags, for arbitrary data.
+    #[test]
+    fn lifted_reduce_by_key_respects_tags(records in proptest::collection::vec(((0u32..5), (0u32..4), (1i64..10)), 0..100)) {
+        let mut expect: HashMap<(u32, u32), i64> = HashMap::new();
+        for &(t, k, v) in &records {
+            *expect.entry((t, k)).or_insert(0) += v;
+        }
+        let e = engine();
+        let pairs: Vec<(u32, (u32, i64))> = records.iter().map(|&(t, k, v)| (t, (k, v))).collect();
+        let bag = e.parallelize(pairs, 4);
+        let nested = group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
+        let got = nested
+            .map_with_lifted_udf(|_t, group| group.reduce_by_key(|a, b| a + b))
+            .collect()
+            .unwrap();
+        prop_assert_eq!(got.len(), expect.len());
+        for (t, (k, v)) in got {
+            prop_assert_eq!(expect.get(&(t, k)), Some(&v), "tag {} key {}", t, k);
+        }
+    }
+
+    /// The lifted do-while retires every tag after exactly its own number
+    /// of iterations, for arbitrary per-tag iteration counts (Listing 4's
+    /// P1-P3 as a property).
+    #[test]
+    fn lifted_while_matches_per_tag_loops(counts in proptest::collection::vec(0i64..12, 1..24)) {
+        let e = engine();
+        let tags: Vec<u64> = (0..counts.len() as u64).collect();
+        let ctx = LiftingContext::new(
+            e.clone(),
+            e.parallelize(tags.clone(), 3),
+            tags.len() as u64,
+            MatryoshkaConfig::optimized(),
+        );
+        let init = InnerScalar::from_repr(
+            e.parallelize(tags.iter().map(|&t| (t, (counts[t as usize], 0i64))).collect(), 3),
+            ctx,
+        );
+        let out = lifted_while(
+            &init,
+            |s: &InnerScalar<u64, (i64, i64)>| {
+                let next = s.map(|(n, steps)| (n - 1, steps + 1));
+                let cond = next.map(|(n, _)| *n > 0);
+                Ok((next, cond))
+            },
+            None,
+        )
+        .unwrap();
+        let mut got = out.collect().unwrap();
+        got.sort_by_key(|(t, _)| *t);
+        for (t, (_, steps)) in got {
+            // A do-while runs at least once.
+            let expect = counts[t as usize].max(1);
+            prop_assert_eq!(steps, expect, "tag {}", t);
+        }
+    }
+
+    /// Matryoshka bounce rate equals the sequential oracle for arbitrary
+    /// visit logs (the end-to-end isomorphism on the paper's Listing 1).
+    #[test]
+    fn bounce_rate_is_correct_on_arbitrary_logs(
+        visits in proptest::collection::vec(((0u32..6), (0u64..30)), 1..150)
+    ) {
+        let e = engine();
+        let oracle = bounce_rate::reference(&visits);
+        let bag = e.parallelize(visits.clone(), 4);
+        let got = bounce_rate::matryoshka(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
+        prop_assert_eq!(got.len(), oracle.len());
+        for ((d1, r1), (d2, r2)) in got.iter().zip(&oracle) {
+            prop_assert_eq!(d1, d2);
+            prop_assert!((r1 - r2).abs() < 1e-12);
+        }
+    }
+
+    /// collect_nested is the inverse isomorphism m^-1: grouping then
+    /// reconstructing yields exactly the driver-side grouping.
+    #[test]
+    fn nested_bag_roundtrip(records in tagged_records()) {
+        let e = engine();
+        let bag = e.parallelize(records.clone(), 4);
+        let nested = group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
+        let mut got = nested.collect_nested().unwrap();
+        got.iter_mut().for_each(|(_, vs)| vs.sort());
+        got.sort_by_key(|(k, _)| *k);
+        let mut expect: HashMap<u32, Vec<i64>> = HashMap::new();
+        for &(k, v) in &records {
+            expect.entry(k).or_default().push(v);
+        }
+        let mut expect: Vec<(u32, Vec<i64>)> = expect
+            .into_iter()
+            .map(|(k, mut vs)| {
+                vs.sort();
+                (k, vs)
+            })
+            .collect();
+        expect.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The IR's pure evaluator agrees with the lifted scalar pipeline: a
+    /// random arithmetic expression over a per-group count computes the
+    /// same value lifted as it does sequentially.
+    #[test]
+    fn ir_lifted_scalars_match_pure_evaluation(
+        records in proptest::collection::vec(((0i64..4), (0i64..5)), 1..40),
+        mul in 1i64..5,
+        add in -5i64..5,
+    ) {
+        use matryoshka::ir::ast::{BinOp, Expr, Lambda};
+        use matryoshka::ir::{parsing_phase, Dialect, Lowering, RtVal, Value};
+
+        let program = Expr::Map(
+            Box::new(Expr::GroupByKey(Box::new(Expr::Source("xs".into())))),
+            Lambda::new(
+                "g",
+                Expr::Tuple(vec![
+                    Expr::proj(Expr::var("g"), 0),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::Count(Box::new(Expr::proj(Expr::var("g"), 1))),
+                            Expr::long(mul),
+                        ),
+                        Expr::long(add),
+                    ),
+                ]),
+            ),
+        );
+        let parsed = parsing_phase(&program, &["xs"], Dialect::Matryoshka).unwrap();
+        let e = engine();
+        let xs = e.parallelize(
+            records.iter().map(|&(k, v)| Value::tuple(vec![Value::Long(k), Value::Long(v)])).collect(),
+            3,
+        );
+        let lowering = Lowering::new(e.clone(), MatryoshkaConfig::optimized());
+        let out = lowering.run(&parsed, &HashMap::from([("xs".to_string(), xs)])).unwrap();
+        let mut got = match out {
+            RtVal::Bag(b) => b.collect().unwrap(),
+            other => panic!("expected bag, got {other:?}"),
+        };
+        got.sort();
+        let mut expect: HashMap<i64, i64> = HashMap::new();
+        for &(k, _) in &records {
+            *expect.entry(k).or_insert(0) += 1;
+        }
+        let mut expect: Vec<Value> = expect
+            .into_iter()
+            .map(|(k, n)| Value::tuple(vec![Value::Long(k), Value::Long(n * mul + add)]))
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+}
