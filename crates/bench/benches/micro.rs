@@ -1,9 +1,13 @@
-//! Criterion microbenchmarks of the engine's *real* (wall-clock)
-//! performance: core operators, lifted operators vs. hand-flattened
-//! equivalents, and lifted-loop overhead. These complement the simulated
-//! figures: the simulator's numbers are modeled, these are measured.
+//! Microbenchmarks of the engine's *real* (wall-clock) performance: core
+//! operators, lifted operators vs. hand-flattened equivalents, and
+//! lifted-loop overhead. These complement the simulated figures: the
+//! simulator's numbers are modeled, these are measured.
+//!
+//! Uses a small built-in timing harness (median of repeated runs) so the
+//! benches need no external framework. Run with
+//! `cargo bench -p matryoshka-bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use matryoshka_core::{group_by_key_into_nested_bag, MatryoshkaConfig};
 use matryoshka_engine::{ClusterConfig, Engine};
@@ -12,123 +16,117 @@ fn engine() -> Engine {
     Engine::new(ClusterConfig::local_test())
 }
 
-fn bench_engine_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_ops");
+/// Time `f` a few times and report the median wall-clock duration.
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    const WARMUP: usize = 1;
+    const RUNS: usize = 5;
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[RUNS / 2];
+    let min = times[0];
+    println!("{group:<28} {name:<28} median {:>9.3} ms   min {:>9.3} ms", median * 1e3, min * 1e3);
+}
+
+fn bench_engine_ops() {
     for &n in &[10_000u64, 100_000] {
-        g.bench_with_input(BenchmarkId::new("reduce_by_key", n), &n, |b, &n| {
-            b.iter(|| {
-                let e = engine();
-                let bag = e.generate(n, 8, |i| (i % 997, 1u64));
-                bag.reduce_by_key(|a, b| a + b).count().unwrap()
-            })
+        bench("engine_ops", &format!("reduce_by_key/{n}"), || {
+            let e = engine();
+            let bag = e.generate(n, 8, |i| (i % 997, 1u64));
+            bag.reduce_by_key(|a, b| a + b).count().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("join", n), &n, |b, &n| {
-            b.iter(|| {
-                let e = engine();
-                let l = e.generate(n, 8, |i| (i % 997, i));
-                let r = e.generate(n / 10, 4, |i| (i % 997, i * 2));
-                l.join(&r).count().unwrap()
-            })
+        bench("engine_ops", &format!("join/{n}"), || {
+            let e = engine();
+            let l = e.generate(n, 8, |i| (i % 997, i));
+            let r = e.generate(n / 10, 4, |i| (i % 997, i * 2));
+            l.join(&r).count().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("group_by_key", n), &n, |b, &n| {
-            b.iter(|| {
-                let e = engine();
-                let bag = e.generate(n, 8, |i| (i % 997, i));
-                bag.group_by_key().count().unwrap()
-            })
+        bench("engine_ops", &format!("group_by_key/{n}"), || {
+            let e = engine();
+            let bag = e.generate(n, 8, |i| (i % 997, i));
+            bag.group_by_key().count().unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("distinct", n), &n, |b, &n| {
-            b.iter(|| {
-                let e = engine();
-                let bag = e.generate(n, 8, |i| i % 4096);
-                bag.distinct().count().unwrap()
-            })
+        bench("engine_ops", &format!("distinct/{n}"), || {
+            let e = engine();
+            let bag = e.generate(n, 8, |i| i % 4096);
+            bag.distinct().count().unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_lifted_vs_flat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lifted_vs_flat_bounce_rate");
+fn bench_lifted_vs_flat() {
     let visits: Vec<(u32, u64)> = (0..50_000u64).map(|i| ((i % 64) as u32, i % 1000)).collect();
-    g.bench_function("lifted", |b| {
-        b.iter(|| {
-            let e = engine();
-            let bag = e.parallelize(visits.clone(), 8);
-            matryoshka_tasks::bounce_rate::matryoshka(&e, &bag, MatryoshkaConfig::optimized()).unwrap()
-        })
+    bench("lifted_vs_flat_bounce_rate", "lifted", || {
+        let e = engine();
+        let bag = e.parallelize(visits.clone(), 8);
+        matryoshka_tasks::bounce_rate::matryoshka(&e, &bag, MatryoshkaConfig::optimized()).unwrap()
     });
-    g.bench_function("hand_flattened", |b| {
+    bench("lifted_vs_flat_bounce_rate", "hand_flattened", || {
         // Listing 3 of the paper, written directly against the engine.
-        b.iter(|| {
-            let e = engine();
-            let visits = e.parallelize(visits.clone(), 8);
-            let counts = visits.map(|&(d, ip)| ((d, ip), 1u64)).reduce_by_key(|a, b| a + b);
-            let bounces = counts
-                .filter(|(_, c)| *c == 1)
-                .map(|((d, _), _)| (*d, 1u64))
-                .reduce_by_key(|a, b| a + b);
-            let totals = visits.distinct().map(|&(d, _)| (d, 1u64)).reduce_by_key(|a, b| a + b);
-            let mut out = bounces
-                .join(&totals)
-                .map(|(d, (b, t))| (*d, *b as f64 / *t as f64))
-                .collect()
-                .unwrap();
-            out.sort_by_key(|(d, _)| *d);
-            out
-        })
+        let e = engine();
+        let visits = e.parallelize(visits.clone(), 8);
+        let counts = visits.map(|&(d, ip)| ((d, ip), 1u64)).reduce_by_key(|a, b| a + b);
+        let bounces = counts
+            .filter(|(_, c)| *c == 1)
+            .map(|((d, _), _)| (*d, 1u64))
+            .reduce_by_key(|a, b| a + b);
+        let totals = visits.distinct().map(|&(d, _)| (d, 1u64)).reduce_by_key(|a, b| a + b);
+        let mut out =
+            bounces.join(&totals).map(|(d, (b, t))| (*d, *b as f64 / *t as f64)).collect().unwrap();
+        out.sort_by_key(|(d, _)| *d);
+        out
     });
-    g.finish();
 }
 
-fn bench_lifted_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lifted_loop");
+fn bench_lifted_loop() {
     for &tags in &[16u64, 256] {
-        g.bench_with_input(BenchmarkId::new("countdown", tags), &tags, |b, &tags| {
-            b.iter(|| {
-                let e = engine();
-                let ctx = matryoshka_core::LiftingContext::new(
-                    e.clone(),
-                    e.parallelize((0..tags).collect(), 4),
-                    tags,
-                    MatryoshkaConfig::optimized(),
-                );
-                let init = matryoshka_core::InnerScalar::from_repr(
-                    e.parallelize((0..tags).map(|t| (t, (t % 7) as i64)).collect(), 4),
-                    ctx,
-                );
-                matryoshka_core::lifted_while(
-                    &init,
-                    |s| {
-                        let next = s.map(|x| x - 1);
-                        let cond = next.map(|x| *x > 0);
-                        Ok((next, cond))
-                    },
-                    None,
-                )
-                .unwrap()
-                .collect()
-                .unwrap()
-            })
+        bench("lifted_loop", &format!("countdown/{tags}"), || {
+            let e = engine();
+            let ctx = matryoshka_core::LiftingContext::new(
+                e.clone(),
+                e.parallelize((0..tags).collect(), 4),
+                tags,
+                MatryoshkaConfig::optimized(),
+            );
+            let init = matryoshka_core::InnerScalar::from_repr(
+                e.parallelize((0..tags).map(|t| (t, (t % 7) as i64)).collect(), 4),
+                ctx,
+            );
+            matryoshka_core::lifted_while(
+                &init,
+                |s| {
+                    let next = s.map(|x| x - 1);
+                    let cond = next.map(|x| *x > 0);
+                    Ok((next, cond))
+                },
+                None,
+            )
+            .unwrap()
+            .collect()
+            .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_nesting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nesting_primitives");
-    g.bench_function("group_by_key_into_nested_bag_100k", |b| {
-        b.iter(|| {
-            let e = engine();
-            let bag = e.generate(100_000, 8, |i| ((i % 512) as u32, i));
-            group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized())
-                .unwrap()
-                .ctx()
-                .size()
-        })
+fn bench_nesting() {
+    bench("nesting_primitives", "group_by_key_into_nested_bag_100k", || {
+        let e = engine();
+        let bag = e.generate(100_000, 8, |i| ((i % 512) as u32, i));
+        group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap().ctx().size()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_engine_ops, bench_lifted_vs_flat, bench_lifted_loop, bench_nesting);
-criterion_main!(benches);
+fn main() {
+    bench_engine_ops();
+    bench_lifted_vs_flat();
+    bench_lifted_loop();
+    bench_nesting();
+}

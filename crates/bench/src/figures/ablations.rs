@@ -9,8 +9,8 @@
 //!   lineage) — measured indirectly by comparing a co-partitioned static
 //!   relation (reused placement) against re-shuffling it every iteration.
 
-use matryoshka_engine::ClusterConfig;
 use matryoshka_core::MatryoshkaConfig;
+use matryoshka_engine::ClusterConfig;
 
 use crate::figures::fig3;
 use crate::harness::{run_case, Row};
@@ -22,7 +22,8 @@ pub fn run_partition_tuning(profile: Profile) -> Vec<Row> {
     for &groups in &profile.sweep(&[4, 64, 1024], &[4, 1024]) {
         let (edges, record_bytes) = fig3::pagerank_input(profile, groups, gb(20));
         for (label, tuning) in [("sized-partitions", true), ("default-parallelism", false)] {
-            let cfg = MatryoshkaConfig { partition_tuning: tuning, ..MatryoshkaConfig::optimized() };
+            let cfg =
+                MatryoshkaConfig { partition_tuning: tuning, ..MatryoshkaConfig::optimized() };
             let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
                 fig3::run_pagerank_strategy(e, "matryoshka", &edges, record_bytes, cfg, 0.0)
             });

@@ -5,11 +5,11 @@
 //! outer-parallel at many; both sit far from ideal in between — the gray-gap
 //! argument for Matryoshka (whose line we add for reference).
 
+use matryoshka_core::MatryoshkaConfig;
 use matryoshka_datagen::{initial_centroid_configs, point_cloud, KmeansSpec, Point};
 use matryoshka_engine::{ClusterConfig, Engine};
 use matryoshka_tasks::kmeans;
 use matryoshka_tasks::seq::KmeansParams;
-use matryoshka_core::MatryoshkaConfig;
 
 use crate::harness::{run_case, Row};
 use crate::profile::{gb, Profile};
@@ -32,21 +32,11 @@ pub struct KmeansCase {
 /// Build the case for `n_configs` configurations.
 pub fn make_case(profile: Profile, n_configs: u64, total_bytes: f64) -> KmeansCase {
     let points = profile.records(FULL_POINTS);
-    let spec = KmeansSpec {
-        points,
-        dim: 4,
-        true_clusters: 8,
-        k: 8,
-        spread: 0.04,
-        seed: 77,
-    };
+    let spec = KmeansSpec { points, dim: 4, true_clusters: 8, k: 8, spread: 0.04, seed: 77 };
     let cloud = point_cloud(&spec);
     let configs = initial_centroid_configs(&spec, n_configs as u32);
-    let samples: Vec<(u32, Point)> = cloud
-        .into_iter()
-        .enumerate()
-        .map(|(i, p)| ((i as u64 % n_configs) as u32, p))
-        .collect();
+    let samples: Vec<(u32, Point)> =
+        cloud.into_iter().enumerate().map(|(i, p)| ((i as u64 % n_configs) as u32, p)).collect();
     KmeansCase {
         samples,
         configs,
@@ -56,7 +46,11 @@ pub fn make_case(profile: Profile, n_configs: u64, total_bytes: f64) -> KmeansCa
 }
 
 /// Run one strategy of the grouped K-means task.
-pub fn run_strategy(engine: &Engine, strategy: &str, case: &KmeansCase) -> matryoshka_engine::Result<()> {
+pub fn run_strategy(
+    engine: &Engine,
+    strategy: &str,
+    case: &KmeansCase,
+) -> matryoshka_engine::Result<()> {
     let parallelism = engine.config().default_parallelism;
     let sample_bag =
         || engine.parallelize_with_bytes(case.samples.clone(), parallelism, case.record_bytes);
@@ -104,7 +98,9 @@ pub fn run(profile: Profile) -> Vec<Row> {
     for &n_configs in &sweep {
         let case = make_case(profile, n_configs, gb(6));
         for strategy in ["ideal", "inner-parallel", "outer-parallel", "matryoshka"] {
-            let m = run_case(ClusterConfig::paper_small_cluster(), |e| run_strategy(e, strategy, &case));
+            let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
+                run_strategy(e, strategy, &case)
+            });
             rows.push(Row {
                 figure: "fig1/kmeans-motivation".to_string(),
                 series: strategy.to_string(),

@@ -3,11 +3,13 @@
 //! and the per-computation input size vary inversely, so the total input is
 //! constant and a nested-parallelism-aware system should be flat.
 
-use matryoshka_datagen::{component_graph, grouped_edges, ComponentGraphSpec, GroupedGraphSpec, KeyDist};
-use matryoshka_engine::{ClusterConfig, Engine};
-use matryoshka_tasks::{avg_distances, pagerank};
-use matryoshka_tasks::seq::PageRankParams;
 use matryoshka_core::MatryoshkaConfig;
+use matryoshka_datagen::{
+    component_graph, grouped_edges, ComponentGraphSpec, GroupedGraphSpec, KeyDist,
+};
+use matryoshka_engine::{ClusterConfig, Engine};
+use matryoshka_tasks::seq::PageRankParams;
+use matryoshka_tasks::{avg_distances, pagerank};
 
 use crate::figures::fig1;
 use crate::harness::{run_case, Row};
@@ -19,7 +21,11 @@ const FULL_EDGES: u64 = 1 << 18;
 const FULL_AVG_VERTICES: u64 = 2048;
 
 /// Build the grouped PageRank input for `groups` inner computations.
-pub fn pagerank_input(profile: Profile, groups: u64, total_bytes: f64) -> (Vec<(u32, (u64, u64))>, f64) {
+pub fn pagerank_input(
+    profile: Profile,
+    groups: u64,
+    total_bytes: f64,
+) -> (Vec<(u32, (u64, u64))>, f64) {
     let edges = profile.records(FULL_EDGES);
     let spec = GroupedGraphSpec {
         total_edges: edges,
@@ -103,7 +109,11 @@ pub fn run_avg_distances_strategy(
 
 /// Build the Average Distances input for `components` components with a
 /// constant total vertex count.
-pub fn avg_distances_input(profile: Profile, components: u64, total_bytes: f64) -> (Vec<(u64, u64)>, f64) {
+pub fn avg_distances_input(
+    profile: Profile,
+    components: u64,
+    total_bytes: f64,
+) -> (Vec<(u64, u64)>, f64) {
     let total_vertices = match profile {
         Profile::Full => FULL_AVG_VERTICES,
         Profile::Quick => FULL_AVG_VERTICES / 4,
@@ -141,9 +151,21 @@ pub fn run(profile: Profile) -> Vec<Row> {
         let (edges, record_bytes) = pagerank_input(profile, groups, gb(20));
         for strategy in strategies {
             let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
-                run_pagerank_strategy(e, strategy, &edges, record_bytes, MatryoshkaConfig::optimized(), 0.0)
+                run_pagerank_strategy(
+                    e,
+                    strategy,
+                    &edges,
+                    record_bytes,
+                    MatryoshkaConfig::optimized(),
+                    0.0,
+                )
             });
-            rows.push(Row { figure: "fig3/pagerank".into(), series: strategy.into(), x: groups, m });
+            rows.push(Row {
+                figure: "fig3/pagerank".into(),
+                series: strategy.into(),
+                x: groups,
+                m,
+            });
         }
     }
 
@@ -155,7 +177,12 @@ pub fn run(profile: Profile) -> Vec<Row> {
             let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
                 run_avg_distances_strategy(e, strategy, &edges, record_bytes)
             });
-            rows.push(Row { figure: "fig3/avg-distances".into(), series: strategy.into(), x: comps, m });
+            rows.push(Row {
+                figure: "fig3/avg-distances".into(),
+                series: strategy.into(),
+                x: comps,
+                m,
+            });
         }
     }
     rows

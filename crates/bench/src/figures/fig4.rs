@@ -4,9 +4,9 @@
 //! inner-parallel barely improves (job-launch and task-scheduling overheads
 //! grow with the cluster).
 
+use matryoshka_core::MatryoshkaConfig;
 use matryoshka_datagen::{visit_log, KeyDist, VisitSpec};
 use matryoshka_engine::ClusterConfig;
-use matryoshka_core::MatryoshkaConfig;
 
 use crate::figures::{fig1, fig3, fig5};
 use crate::harness::{run_case, Row};
@@ -45,7 +45,12 @@ pub fn run(profile: Profile) -> Vec<Row> {
                     0.0,
                 )
             });
-            rows.push(Row { figure: "fig4/pagerank".into(), series: strategy.into(), x: m, m: meas });
+            rows.push(Row {
+                figure: "fig4/pagerank".into(),
+                series: strategy.into(),
+                x: m,
+                m: meas,
+            });
         }
     }
 
@@ -82,7 +87,12 @@ pub fn run(profile: Profile) -> Vec<Row> {
             let meas = run_case(ClusterConfig::with_machines(m as usize), |e| {
                 fig5::run_strategy(e, strategy, &visits, rb)
             });
-            rows.push(Row { figure: "fig4/bounce-rate".into(), series: strategy.into(), x: m, m: meas });
+            rows.push(Row {
+                figure: "fig4/bounce-rate".into(),
+                series: strategy.into(),
+                x: m,
+                m: meas,
+            });
         }
     }
     rows

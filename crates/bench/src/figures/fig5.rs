@@ -3,10 +3,10 @@
 //! plus scale-out at 256 inner computations. DIQL is included: it falls back
 //! to the outer-parallel plan and runs out of memory at this input size.
 
+use matryoshka_core::MatryoshkaConfig;
 use matryoshka_datagen::{visit_log, KeyDist, VisitSpec};
 use matryoshka_engine::{ClusterConfig, Engine};
 use matryoshka_tasks::bounce_rate;
-use matryoshka_core::MatryoshkaConfig;
 
 use crate::harness::{run_case, Row};
 use crate::profile::{gb, Profile};
@@ -76,7 +76,12 @@ pub fn weak_scaling(
             let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
                 run_strategy(e, strategy, &visits, record_bytes)
             });
-            rows.push(Row { figure: figure.to_string(), series: strategy.to_string(), x: groups, m });
+            rows.push(Row {
+                figure: figure.to_string(),
+                series: strategy.to_string(),
+                x: groups,
+                m,
+            });
         }
     }
     rows

@@ -4,9 +4,9 @@
 //! group is one giant task), inner-parallel pays 1024 jobs-worth of
 //! overhead, and Matryoshka is within ~15% of its unskewed runtime.
 
+use matryoshka_core::MatryoshkaConfig;
 use matryoshka_datagen::{grouped_edges, visit_log, GroupedGraphSpec, KeyDist, VisitSpec};
 use matryoshka_engine::ClusterConfig;
-use matryoshka_core::MatryoshkaConfig;
 use matryoshka_tasks::pagerank;
 
 use crate::figures::{fig3, fig5};
@@ -81,9 +81,21 @@ pub fn run(profile: Profile) -> Vec<Row> {
     }
     let unskewed_edges = mk_edges(KeyDist::Uniform);
     let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
-        fig3::run_pagerank_strategy(e, "matryoshka", &unskewed_edges, erb, MatryoshkaConfig::optimized(), 0.0)
+        fig3::run_pagerank_strategy(
+            e,
+            "matryoshka",
+            &unskewed_edges,
+            erb,
+            MatryoshkaConfig::optimized(),
+            0.0,
+        )
     });
-    rows.push(Row { figure: "fig7/pagerank-zipf".into(), series: "matryoshka-unskewed".into(), x: 1, m });
+    rows.push(Row {
+        figure: "fig7/pagerank-zipf".into(),
+        series: "matryoshka-unskewed".into(),
+        x: 1,
+        m,
+    });
 
     // Sanity anchor for the harness user: a skewed inner-parallel PageRank
     // is dominated by per-group jobs; surface the group count explicitly.

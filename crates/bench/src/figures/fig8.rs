@@ -14,14 +14,14 @@
 //! points wins there, broadcasting the scalar wins at few configurations,
 //! and each forced strategy is badly wrong (or OOM) at one end.
 
+use matryoshka_core::{CrossChoice, JoinChoice, MatryoshkaConfig};
 use matryoshka_datagen::{initial_centroid_configs, point_cloud, KmeansSpec, Point};
 use matryoshka_engine::{ClusterConfig, Engine, MB};
-use matryoshka_core::{CrossChoice, JoinChoice, MatryoshkaConfig};
 use matryoshka_tasks::kmeans;
 use matryoshka_tasks::seq::KmeansParams;
 
 use crate::figures::fig3;
-use crate::harness::{run_case, Row};
+use crate::harness::{run_case_named, Row};
 use crate::profile::{gb, Profile};
 
 /// Fixed per-group auxiliary scalar payload (topic descriptor), left panel.
@@ -39,10 +39,23 @@ pub fn run_join_ablation(profile: Profile) -> Vec<Row> {
             ("repartition", JoinChoice::ForceRepartition),
         ] {
             let cfg = MatryoshkaConfig { tag_join: choice, ..MatryoshkaConfig::optimized() };
-            let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
-                fig3::run_pagerank_strategy(e, "matryoshka", &edges, record_bytes, cfg, TOPIC_DESCRIPTOR_BYTES)
+            let name = format!("fig8-join-{label}-{groups}");
+            let m = run_case_named(&name, ClusterConfig::paper_small_cluster(), |e| {
+                fig3::run_pagerank_strategy(
+                    e,
+                    "matryoshka",
+                    &edges,
+                    record_bytes,
+                    cfg,
+                    TOPIC_DESCRIPTOR_BYTES,
+                )
             });
-            rows.push(Row { figure: "fig8/join-strategy-pagerank".into(), series: label.into(), x: groups, m });
+            rows.push(Row {
+                figure: "fig8/join-strategy-pagerank".into(),
+                series: label.into(),
+                x: groups,
+                m,
+            });
         }
     }
     rows
@@ -81,7 +94,8 @@ pub fn run_half_lifted_ablation(profile: Profile) -> Vec<Row> {
             ("broadcast-points", CrossChoice::ForceBroadcastBag),
         ] {
             let cfg = MatryoshkaConfig { cross: choice, ..MatryoshkaConfig::optimized() };
-            let m = run_case(ClusterConfig::paper_small_cluster(), |e| {
+            let name = format!("fig8-half-lifted-{label}-{configs}");
+            let m = run_case_named(&name, ClusterConfig::paper_small_cluster(), |e| {
                 run_shared_kmeans(e, &points, &config_list, point_bytes, &params, cfg)
             });
             rows.push(Row {
@@ -110,9 +124,8 @@ pub fn run_shared_kmeans(
             .max(engine.total_cores()),
         point_bytes,
     );
-    let config_bag = engine
-        .parallelize(configs.to_vec(), 1)
-        .with_record_bytes(CONFIG_PAYLOAD_BYTES);
+    let config_bag =
+        engine.parallelize(configs.to_vec(), 1).with_record_bytes(CONFIG_PAYLOAD_BYTES);
     kmeans::matryoshka(engine, &config_bag, &point_bag, params, cfg)?;
     Ok(())
 }

@@ -4,9 +4,9 @@
 //! Outer-parallel runs out of memory in all Bounce Rate cases; Matryoshka's
 //! speedup over inner-parallel grows with the input.
 
+use matryoshka_core::MatryoshkaConfig;
 use matryoshka_datagen::{visit_log, KeyDist, VisitSpec};
 use matryoshka_engine::ClusterConfig;
-use matryoshka_core::MatryoshkaConfig;
 
 use crate::figures::{fig3, fig5};
 use crate::harness::{run_case, Row};
@@ -31,7 +31,12 @@ pub fn run(profile: Profile) -> Vec<Row> {
                     0.0,
                 )
             });
-            rows.push(Row { figure: "fig9/pagerank-160GB".into(), series: strategy.into(), x: groups, m });
+            rows.push(Row {
+                figure: "fig9/pagerank-160GB".into(),
+                series: strategy.into(),
+                x: groups,
+                m,
+            });
         }
     }
 
@@ -49,7 +54,12 @@ pub fn run(profile: Profile) -> Vec<Row> {
         });
         for strategy in ["matryoshka", "inner-parallel", "outer-parallel"] {
             let m = run_case(cluster(), |e| fig5::run_strategy(e, strategy, &visits, rb));
-            rows.push(Row { figure: "fig9/bounce-rate-384GB".into(), series: strategy.into(), x: groups, m });
+            rows.push(Row {
+                figure: "fig9/bounce-rate-384GB".into(),
+                series: strategy.into(),
+                x: groups,
+                m,
+            });
         }
     }
     rows

@@ -116,10 +116,7 @@ mod tests {
         let bag = e.parallelize(vec![1i64, 2, 3], 2);
         let out = s.cross_with_bag(&bag, |_, c, p| Some(c * p)).unwrap();
         let got = sorted(out.collect().unwrap());
-        assert_eq!(
-            got,
-            vec![(0, 10), (0, 20), (0, 30), (1, 100), (1, 200), (1, 300)]
-        );
+        assert_eq!(got, vec![(0, 10), (0, 20), (0, 30), (1, 100), (1, 200), (1, 300)]);
     }
 
     #[test]
@@ -128,7 +125,9 @@ mod tests {
         let bag = e.parallelize((1..=5i64).collect::<Vec<_>>(), 3);
         bag.count().unwrap(); // warm the size estimator
         let mut results = Vec::new();
-        for cross in [CrossChoice::Auto, CrossChoice::ForceBroadcastScalar, CrossChoice::ForceBroadcastBag] {
+        for cross in
+            [CrossChoice::Auto, CrossChoice::ForceBroadcastScalar, CrossChoice::ForceBroadcastBag]
+        {
             let cfg = MatryoshkaConfig { cross, ..MatryoshkaConfig::optimized() };
             let s = scalar(&e, cfg);
             let out = s.cross_with_bag(&bag, |t, c, p| Some((*t as i64) + c + p)).unwrap();
@@ -143,14 +142,15 @@ mod tests {
         let mut cc = matryoshka_engine::ClusterConfig::local_test();
         cc.memory_per_machine = matryoshka_engine::MB;
         let e = Engine::new(cc);
-        let cfg = MatryoshkaConfig { cross: CrossChoice::ForceBroadcastBag, ..MatryoshkaConfig::optimized() };
+        let cfg = MatryoshkaConfig {
+            cross: CrossChoice::ForceBroadcastBag,
+            ..MatryoshkaConfig::optimized()
+        };
         let tags = e.parallelize(vec![0u64], 1);
         let ctx = LiftingContext::new(e.clone(), tags, 1, cfg);
         let s = InnerScalar::from_repr(e.parallelize(vec![(0u64, 1i64)], 1), ctx);
         // A bag whose modeled size exceeds one machine's memory.
-        let bag = e
-            .parallelize((0..100_000i64).collect::<Vec<_>>(), 4)
-            .with_record_bytes(1000.0);
+        let bag = e.parallelize((0..100_000i64).collect::<Vec<_>>(), 4).with_record_bytes(1000.0);
         let err = s.cross_with_bag(&bag, |_, c, p| Some(c + p)).unwrap_err();
         assert!(matches!(err, matryoshka_engine::EngineError::OutOfMemory { .. }));
     }

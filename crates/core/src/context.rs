@@ -100,9 +100,14 @@ impl<T: Key> LiftingContext<T> {
             JoinAlgorithm::BroadcastRight => left.broadcast_join(right),
             JoinAlgorithm::Repartition => {
                 let scalar_bytes = (self.size() as f64 * right.record_bytes()) as u64;
-                let p = optimizer::partitions_for(self.config(), self.engine(), self.size(), scalar_bytes)
-                    .max(left.num_partitions())
-                    .min(self.engine().config().default_parallelism);
+                let p = optimizer::partitions_for(
+                    self.config(),
+                    self.engine(),
+                    self.size(),
+                    scalar_bytes,
+                )
+                .max(left.num_partitions())
+                .min(self.engine().config().default_parallelism);
                 left.join_into(p, right)
             }
         }

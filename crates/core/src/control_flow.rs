@@ -129,11 +129,7 @@ impl<T: Key, A: LiftedData<T>, B: LiftedData<T>, C: LiftedData<T>> LiftedData<T>
         )
     }
     fn union_with(&self, other: &Self) -> Self {
-        (
-            self.0.union_with(&other.0),
-            self.1.union_with(&other.1),
-            self.2.union_with(&other.2),
-        )
+        (self.0.union_with(&other.0), self.1.union_with(&other.1), self.2.union_with(&other.2))
     }
     fn with_ctx(&self, ctx: &LiftingContext<T>) -> Self {
         (self.0.with_ctx(ctx), self.1.with_ctx(ctx), self.2.with_ctx(ctx))
@@ -171,6 +167,13 @@ pub fn lifted_while<T: Key, S: LiftedData<T>>(
         // P3 exit check, one job per lifted iteration (not per inner loop!).
         let n_cont = cont_tags.count()?;
         let prev = body_in.ctx().size();
+        body_in.ctx().engine().record_decision(
+            "lifted_while",
+            if n_cont == 0 { "exit" } else { "continue" },
+            n_cont,
+            0,
+            format!("iteration {iterations}: {n_cont} of {prev} tags continue"),
+        );
         let done_tags = cond.repr().filter(|(_, c)| !*c).map(|(t, _)| t.clone());
         let done_ctx = body_in.ctx().narrowed(done_tags, prev.saturating_sub(n_cont));
         // P1 + P2: retire finished tags into the result.
@@ -237,10 +240,8 @@ mod tests {
     fn loops_exit_at_different_iterations() {
         let e = Engine::local();
         let c = ctx(&e, vec![0, 1, 2, 3]);
-        let init = InnerScalar::from_repr(
-            e.parallelize(vec![(0u64, 0i64), (1, 1), (2, 2), (3, 3)], 2),
-            c,
-        );
+        let init =
+            InnerScalar::from_repr(e.parallelize(vec![(0u64, 0i64), (1, 1), (2, 2), (3, 3)], 2), c);
         let out = lifted_while(
             &init,
             |s: &InnerScalar<u64, i64>| {
@@ -262,10 +263,8 @@ mod tests {
         // Many tags, all finishing after 3 iterations.
         let tags: Vec<u64> = (0..500).collect();
         let c = ctx(&e, tags.clone());
-        let init = InnerScalar::from_repr(
-            e.parallelize(tags.iter().map(|&t| (t, 3i64)).collect(), 4),
-            c,
-        );
+        let init =
+            InnerScalar::from_repr(e.parallelize(tags.iter().map(|&t| (t, 3i64)).collect(), 4), c);
         let s0 = e.stats();
         let _ = lifted_while(
             &init,
@@ -305,7 +304,8 @@ mod tests {
     fn loop_over_tuple_state() {
         let e = Engine::local();
         let c = ctx(&e, vec![0, 1]);
-        let counter = InnerScalar::from_repr(e.parallelize(vec![(0u64, 2i64), (1, 1)], 1), c.clone());
+        let counter =
+            InnerScalar::from_repr(e.parallelize(vec![(0u64, 2i64), (1, 1)], 1), c.clone());
         let acc = InnerScalar::from_repr(e.parallelize(vec![(0u64, 0i64), (1, 0)], 1), c);
         let out = lifted_while(
             &(counter, acc),
@@ -345,10 +345,8 @@ mod tests {
     fn lifted_if_over_inner_bags() {
         let e = Engine::local();
         let c = ctx(&e, vec![0, 1]);
-        let b = InnerBag::from_repr(
-            e.parallelize(vec![(0u64, 1i64), (0, 2), (1, 5)], 2),
-            c.clone(),
-        );
+        let b =
+            InnerBag::from_repr(e.parallelize(vec![(0u64, 1i64), (0, 2), (1, 5)], 2), c.clone());
         // tags whose bag sums > 4 double their elements; others zero them.
         let sums = b.reduce(|a, x| a + x);
         let cond = sums.map(|s| *s > 4);

@@ -53,14 +53,17 @@ impl<T: Key, E: Data> InnerBag<T, E> {
     }
 
     /// Lifted `flatMap`: each output element inherits the input's tag.
-    pub fn flat_map<U: Data, I>(&self, f: impl Fn(&E) -> I + Send + Sync + 'static) -> InnerBag<T, U>
+    pub fn flat_map<U: Data, I>(
+        &self,
+        f: impl Fn(&E) -> I + Send + Sync + 'static,
+    ) -> InnerBag<T, U>
     where
         I: IntoIterator<Item = U>,
     {
         InnerBag {
-            repr: self
-                .repr
-                .flat_map(move |(t, e)| f(e).into_iter().map(|u| (t.clone(), u)).collect::<Vec<_>>()),
+            repr: self.repr.flat_map(move |(t, e)| {
+                f(e).into_iter().map(|u| (t.clone(), u)).collect::<Vec<_>>()
+            }),
             ctx: self.ctx.clone(),
         }
     }
@@ -119,7 +122,8 @@ impl<T: Key, E: Data> InnerBag<T, E> {
         let z = zero.clone();
         let mapped: Bag<(T, A)> =
             self.repr.map(move |(t, e)| (t.clone(), f(&z, e))).with_record_bytes(bytes);
-        let zeros = self.ctx.tags().map(move |t| (t.clone(), zero.clone())).with_record_bytes(bytes);
+        let zeros =
+            self.ctx.tags().map(move |t| (t.clone(), zero.clone())).with_record_bytes(bytes);
         let folded = mapped.union(&zeros).reduce_by_key_into(p, combine);
         InnerScalar::from_repr(folded, self.ctx.clone())
     }
@@ -255,7 +259,10 @@ impl<T: Key, E: Data> InnerBag<T, E> {
 impl<T: Key, K: Key, V: Data> InnerBag<T, (K, V)> {
     /// Lifted `reduceByKey`: `b'.map{(t,(k,v)) => ((t,k),v)}.reduceByKey(f)
     /// .map{((t,k),v) => (t,(k,v))}` — exactly the paper's rewrite.
-    pub fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync + 'static) -> InnerBag<T, (K, V)> {
+    pub fn reduce_by_key(
+        &self,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> InnerBag<T, (K, V)> {
         let rekeyed = self.repr.map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone()));
         let reduced = rekeyed.reduce_by_key(f);
         InnerBag {
@@ -325,10 +332,15 @@ impl<T: Key, K: Key, V: Data> InnerBag<T, (K, V)> {
     /// the lifted equivalent of Spark's `partitionBy` + cache idiom.
     pub fn co_partition(&self) -> CoPartitioned<T, K, V> {
         let p = self.ctx.engine().config().default_parallelism;
-        let repr = self
-            .repr
-            .map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone()))
-            .partition_by_key(p);
+        self.ctx.engine().record_decision(
+            "co_partition",
+            p.to_string(),
+            self.ctx.size(),
+            0,
+            "pre-shuffle by (tag, key) at default parallelism for reuse across iterations",
+        );
+        let repr =
+            self.repr.map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone())).partition_by_key(p);
         CoPartitioned { repr, ctx: self.ctx.clone() }
     }
 
@@ -340,10 +352,8 @@ impl<T: Key, K: Key, V: Data> InnerBag<T, (K, V)> {
         right: &CoPartitioned<T, K, W>,
     ) -> InnerBag<T, (K, (V, W))> {
         let p = right.repr.num_partitions();
-        let l = self
-            .repr
-            .map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone()))
-            .partition_by_key(p);
+        let l =
+            self.repr.map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone())).partition_by_key(p);
         let joined = l.join_into(p, &right.repr);
         InnerBag {
             repr: joined.map(|((t, k), (v, w))| (t.clone(), (k.clone(), (v.clone(), w.clone())))),
@@ -446,8 +456,14 @@ mod tests {
     fn join_matches_within_tag_only() {
         let e = Engine::local();
         let c = ctx(&e, vec![0, 1]);
-        let l = InnerBag::from_repr(e.parallelize(vec![(0u64, (1u32, 'a')), (1, (1, 'b'))], 2), c.clone());
-        let r = InnerBag::from_repr(e.parallelize(vec![(0u64, (1u32, 10)), (1, (1, 20))], 2), c.clone());
+        let l = InnerBag::from_repr(
+            e.parallelize(vec![(0u64, (1u32, 'a')), (1, (1, 'b'))], 2),
+            c.clone(),
+        );
+        let r = InnerBag::from_repr(
+            e.parallelize(vec![(0u64, (1u32, 10)), (1, (1, 20))], 2),
+            c.clone(),
+        );
         let out = sorted(l.join(&r).collect().unwrap());
         assert_eq!(out, vec![(0, (1, ('a', 10))), (1, (1, ('b', 20)))]);
     }
@@ -462,10 +478,7 @@ mod tests {
         );
         let outer = e.parallelize(vec![(1u32, 100), (2, 200)], 2);
         let out = sorted(l.half_lifted_join(&outer).collect().unwrap());
-        assert_eq!(
-            out,
-            vec![(0, (1, ('a', 100))), (1, (1, ('b', 100))), (1, (2, ('c', 200)))]
-        );
+        assert_eq!(out, vec![(0, (1, ('a', 100))), (1, (1, ('b', 100))), (1, (2, ('c', 200)))]);
     }
 
     #[test]

@@ -131,8 +131,7 @@ impl<T: Key, K: Key, V: Data> InnerBag<T, (K, V)> {
         let engine = self.ctx().engine().clone();
         let repr = self.repr().map(|(t, (k, v))| ((t.clone(), k.clone()), v.clone()));
         let tags = repr.map(|(tk, _)| tk.clone()).distinct();
-        let ctx =
-            LiftingContext::counted(engine, tags, self.ctx().config().clone())?;
+        let ctx = LiftingContext::counted(engine, tags, self.ctx().config().clone())?;
         let outer = ctx.tags_scalar();
         let inner = InnerBag::from_repr(repr, ctx);
         Ok(NestedBag::from_parts(outer, inner))
@@ -206,7 +205,8 @@ mod tests {
     fn group_by_key_into_nested_bag_builds_both_parts() {
         let e = Engine::local();
         let visits = e.parallelize(vec![(1u32, 'a'), (1, 'b'), (2, 'c')], 2);
-        let nested = group_by_key_into_nested_bag(&e, &visits, MatryoshkaConfig::optimized()).unwrap();
+        let nested =
+            group_by_key_into_nested_bag(&e, &visits, MatryoshkaConfig::optimized()).unwrap();
         assert_eq!(nested.ctx().size(), 2);
         assert_eq!(sorted(nested.outer().collect().unwrap()), vec![(1, 1), (2, 2)]);
         let mut n = nested.collect_nested().unwrap();
@@ -222,12 +222,17 @@ mod tests {
         // covers the grouping itself.
         visits.count().unwrap();
         let s0 = e.stats();
-        let _nested = group_by_key_into_nested_bag(&e, &visits, MatryoshkaConfig::optimized()).unwrap();
+        let _nested =
+            group_by_key_into_nested_bag(&e, &visits, MatryoshkaConfig::optimized()).unwrap();
         let d = e.stats().since(&s0);
         // Only the tag-distinct + count job; the inner repr is the input
         // bag itself. The distinct shuffles the keys only, never the data
         // records (1000 keys at the pair record size of 8 bytes).
-        assert!(d.shuffle_bytes <= 1000 * 8, "must not shuffle the data records: {}", d.shuffle_bytes);
+        assert!(
+            d.shuffle_bytes <= 1000 * 8,
+            "must not shuffle the data records: {}",
+            d.shuffle_bytes
+        );
         assert_eq!(d.spill_bytes, 0);
     }
 
@@ -255,20 +260,14 @@ mod tests {
         );
         // Tag 0 has keys {a}, tag 1 has keys {a, b}: 3 composite groups.
         let b = InnerBag::from_repr(
-            e.parallelize(
-                vec![(0u64, ('a', 1)), (0, ('a', 2)), (1, ('a', 3)), (1, ('b', 4))],
-                2,
-            ),
+            e.parallelize(vec![(0u64, ('a', 1)), (0, ('a', 2)), (1, ('a', 3)), (1, ('b', 4))], 2),
             ctx,
         );
         let nested = b.group_by_key_into_nested_bag().unwrap();
         assert_eq!(nested.ctx().size(), 3);
         let mut n = nested.collect_nested().unwrap();
         n.iter_mut().for_each(|(_, v)| v.sort());
-        assert_eq!(
-            n,
-            vec![((0, 'a'), vec![1, 2]), ((1, 'a'), vec![3]), ((1, 'b'), vec![4])]
-        );
+        assert_eq!(n, vec![((0, 'a'), vec![1, 2]), ((1, 'a'), vec![3]), ((1, 'b'), vec![4])]);
     }
 
     #[test]
@@ -280,7 +279,10 @@ mod tests {
             2,
             MatryoshkaConfig::optimized(),
         );
-        let b = InnerBag::from_repr(e.parallelize(vec![(0u64, 10u32), (1, 20), (1, 30)], 2), ctx.clone());
+        let b = InnerBag::from_repr(
+            e.parallelize(vec![(0u64, 10u32), (1, 20), (1, 30)], 2),
+            ctx.clone(),
+        );
         let lifted = b.lift_elements().unwrap();
         assert_eq!(lifted.ctx().size(), 3);
         // Square each element at level 2, then demote back to level 1.

@@ -55,7 +55,11 @@ pub struct MatryoshkaConfig {
 impl MatryoshkaConfig {
     /// The full optimizer (what the paper evaluates as "Matryoshka").
     pub fn optimized() -> Self {
-        MatryoshkaConfig { tag_join: JoinChoice::Auto, cross: CrossChoice::Auto, partition_tuning: true }
+        MatryoshkaConfig {
+            tag_join: JoinChoice::Auto,
+            cross: CrossChoice::Auto,
+            partition_tuning: true,
+        }
     }
 }
 
@@ -66,12 +70,32 @@ impl MatryoshkaConfig {
 const SCALAR_RECORDS_PER_PARTITION: u64 = 4096;
 
 /// Partition count for a bag of `size` InnerScalar records (Sec. 8.1).
+///
+/// Every call appends to the engine's lowering-decision log
+/// ([`Engine::decisions`]) with the driving cardinality, so traces show why
+/// each physical partition count was picked.
 pub fn scalar_partitions(cfg: &MatryoshkaConfig, engine: &Engine, size: u64) -> usize {
     if !cfg.partition_tuning {
-        return engine.config().default_parallelism;
+        let p = engine.config().default_parallelism;
+        engine.record_decision(
+            "partition_tuning",
+            p.to_string(),
+            size,
+            0,
+            "tuning disabled: default parallelism",
+        );
+        return p;
     }
     let by_size = size.div_ceil(SCALAR_RECORDS_PER_PARTITION) as usize;
-    by_size.clamp(1, engine.config().default_parallelism)
+    let p = by_size.clamp(1, engine.config().default_parallelism);
+    engine.record_decision(
+        "partition_tuning",
+        p.to_string(),
+        size,
+        0,
+        format!("{size} records / {SCALAR_RECORDS_PER_PARTITION} per partition"),
+    );
+    p
 }
 
 /// Target partition size (bytes) when deriving partition counts from data
@@ -80,13 +104,34 @@ const TARGET_PARTITION_BYTES: u64 = 128 << 20;
 
 /// Partition count for a bag of `size` records totalling `total_bytes`
 /// (Sec. 8.1, extended to weigh bytes as well as cardinality).
-pub fn partitions_for(cfg: &MatryoshkaConfig, engine: &Engine, size: u64, total_bytes: u64) -> usize {
+pub fn partitions_for(
+    cfg: &MatryoshkaConfig,
+    engine: &Engine,
+    size: u64,
+    total_bytes: u64,
+) -> usize {
     if !cfg.partition_tuning {
-        return engine.config().default_parallelism;
+        let p = engine.config().default_parallelism;
+        engine.record_decision(
+            "partition_tuning",
+            p.to_string(),
+            size,
+            total_bytes,
+            "tuning disabled: default parallelism",
+        );
+        return p;
     }
     let by_size = size.div_ceil(SCALAR_RECORDS_PER_PARTITION) as usize;
     let by_bytes = total_bytes.div_ceil(TARGET_PARTITION_BYTES) as usize;
-    by_size.max(by_bytes).clamp(1, engine.config().default_parallelism)
+    let p = by_size.max(by_bytes).clamp(1, engine.config().default_parallelism);
+    engine.record_decision(
+        "partition_tuning",
+        p.to_string(),
+        size,
+        total_bytes,
+        format!("max(by records: {by_size}, by bytes: {by_bytes})"),
+    );
+    p
 }
 
 /// Fraction of a worker's memory beyond which an InnerScalar is too big to
@@ -105,18 +150,40 @@ pub fn tag_join_algorithm(
     scalar_size: u64,
     scalar_bytes: u64,
 ) -> JoinAlgorithm {
+    let record = |algorithm: JoinAlgorithm, detail: String| {
+        let choice = match algorithm {
+            JoinAlgorithm::BroadcastRight => "broadcast",
+            JoinAlgorithm::Repartition => "repartition",
+        };
+        engine.record_decision("tag_join", choice, scalar_size, scalar_bytes, detail);
+        algorithm
+    };
     match cfg.tag_join {
-        JoinChoice::ForceBroadcast => JoinAlgorithm::BroadcastRight,
-        JoinChoice::ForceRepartition => JoinAlgorithm::Repartition,
+        JoinChoice::ForceBroadcast => {
+            record(JoinAlgorithm::BroadcastRight, "forced by config".into())
+        }
+        JoinChoice::ForceRepartition => {
+            record(JoinAlgorithm::Repartition, "forced by config".into())
+        }
         JoinChoice::Auto => {
-            if scalar_size < 2 * engine.total_cores() as u64 {
-                return JoinAlgorithm::BroadcastRight;
+            let work_threshold = 2 * engine.total_cores() as u64;
+            if scalar_size < work_threshold {
+                return record(
+                    JoinAlgorithm::BroadcastRight,
+                    format!("{scalar_size} records < 2 x {} cores", engine.total_cores()),
+                );
             }
             let cap = (engine.config().memory_per_machine as f64 * BROADCAST_CAP_FRACTION) as u64;
             if scalar_bytes > cap {
-                JoinAlgorithm::Repartition
+                record(
+                    JoinAlgorithm::Repartition,
+                    format!("{scalar_bytes} bytes > broadcast cap {cap}"),
+                )
             } else {
-                JoinAlgorithm::BroadcastRight
+                record(
+                    JoinAlgorithm::BroadcastRight,
+                    format!("{scalar_bytes} bytes <= broadcast cap {cap}"),
+                )
             }
         }
     }
@@ -142,18 +209,42 @@ pub fn cross_side(
     scalar_bytes: u64,
     bag_bytes: Option<u64>,
 ) -> CrossSide {
+    let record = |side: CrossSide, detail: String| {
+        let choice = match side {
+            CrossSide::Scalar => "broadcast_scalar",
+            CrossSide::Bag => "broadcast_bag",
+        };
+        engine.record_decision(
+            "cross_product",
+            choice,
+            scalar_partitions as u64,
+            scalar_bytes,
+            detail,
+        );
+        side
+    };
     match cfg.cross {
-        CrossChoice::ForceBroadcastScalar => CrossSide::Scalar,
-        CrossChoice::ForceBroadcastBag => CrossSide::Bag,
+        CrossChoice::ForceBroadcastScalar => record(CrossSide::Scalar, "forced by config".into()),
+        CrossChoice::ForceBroadcastBag => record(CrossSide::Bag, "forced by config".into()),
         CrossChoice::Auto => {
             let cap = (engine.config().memory_per_machine as f64 * BROADCAST_CAP_FRACTION) as u64;
             if scalar_partitions <= 1 && scalar_bytes <= cap {
-                return CrossSide::Scalar;
+                return record(
+                    CrossSide::Scalar,
+                    format!("single-partition scalar of {scalar_bytes} bytes under cap {cap}"),
+                );
             }
             match bag_bytes {
-                Some(bb) if bb < scalar_bytes => CrossSide::Bag,
+                Some(bb) if bb < scalar_bytes => record(
+                    CrossSide::Bag,
+                    format!("bag estimate {bb} bytes < scalar {scalar_bytes} bytes"),
+                ),
                 // Unknown bag size or bigger bag: ship the scalar.
-                _ => CrossSide::Scalar,
+                Some(bb) => record(
+                    CrossSide::Scalar,
+                    format!("scalar {scalar_bytes} bytes <= bag estimate {bb} bytes"),
+                ),
+                None => record(CrossSide::Scalar, "bag size unknown: ship the scalar".into()),
             }
         }
     }
@@ -208,7 +299,7 @@ mod tests {
     fn auto_join_large_scalars_repartition_only_when_payload_is_big() {
         let cfg = MatryoshkaConfig::optimized();
         let e = engine(); // 4 GB/machine -> cap ~200 MB
-        // Many tags but tiny payload: still broadcast.
+                          // Many tags but tiny payload: still broadcast.
         assert_eq!(tag_join_algorithm(&cfg, &e, 10_000, 170_000), JoinAlgorithm::BroadcastRight);
         // Many tags, fat payload: repartition.
         assert_eq!(
@@ -242,6 +333,38 @@ mod tests {
         assert_eq!(cross_side(&cfg, &e, 8, 1000, Some(10)), CrossSide::Bag);
         assert_eq!(cross_side(&cfg, &e, 8, 10, Some(1000)), CrossSide::Scalar);
         assert_eq!(cross_side(&cfg, &e, 8, 10, None), CrossSide::Scalar);
+    }
+
+    #[test]
+    fn every_choice_lands_in_the_decision_log() {
+        let cfg = MatryoshkaConfig::optimized();
+        let e = engine();
+        scalar_partitions(&cfg, &e, 10);
+        partitions_for(&cfg, &e, 10_000, 1 << 30);
+        tag_join_algorithm(&cfg, &e, 4, 100);
+        tag_join_algorithm(&cfg, &e, 10_000, 4 * tests_gb());
+        cross_side(&cfg, &e, 1, 100, Some(1 << 40));
+        let log = e.decisions();
+        assert_eq!(log.len(), 5);
+        assert_eq!(log[0].site, "partition_tuning");
+        assert_eq!(log[0].choice, "1");
+        assert_eq!(log[0].cardinality, 10);
+        assert_eq!(log[2].site, "tag_join");
+        assert_eq!(log[2].choice, "broadcast");
+        assert_eq!(log[3].choice, "repartition");
+        assert_eq!(log[3].bytes, 4 * tests_gb());
+        assert!(log[3].detail.contains("broadcast cap"));
+        assert_eq!(log[4].site, "cross_product");
+        assert_eq!(log[4].choice, "broadcast_scalar");
+    }
+
+    #[test]
+    fn forced_choices_are_logged_as_forced() {
+        let e = engine();
+        let b = MatryoshkaConfig { tag_join: JoinChoice::ForceBroadcast, ..Default::default() };
+        tag_join_algorithm(&b, &e, 1 << 40, 1 << 40);
+        let log = e.decisions();
+        assert_eq!(log.last().unwrap().detail, "forced by config");
     }
 
     #[test]

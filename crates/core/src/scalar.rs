@@ -44,11 +44,11 @@ impl<T: Key, S: Data> InnerScalar<T, S> {
 
     /// Lifted unary scalar operation (`unaryScalarOp`, Sec. 4.3):
     /// `s.map(f)` resolves to `s'.map((t, x) => (t, f(x)))`.
-    pub fn map<S2: Data>(&self, f: impl Fn(&S) -> S2 + Send + Sync + 'static) -> InnerScalar<T, S2> {
-        InnerScalar {
-            repr: self.repr.map(move |(t, x)| (t.clone(), f(x))),
-            ctx: self.ctx.clone(),
-        }
+    pub fn map<S2: Data>(
+        &self,
+        f: impl Fn(&S) -> S2 + Send + Sync + 'static,
+    ) -> InnerScalar<T, S2> {
+        InnerScalar { repr: self.repr.map(move |(t, x)| (t.clone(), f(x))), ctx: self.ctx.clone() }
     }
 
     /// Lifted binary scalar operation (`binaryScalarOp`, Sec. 4.3):
@@ -162,7 +162,8 @@ mod tests {
         let e = Engine::local();
         let ctx = ctx_with_tags(&e, vec![7, 8, 9]);
         let c = ctx.constant(1.5f64);
-        let out = sorted(c.collect().unwrap().into_iter().map(|(t, v)| (t, (v * 2.0) as i64)).collect());
+        let out =
+            sorted(c.collect().unwrap().into_iter().map(|(t, v)| (t, (v * 2.0) as i64)).collect());
         assert_eq!(out, vec![(7, 3), (8, 3), (9, 3)]);
     }
 
@@ -178,10 +179,12 @@ mod tests {
         let e = Engine::local();
         let tags: Vec<u64> = (0..100).collect();
         let pairs: Vec<(u64, u64)> = tags.iter().map(|&t| (t, t * 2)).collect();
-        for choice in [crate::optimizer::JoinChoice::ForceBroadcast, crate::optimizer::JoinChoice::ForceRepartition] {
+        for choice in [
+            crate::optimizer::JoinChoice::ForceBroadcast,
+            crate::optimizer::JoinChoice::ForceRepartition,
+        ] {
             let cfg = MatryoshkaConfig { tag_join: choice, ..MatryoshkaConfig::optimized() };
-            let ctx =
-                LiftingContext::new(e.clone(), e.parallelize(tags.clone(), 4), 100, cfg);
+            let ctx = LiftingContext::new(e.clone(), e.parallelize(tags.clone(), 4), 100, cfg);
             let a = InnerScalar::from_repr(e.parallelize(pairs.clone(), 4), ctx.clone());
             let b = ctx.constant(1u64);
             let out = sorted(a.zip_with(&b, |x, y| x + y).collect().unwrap());

@@ -56,10 +56,7 @@ impl<T: Key, E: Data> InnerBag<T, E> {
     // --- per-tag aggregate conveniences over fold (Sec. 4.4) ------------
 
     /// Per-tag sum of a numeric projection (zero-filled).
-    pub fn sum_by(
-        &self,
-        f: impl Fn(&E) -> f64 + Send + Sync + 'static,
-    ) -> InnerScalar<T, f64> {
+    pub fn sum_by(&self, f: impl Fn(&E) -> f64 + Send + Sync + 'static) -> InnerScalar<T, f64> {
         self.fold(0.0, move |a, e| a + f(e), |a, b| a + b)
     }
 
@@ -85,9 +82,11 @@ impl<T: Key, E: Data> InnerBag<T, E> {
         &self,
         f: impl Fn(&E) -> f64 + Send + Sync + 'static,
     ) -> InnerScalar<T, Option<f64>> {
-        self.fold((0.0, 0u64), move |acc, e| (acc.0 + f(e), acc.1 + 1), |a, b| {
-            (a.0 + b.0, a.1 + b.1)
-        })
+        self.fold(
+            (0.0, 0u64),
+            move |acc, e| (acc.0 + f(e), acc.1 + 1),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        )
         .map(|(s, n)| if *n == 0 { None } else { Some(s / *n as f64) })
     }
 }
@@ -161,18 +160,13 @@ mod tests {
     fn group_by_splits_into_keyby_plus_groupbykey() {
         let e = Engine::local();
         let c = ctx(&e, vec![0, 1]);
-        let b = InnerBag::from_repr(
-            e.parallelize(vec![(0u64, 3i64), (0, 4), (0, 6), (1, 5)], 2),
-            c,
-        );
+        let b =
+            InnerBag::from_repr(e.parallelize(vec![(0u64, 3i64), (0, 4), (0, 6), (1, 5)], 2), c);
         // Group by parity within each tag.
         let mut out = b.group_by(|x| x % 2).collect().unwrap();
         out.iter_mut().for_each(|(_, (_, vs))| vs.sort());
         out.sort_by_key(|(t, (k, _))| (*t, *k));
-        assert_eq!(
-            out,
-            vec![(0, (0, vec![4, 6])), (0, (1, vec![3])), (1, (1, vec![5]))]
-        );
+        assert_eq!(out, vec![(0, (0, vec![4, 6])), (0, (1, vec![3])), (1, (1, vec![5]))]);
     }
 
     #[test]
@@ -229,7 +223,10 @@ mod tests {
     fn lifted_co_group_collects_both_sides_per_tag() {
         let e = Engine::local();
         let c = ctx(&e, vec![0]);
-        let l = InnerBag::from_repr(e.parallelize(vec![(0u64, (7u32, 'x')), (0, (7, 'y'))], 2), c.clone());
+        let l = InnerBag::from_repr(
+            e.parallelize(vec![(0u64, (7u32, 'x')), (0, (7, 'y'))], 2),
+            c.clone(),
+        );
         let r = InnerBag::from_repr(e.parallelize(vec![(0u64, (7u32, 1))], 1), c);
         let mut out = l.co_group(&r).collect().unwrap();
         assert_eq!(out.len(), 1);

@@ -2,8 +2,7 @@
 //! (paper Sec. 9.1) and component-structured graphs for Average Distances
 //! (Sec. 2.2).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use crate::zipf::ZipfSampler;
 use crate::KeyDist;
@@ -64,7 +63,7 @@ pub fn grouped_edges(spec: &GroupedGraphSpec) -> Vec<(u32, (u64, u64))> {
         let g = g as u32;
         // Vertex count proportional to the group's edge share, at least 2.
         let avg_budget = (spec.total_edges / spec.groups as u64).max(1);
-        let n = ((spec.vertices_per_group as u64 * budget) / avg_budget).clamp(2, budget.max(2)) as u64;
+        let n = ((spec.vertices_per_group as u64 * budget) / avg_budget).clamp(2, budget.max(2));
         // Ring for connectivity.
         for i in 0..n.min(budget) {
             out.push((g, (vid(g, i), vid(g, (i + 1) % n))));

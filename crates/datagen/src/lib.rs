@@ -14,11 +14,13 @@
 
 mod graphs;
 mod points;
+pub mod rng;
 mod visits;
 mod zipf;
 
 pub use graphs::{component_graph, grouped_edges, ComponentGraphSpec, GroupedGraphSpec};
 pub use points::{initial_centroid_configs, point_cloud, KmeansSpec, Point};
+pub use rng::SmallRng;
 pub use visits::{visit_log, VisitSpec};
 pub use zipf::ZipfSampler;
 

@@ -1,8 +1,7 @@
 //! Point-cloud generation for K-means with multiple initial centroid
 //! configurations (paper Sec. 2.3, Fig. 1).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A point in `d`-dimensional space.
 pub type Point = Vec<f64>;
@@ -43,7 +42,7 @@ pub fn point_cloud(spec: &KmeansSpec) -> Vec<Point> {
             (0..spec.dim)
                 .map(|d| {
                     // Irwin-Hall(4) centered: approximately normal.
-                    let noise: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+                    let noise: f64 = (0..4).map(|_| rng.gen_f64()).sum::<f64>() / 2.0 - 1.0;
                     c[d] + noise * spec.spread
                 })
                 .collect()
@@ -59,7 +58,7 @@ pub fn initial_centroid_configs(spec: &KmeansSpec, configs: u32) -> Vec<(u32, Ve
     (0..configs)
         .map(|id| {
             let centroids =
-                (0..spec.k).map(|_| (0..spec.dim).map(|_| rng.gen::<f64>()).collect()).collect();
+                (0..spec.k).map(|_| (0..spec.dim).map(|_| rng.gen_f64()).collect()).collect();
             (id, centroids)
         })
         .collect()
@@ -67,7 +66,7 @@ pub fn initial_centroid_configs(spec: &KmeansSpec, configs: u32) -> Vec<(u32, Ve
 
 fn blob_centers(n: usize, dim: usize, seed: u64) -> Vec<Point> {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x2545F4914F6CDD1D));
-    (0..n).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect()
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_f64()).collect()).collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,6 @@
 //! Visit-log generation for the Bounce Rate task (paper Sec. 2.1, 9.4).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use crate::zipf::ZipfSampler;
 use crate::KeyDist;
@@ -66,7 +65,7 @@ pub fn visit_log(spec: &VisitSpec) -> Vec<(u32, u64)> {
     while (out.len() as u64) < spec.visits {
         let g = match &zipf {
             Some(z) => z.sample(&mut rng) as u32,
-            None => rng.gen_range(0..spec.groups),
+            None => rng.gen_range_u32(0..spec.groups),
         };
         let v = rng.gen_range(bouncers..spec.visitors_per_group.max(bouncers + 1));
         out.push((g, visitor_id(g, v)));

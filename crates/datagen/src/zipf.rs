@@ -1,6 +1,6 @@
 //! Zipf-distributed key sampling (for the skew experiment, paper Sec. 9.5).
 
-use rand::Rng;
+use crate::rng::SmallRng;
 
 /// Samples keys `0..n` with probability proportional to `1 / (k+1)^s`.
 ///
@@ -44,8 +44,8 @@ impl ZipfSampler {
     }
 
     /// Draw one key.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen_f64();
         self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
     }
 
@@ -62,8 +62,6 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pmf_sums_to_one() {

@@ -3,7 +3,9 @@
 //!
 //! Every action charges one job launch ([`crate::CostModel::job_launch`]).
 //! This is the overhead that sinks the *inner-parallel* workaround in the
-//! paper: one job (or several) per inner computation per iteration.
+//! paper: one job (or several) per inner computation per iteration. Actions
+//! run via [`Engine::run_job`](crate::Engine), which also brackets the work
+//! with `JobStart`/`JobEnd` trace events when tracing is enabled.
 
 use super::Bag;
 use crate::types::Data;
@@ -12,31 +14,34 @@ use crate::Result;
 impl<T: Data> Bag<T> {
     /// Materialize all records on the driver.
     pub fn collect(&self) -> Result<Vec<T>> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
-        self.engine().charge_driver_collect(records, self.record_bytes());
-        let mut out = Vec::with_capacity(records as usize);
-        for p in parts.iter() {
-            out.extend_from_slice(p);
-        }
-        Ok(out)
+        self.engine().run_job("collect", || {
+            let parts = self.eval()?;
+            let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+            self.engine().charge_driver_collect(records, self.record_bytes());
+            let mut out = Vec::with_capacity(records as usize);
+            for p in parts.iter() {
+                out.extend_from_slice(p);
+            }
+            Ok(out)
+        })
     }
 
     /// Materialize per-partition vectors on the driver (diagnostics/tests).
     pub fn collect_partitions(&self) -> Result<Vec<Vec<T>>> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
-        self.engine().charge_driver_collect(records, self.record_bytes());
-        Ok(parts.iter().map(|p| p.to_vec()).collect())
+        self.engine().run_job("collect_partitions", || {
+            let parts = self.eval()?;
+            let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+            self.engine().charge_driver_collect(records, self.record_bytes());
+            Ok(parts.iter().map(|p| p.to_vec()).collect())
+        })
     }
 
     /// Number of records.
     pub fn count(&self) -> Result<u64> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        Ok(parts.iter().map(|p| p.len() as u64).sum())
+        self.engine().run_job("count", || {
+            let parts = self.eval()?;
+            Ok(parts.iter().map(|p| p.len() as u64).sum())
+        })
     }
 
     /// True if the bag has no records.
@@ -46,48 +51,51 @@ impl<T: Data> Bag<T> {
 
     /// Combine all records with an associative function; `None` when empty.
     pub fn reduce(&self, f: impl Fn(&T, &T) -> T) -> Result<Option<T>> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let mut acc: Option<T> = None;
-        for p in parts.iter() {
-            for x in p.iter() {
-                acc = Some(match acc {
-                    Some(a) => f(&a, x),
-                    None => x.clone(),
-                });
+        self.engine().run_job("reduce", || {
+            let parts = self.eval()?;
+            let mut acc: Option<T> = None;
+            for p in parts.iter() {
+                for x in p.iter() {
+                    acc = Some(match acc {
+                        Some(a) => f(&a, x),
+                        None => x.clone(),
+                    });
+                }
             }
-        }
-        Ok(acc)
+            Ok(acc)
+        })
     }
 
     /// Fold all records starting from `zero`.
     pub fn fold<A: Clone>(&self, zero: A, f: impl Fn(A, &T) -> A) -> Result<A> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let mut acc = zero;
-        for p in parts.iter() {
-            for x in p.iter() {
-                acc = f(acc, x);
+        self.engine().run_job("fold", || {
+            let parts = self.eval()?;
+            let mut acc = zero;
+            for p in parts.iter() {
+                for x in p.iter() {
+                    acc = f(acc, x);
+                }
             }
-        }
-        Ok(acc)
+            Ok(acc)
+        })
     }
 
     /// Up to `n` records (driver-side head).
     pub fn take(&self, n: usize) -> Result<Vec<T>> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let mut out = Vec::with_capacity(n);
-        'outer: for p in parts.iter() {
-            for x in p.iter() {
-                if out.len() == n {
-                    break 'outer;
+        self.engine().run_job("take", || {
+            let parts = self.eval()?;
+            let mut out = Vec::with_capacity(n);
+            'outer: for p in parts.iter() {
+                for x in p.iter() {
+                    if out.len() == n {
+                        break 'outer;
+                    }
+                    out.push(x.clone());
                 }
-                out.push(x.clone());
             }
-        }
-        self.engine().charge_driver_collect(out.len() as u64, self.record_bytes());
-        Ok(out)
+            self.engine().charge_driver_collect(out.len() as u64, self.record_bytes());
+            Ok(out)
+        })
     }
 
     /// The first record, if any.

@@ -82,7 +82,14 @@ impl<T: Data> Bag<T> {
         partitions: usize,
         compute: impl Fn() -> Result<Parts<T>> + Send + Sync + 'static,
     ) -> Bag<T> {
-        Bag::new_with_partitioning(engine, name, record_bytes, partitions, Partitioning::Arbitrary, compute)
+        Bag::new_with_partitioning(
+            engine,
+            name,
+            record_bytes,
+            partitions,
+            Partitioning::Arbitrary,
+            compute,
+        )
     }
 
     pub(crate) fn new_with_partitioning(
@@ -118,7 +125,10 @@ impl<T: Data> Bag<T> {
         self.node
             .cache
             .get_or_init(|| {
+                // While this node computes, charge-site events attribute to it.
+                self.node.engine.push_current_op(self.node.name);
                 let result = (self.node.compute)();
+                self.node.engine.pop_current_op();
                 let (records, ok) = match &result {
                     Ok(parts) => (parts.iter().map(|p| p.len() as u64).sum(), true),
                     Err(_) => (0, false),
@@ -256,9 +266,7 @@ mod tests {
         let mut cfg = ClusterConfig::local_test();
         cfg.memory_per_machine = 1; // everything OOMs
         let e = Engine::new(cfg);
-        let b = e
-            .parallelize((0..100u32).map(|i| (0u8, i)).collect::<Vec<_>>(), 2)
-            .group_by_key();
+        let b = e.parallelize((0..100u32).map(|i| (0u8, i)).collect::<Vec<_>>(), 2).group_by_key();
         assert!(b.collect().is_err());
         let trace = e.trace();
         assert!(trace.iter().any(|ev| ev.op == "group_by_key" && !ev.ok));

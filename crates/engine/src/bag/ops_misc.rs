@@ -53,7 +53,7 @@ impl<T: Data> Bag<T> {
         Bag::new(engine.clone(), "sort_by", bytes, partitions, move || {
             let input = parent.eval()?;
             let records: u64 = input.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(records, bytes);
+            engine.charge_shuffle("sort_by", records, bytes);
             // Exact split points from the full key set (a simulator can
             // afford exact quantiles; Spark samples).
             let mut keys: Vec<K> = input.iter().flat_map(|p| p.iter().map(&key)).collect();
@@ -70,11 +70,12 @@ impl<T: Data> Bag<T> {
                 }
             }
             let factor = engine.config().costs.materialize_factor;
-            let ws: Vec<u64> = out.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
+            let ws: Vec<u64> =
+                out.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
             engine.charge_memory("sort_by", &ws)?;
             let counts: Vec<usize> = out.iter().map(Vec::len).collect();
             let out: Vec<Vec<T>> = parallel_map(out, |_, mut p| {
-                p.sort_by(|a, b| key(a).cmp(&key(b)));
+                p.sort_by_key(|a| key(a));
                 p
             });
             engine.charge_compute(&counts, bytes, true)?;
@@ -88,13 +89,14 @@ impl<T: Data> Bag<T> {
         n: usize,
         key: impl Fn(&T) -> K + Send + Sync,
     ) -> Result<Vec<T>> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let mut all: Vec<T> = parts.iter().flat_map(|p| p.iter().cloned()).collect();
-        all.sort_by(|a, b| key(a).cmp(&key(b)));
-        all.truncate(n);
-        self.engine().charge_driver_collect(all.len() as u64, self.record_bytes());
-        Ok(all)
+        self.engine().run_job("top_k_by", || {
+            let parts = self.eval()?;
+            let mut all: Vec<T> = parts.iter().flat_map(|p| p.iter().cloned()).collect();
+            all.sort_by_key(|a| key(a));
+            all.truncate(n);
+            self.engine().charge_driver_collect(all.len() as u64, self.record_bytes());
+            Ok(all)
+        })
     }
 }
 
@@ -106,17 +108,18 @@ impl<T: Data + Into<f64> + Copy> Bag<T> {
 
     /// Mean of a numeric bag (action); `None` when empty.
     pub fn mean(&self) -> Result<Option<f64>> {
-        self.engine().charge_job();
-        let parts = self.eval()?;
-        let mut n = 0u64;
-        let mut s = 0.0;
-        for p in parts.iter() {
-            for x in p.iter() {
-                n += 1;
-                s += Into::<f64>::into(*x);
+        self.engine().run_job("mean", || {
+            let parts = self.eval()?;
+            let mut n = 0u64;
+            let mut s = 0.0;
+            for p in parts.iter() {
+                for x in p.iter() {
+                    n += 1;
+                    s += Into::<f64>::into(*x);
+                }
             }
-        }
-        Ok(if n == 0 { None } else { Some(s / n as f64) })
+            Ok(if n == 0 { None } else { Some(s / n as f64) })
+        })
     }
 }
 
@@ -135,8 +138,8 @@ impl<T: Key> Bag<T> {
             let rp = right.eval()?;
             let lrec: u64 = lp.iter().map(|p| p.len() as u64).sum();
             let rrec: u64 = rp.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(lrec, bytes);
-            engine.charge_shuffle(rrec, right.record_bytes());
+            engine.charge_shuffle("subtract", lrec, bytes);
+            engine.charge_shuffle("subtract", rrec, right.record_bytes());
             let ls = scatter_by_value(&lp, partitions);
             let rs = scatter_by_value(&rp, partitions);
             let zipped: Vec<(Vec<T>, Vec<T>)> = ls.into_iter().zip(rs).collect();
@@ -163,8 +166,8 @@ impl<T: Key> Bag<T> {
             let rp = right.eval()?;
             let lrec: u64 = lp.iter().map(|p| p.len() as u64).sum();
             let rrec: u64 = rp.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(lrec, bytes);
-            engine.charge_shuffle(rrec, right.record_bytes());
+            engine.charge_shuffle("intersection", lrec, bytes);
+            engine.charge_shuffle("intersection", rrec, right.record_bytes());
             let ls = scatter_by_value(&lp, partitions);
             let rs = scatter_by_value(&rp, partitions);
             let zipped: Vec<(Vec<T>, Vec<T>)> = ls.into_iter().zip(rs).collect();
@@ -385,9 +388,11 @@ mod tests {
     fn aggregate_by_key_computes_averages() {
         let e = Engine::local();
         let b = e.parallelize(vec![(1u32, 10.0f64), (1, 20.0), (2, 5.0)], 2);
-        let sums = b.aggregate_by_key((0.0f64, 0u64), |z, v| (z.0 + v, z.1 + 1), |a, b| {
-            (a.0 + b.0, a.1 + b.1)
-        });
+        let sums = b.aggregate_by_key(
+            (0.0f64, 0u64),
+            |z, v| (z.0 + v, z.1 + 1),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
         let mut avgs: Vec<(u32, f64)> =
             sums.collect().unwrap().into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect();
         avgs.sort_by_key(|(k, _)| *k);
@@ -415,11 +420,7 @@ mod tests {
         let full = sorted(l.full_outer_join(&r).collect().unwrap());
         assert_eq!(
             full,
-            vec![
-                (1, (Some('a'), None)),
-                (2, (Some('b'), Some(20))),
-                (3, (None, Some(30))),
-            ]
+            vec![(1, (Some('a'), None)), (2, (Some('b'), Some(20))), (3, (None, Some(30))),]
         );
         let right = sorted(l.right_outer_join(&r).collect().unwrap());
         assert_eq!(right, vec![(2, (Some('b'), 20)), (3, (None, 30))]);

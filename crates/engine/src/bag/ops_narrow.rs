@@ -53,28 +53,26 @@ impl<T: Data> Bag<T> {
         let bytes = self.record_bytes();
         Ok(Bag::new(engine.clone(), "map_with_work", bytes, self.num_partitions(), move || {
             let input = parent.eval()?;
-            let computed: Vec<(Vec<U>, u64, u64)> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
-                let mut out = Vec::with_capacity(p.len());
-                let mut work = 0u64;
-                let mut mem = 0u64;
-                for rec in p.iter() {
-                    let (u, est) = f(rec);
-                    out.push(u);
-                    work += est.cost_units;
-                    mem = mem.max(est.mem_bytes);
-                }
-                (out, work, mem)
-            });
+            let computed: Vec<(Vec<U>, u64, u64)> =
+                parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
+                    let mut out = Vec::with_capacity(p.len());
+                    let mut work = 0u64;
+                    let mut mem = 0u64;
+                    for rec in p.iter() {
+                        let (u, est) = f(rec);
+                        out.push(u);
+                        work += est.cost_units;
+                        mem = mem.max(est.mem_bytes);
+                    }
+                    (out, work, mem)
+                });
             let per_record = engine.record_cost(bytes);
             let task_costs: Vec<crate::SimTime> =
                 computed.iter().map(|(_, work, _)| per_record * *work).collect();
             let working_sets: Vec<u64> = computed.iter().map(|(_, _, mem)| *mem).collect();
             engine.charge_memory("map_with_work", &working_sets)?;
             engine.charge_weighted(&task_costs, false)?;
-            engine
-                .core
-                .stats
-                .add_records(computed.iter().map(|(o, _, _)| o.len() as u64).sum());
+            engine.core.stats.add_records(computed.iter().map(|(o, _, _)| o.len() as u64).sum());
             Ok(to_parts(computed.into_iter().map(|(o, _, _)| o).collect()))
         }))
     }
@@ -87,8 +85,9 @@ impl<T: Data> Bag<T> {
         Bag::new(engine.clone(), "filter", bytes, self.num_partitions(), move || {
             let input = parent.eval()?;
             let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
-            let out: Vec<Vec<T>> =
-                parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| p.iter().filter(|x| f(x)).cloned().collect());
+            let out: Vec<Vec<T>> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
+                p.iter().filter(|x| f(x)).cloned().collect()
+            });
             engine.charge_compute(&in_counts, bytes, false)?;
             Ok(to_parts(out))
         })
@@ -107,12 +106,9 @@ impl<T: Data> Bag<T> {
         Bag::new(engine.clone(), "flat_map", bytes, self.num_partitions(), move || {
             let input = parent.eval()?;
             let out: Vec<Vec<U>> =
-                parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| p.iter().flat_map(|x| f(x)).collect());
-            let counts: Vec<usize> = input
-                .iter()
-                .zip(out.iter())
-                .map(|(i, o)| i.len().max(o.len()))
-                .collect();
+                parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| p.iter().flat_map(&f).collect());
+            let counts: Vec<usize> =
+                input.iter().zip(out.iter()).map(|(i, o)| i.len().max(o.len())).collect();
             engine.charge_compute(&counts, bytes, false)?;
             Ok(to_parts(out))
         })
@@ -141,10 +137,7 @@ impl<T: Data> Bag<T> {
 
     /// Concatenate two bags (free metadata operation, like Spark `union`).
     pub fn union(&self, other: &Bag<T>) -> Bag<T> {
-        assert!(
-            self.engine().same_as(other.engine()),
-            "union of bags from different engines"
-        );
+        assert!(self.engine().same_as(other.engine()), "union of bags from different engines");
         let a = self.clone();
         let b = other.clone();
         let bytes = self.record_bytes().max(other.record_bytes());
@@ -250,14 +243,16 @@ mod tests {
     fn map_with_work_charges_declared_work() {
         let e = Engine::local();
         let b = e.parallelize(vec![1u64, 2, 3], 1);
-        let cheap = b.map_with_work(|x| (*x, WorkEstimate { cost_units: 1, mem_bytes: 0 })).unwrap();
+        let cheap =
+            b.map_with_work(|x| (*x, WorkEstimate { cost_units: 1, mem_bytes: 0 })).unwrap();
         let t0 = e.sim_time();
         cheap.collect().unwrap();
         let cheap_dt = e.sim_time() - t0;
 
         let b2 = e.parallelize(vec![1u64, 2, 3], 1);
-        let pricey =
-            b2.map_with_work(|x| (*x, WorkEstimate { cost_units: 1_000_000, mem_bytes: 0 })).unwrap();
+        let pricey = b2
+            .map_with_work(|x| (*x, WorkEstimate { cost_units: 1_000_000, mem_bytes: 0 }))
+            .unwrap();
         let t1 = e.sim_time();
         pricey.collect().unwrap();
         let pricey_dt = e.sim_time() - t1;

@@ -56,32 +56,39 @@ impl<K: Key, V: Data> Bag<(K, V)> {
         let partitions = partitions.max(1);
         let co_partitioned = parent.partitioning() == Partitioning::HashByKey { partitions };
         let meta = Partitioning::HashByKey { partitions };
-        Bag::new_with_partitioning(engine.clone(), "group_by_key", bytes, partitions, meta, move || {
-            let input = parent.eval()?;
-            let shuffled: Vec<Vec<(K, V)>> = if co_partitioned {
-                // Already hash-placed by key with the right modulus: a
-                // narrow dependency, no shuffle (Spark co-partitioning).
-                input.iter().map(|p| p.to_vec()).collect()
-            } else {
-                let records: u64 = input.iter().map(|p| p.len() as u64).sum();
-                engine.charge_shuffle(records, bytes);
-                scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
-            };
-            let factor = engine.config().costs.materialize_factor;
-            let working_sets: Vec<u64> =
-                shuffled.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
-            engine.charge_memory("group_by_key", &working_sets)?;
-            let in_counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
-            let out: Vec<Vec<(K, Vec<V>)>> = parallel_map(shuffled, |_, part| {
-                let mut groups: HashMap<K, Vec<V>> = HashMap::new();
-                for (k, v) in part {
-                    groups.entry(k).or_default().push(v);
-                }
-                groups.into_iter().collect()
-            });
-            engine.charge_compute(&in_counts, bytes, true)?;
-            Ok(to_parts(out))
-        })
+        Bag::new_with_partitioning(
+            engine.clone(),
+            "group_by_key",
+            bytes,
+            partitions,
+            meta,
+            move || {
+                let input = parent.eval()?;
+                let shuffled: Vec<Vec<(K, V)>> = if co_partitioned {
+                    // Already hash-placed by key with the right modulus: a
+                    // narrow dependency, no shuffle (Spark co-partitioning).
+                    input.iter().map(|p| p.to_vec()).collect()
+                } else {
+                    let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+                    engine.charge_shuffle("group_by_key", records, bytes);
+                    scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
+                };
+                let factor = engine.config().costs.materialize_factor;
+                let working_sets: Vec<u64> =
+                    shuffled.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
+                engine.charge_memory("group_by_key", &working_sets)?;
+                let in_counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+                let out: Vec<Vec<(K, Vec<V>)>> = parallel_map(shuffled, |_, part| {
+                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in part {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    groups.into_iter().collect()
+                });
+                engine.charge_compute(&in_counts, bytes, true)?;
+                Ok(to_parts(out))
+            },
+        )
     }
 
     /// Merge values per key with an associative function, with map-side
@@ -122,59 +129,67 @@ impl<K: Key, V: Data> Bag<(K, V)> {
         let co_partitioned = parent.partitioning() == Partitioning::HashByKey { partitions };
         let meta = Partitioning::HashByKey { partitions };
         let f = Arc::new(f);
-        Bag::new_with_partitioning(engine.clone(), "reduce_by_key", partial_bytes, partitions, meta, move || {
-            let input = parent.eval()?;
-            let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
-            // Map-side combine.
-            let fc = Arc::clone(&f);
-            let combined: Vec<Vec<(K, V)>> = parallel_map(input.to_vec(), move |_, p: Arc<Vec<(K, V)>>| {
-                let mut acc: HashMap<K, V> = HashMap::new();
-                for (k, v) in p.iter() {
-                    match acc.get_mut(k) {
-                        Some(cur) => *cur = fc(cur, v),
-                        None => {
-                            acc.insert(k.clone(), v.clone());
+        Bag::new_with_partitioning(
+            engine.clone(),
+            "reduce_by_key",
+            partial_bytes,
+            partitions,
+            meta,
+            move || {
+                let input = parent.eval()?;
+                let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+                // Map-side combine.
+                let fc = Arc::clone(&f);
+                let combined: Vec<Vec<(K, V)>> =
+                    parallel_map(input.to_vec(), move |_, p: Arc<Vec<(K, V)>>| {
+                        let mut acc: HashMap<K, V> = HashMap::new();
+                        for (k, v) in p.iter() {
+                            match acc.get_mut(k) {
+                                Some(cur) => *cur = fc(cur, v),
+                                None => {
+                                    acc.insert(k.clone(), v.clone());
+                                }
+                            }
+                        }
+                        acc.into_iter().collect()
+                    });
+                engine.charge_compute(&in_counts, bytes, false)?;
+                let factor = engine.config().costs.materialize_factor;
+                let combine_ws: Vec<u64> = combined
+                    .iter()
+                    .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
+                    .collect();
+                engine.charge_memory("reduce_by_key(combine)", &combine_ws)?;
+                let shuffled = if co_partitioned {
+                    combined
+                } else {
+                    let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
+                    engine.charge_shuffle("reduce_by_key", records, partial_bytes);
+                    scatter_by_key(combined, partitions, |r| &r.0)
+                };
+                let reduce_ws: Vec<u64> = shuffled
+                    .iter()
+                    .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
+                    .collect();
+                engine.charge_memory("reduce_by_key", &reduce_ws)?;
+                let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+                let fr = Arc::clone(&f);
+                let out: Vec<Vec<(K, V)>> = parallel_map(shuffled, move |_, part| {
+                    let mut acc: HashMap<K, V> = HashMap::new();
+                    for (k, v) in part {
+                        match acc.get_mut(&k) {
+                            Some(cur) => *cur = fr(cur, &v),
+                            None => {
+                                acc.insert(k, v);
+                            }
                         }
                     }
-                }
-                acc.into_iter().collect()
-            });
-            engine.charge_compute(&in_counts, bytes, false)?;
-            let factor = engine.config().costs.materialize_factor;
-            let combine_ws: Vec<u64> = combined
-                .iter()
-                .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
-                .collect();
-            engine.charge_memory("reduce_by_key(combine)", &combine_ws)?;
-            let shuffled = if co_partitioned {
-                combined
-            } else {
-                let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
-                engine.charge_shuffle(records, partial_bytes);
-                scatter_by_key(combined, partitions, |r| &r.0)
-            };
-            let reduce_ws: Vec<u64> = shuffled
-                .iter()
-                .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
-                .collect();
-            engine.charge_memory("reduce_by_key", &reduce_ws)?;
-            let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
-            let fr = Arc::clone(&f);
-            let out: Vec<Vec<(K, V)>> = parallel_map(shuffled, move |_, part| {
-                let mut acc: HashMap<K, V> = HashMap::new();
-                for (k, v) in part {
-                    match acc.get_mut(&k) {
-                        Some(cur) => *cur = fr(cur, &v),
-                        None => {
-                            acc.insert(k, v);
-                        }
-                    }
-                }
-                acc.into_iter().collect()
-            });
-            engine.charge_compute(&counts, bytes, true)?;
-            Ok(to_parts(out))
-        })
+                    acc.into_iter().collect()
+                });
+                engine.charge_compute(&counts, bytes, true)?;
+                Ok(to_parts(out))
+            },
+        )
     }
 
     /// Equi-join with a selectable algorithm.
@@ -218,14 +233,14 @@ impl<K: Key, V: Data> Bag<(K, V)> {
                 lp.iter().map(|p| p.to_vec()).collect()
             } else {
                 let lrecords: u64 = lp.iter().map(|p| p.len() as u64).sum();
-                engine.charge_shuffle(lrecords, lbytes);
+                engine.charge_shuffle("join", lrecords, lbytes);
                 scatter_by_key(lp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
             };
             let rs: Vec<Vec<(K, W)>> = if r_co {
                 rp.iter().map(|p| p.to_vec()).collect()
             } else {
                 let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
-                engine.charge_shuffle(rrecords, rbytes);
+                engine.charge_shuffle("join", rrecords, rbytes);
                 scatter_by_key(rp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
             };
             let factor = engine.config().costs.materialize_factor;
@@ -308,8 +323,8 @@ impl<K: Key, V: Data> Bag<(K, V)> {
             let rp = right.eval()?;
             let lrecords: u64 = lp.iter().map(|p| p.len() as u64).sum();
             let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(lrecords, lbytes);
-            engine.charge_shuffle(rrecords, rbytes);
+            engine.charge_shuffle("co_group", lrecords, lbytes);
+            engine.charge_shuffle("co_group", rrecords, rbytes);
             let ls = scatter_by_key(lp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
             let rs = scatter_by_key(rp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
             let factor = engine.config().costs.materialize_factor;
@@ -365,16 +380,25 @@ impl<K: Key, V: Data> Bag<(K, V)> {
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
         let meta = Partitioning::HashByKey { partitions };
-        Bag::new_with_partitioning(engine.clone(), "partition_by_key", bytes, partitions, meta, move || {
-            let input = parent.eval()?;
-            let records: u64 = input.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(records, bytes);
-            let shuffled =
-                scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
-            let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
-            engine.charge_compute(&counts, bytes, true)?;
-            Ok(to_parts(shuffled))
-        })
+        Bag::new_with_partitioning(
+            engine.clone(),
+            "partition_by_key",
+            bytes,
+            partitions,
+            meta,
+            move || {
+                let input = parent.eval()?;
+                let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+                engine.charge_shuffle("partition_by_key", records, bytes);
+                let shuffled =
+                    scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| {
+                        &r.0
+                    });
+                let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
+                engine.charge_compute(&counts, bytes, true)?;
+                Ok(to_parts(shuffled))
+            },
+        )
     }
 }
 
@@ -414,7 +438,7 @@ impl<T: Key> Bag<T> {
                 combined.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
             engine.charge_memory("distinct(combine)", &combine_ws)?;
             let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(records, bytes);
+            engine.charge_shuffle("distinct", records, bytes);
             let shuffled: Vec<Vec<T>> = {
                 let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
                 for p in combined {
@@ -455,7 +479,7 @@ impl<T: Data> Bag<T> {
         Bag::new(engine.clone(), "repartition", bytes, n, move || {
             let input = parent.eval()?;
             let records: u64 = input.iter().map(|p| p.len() as u64).sum();
-            engine.charge_shuffle(records, bytes);
+            engine.charge_shuffle("repartition", records, bytes);
             let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
             let mut i = 0usize;
             for p in input.iter() {
@@ -591,9 +615,8 @@ mod tests {
     #[test]
     fn co_partitioned_join_skips_shuffle() {
         let e = Engine::local();
-        let l = e
-            .parallelize((0..1000u32).map(|i| (i, i)).collect::<Vec<_>>(), 4)
-            .partition_by_key(8);
+        let l =
+            e.parallelize((0..1000u32).map(|i| (i, i)).collect::<Vec<_>>(), 4).partition_by_key(8);
         let r = e
             .parallelize((0..1000u32).map(|i| (i, i * 2)).collect::<Vec<_>>(), 4)
             .partition_by_key(8);

@@ -115,6 +115,12 @@ pub struct ClusterConfig {
     pub costs: CostModel,
     /// Fault injection (no failures by default).
     pub faults: FaultConfig,
+    /// Collect structured [`EngineEvent`](crate::EngineEvent)s (job, stage,
+    /// shuffle, broadcast, spill, collect, memory peaks) during execution.
+    /// Off by default: when off, each would-be event costs a single relaxed
+    /// atomic load, keeping untraced runs within measurement noise. Can also
+    /// be toggled later via [`Engine::enable_tracing`](crate::Engine::enable_tracing).
+    pub trace_events: bool,
 }
 
 impl ClusterConfig {
@@ -136,6 +142,7 @@ impl ClusterConfig {
             default_parallelism: 3 * 36 * 40,
             costs: CostModel::default(),
             faults: FaultConfig::default(),
+            trace_events: false,
         }
     }
 
@@ -151,6 +158,7 @@ impl ClusterConfig {
             default_parallelism: 3 * machines * cores,
             costs: CostModel::default(),
             faults: FaultConfig::default(),
+            trace_events: false,
         }
     }
 
@@ -165,6 +173,7 @@ impl ClusterConfig {
             default_parallelism: 8,
             costs: CostModel::default(),
             faults: FaultConfig::default(),
+            trace_events: false,
         }
     }
 

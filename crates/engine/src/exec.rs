@@ -6,10 +6,16 @@
 //! scheduling plus executor-side task launch, scheduled onto simulated cores
 //! with LPT); narrow operators charge per-record processing only, since
 //! their work rides inside an already-charged stage's tasks.
+//!
+//! Every charge site here doubles as an observability hook: when tracing is
+//! enabled (see [`crate::trace`]), each charge records a structured
+//! [`EngineEvent`] carrying the simulated interval it covered and the
+//! operator it was charged for.
 
 use crate::error::{EngineError, Result};
 use crate::partitioner::stable_hash;
 use crate::sim::{check_stage_memory, lpt_makespan, SimTime};
+use crate::trace::EngineEvent;
 use crate::Engine;
 
 impl Engine {
@@ -19,17 +25,43 @@ impl Engine {
         c.per_record + c.per_byte * bytes
     }
 
+    /// Run an action as one simulated job: charges the job launch and, when
+    /// tracing is on, brackets the work with `JobStart`/`JobEnd` events so
+    /// every stage/shuffle/broadcast charged inside `f` is attributable to
+    /// this job in the exported trace.
+    pub(crate) fn run_job<R>(
+        &self,
+        action: &'static str,
+        f: impl FnOnce() -> Result<R>,
+    ) -> Result<R> {
+        let job = self.next_job_id();
+        let start = self.sim_time();
+        self.record_event(|| EngineEvent::JobStart { job, action, at: start });
+        self.charge_job();
+        let out = f();
+        let at = self.sim_time();
+        let ok = out.is_ok();
+        self.record_event(|| EngineEvent::JobEnd { job, at, ok });
+        out
+    }
+
     /// Charge the compute portion of a stage: one simulated task per
     /// partition with `counts[i]` records of `bytes` each.
     ///
     /// `task_overhead` is true for stage-starting operators (sources, shuffle
     /// reads), which pay driver scheduling and task launch per task.
-    pub(crate) fn charge_compute(&self, counts: &[usize], bytes: f64, task_overhead: bool) -> Result<()> {
+    pub(crate) fn charge_compute(
+        &self,
+        counts: &[usize],
+        bytes: f64,
+        task_overhead: bool,
+    ) -> Result<()> {
         let per_record = self.record_cost(bytes);
         let costs: Vec<SimTime> = counts
             .iter()
             .map(|&n| {
-                let launch = if task_overhead { self.config().costs.task_launch } else { SimTime::ZERO };
+                let launch =
+                    if task_overhead { self.config().costs.task_launch } else { SimTime::ZERO };
                 launch + per_record * n as u64
             })
             .collect();
@@ -43,15 +75,18 @@ impl Engine {
     /// a failed attempt is re-run (its cost charged again, plus a task
     /// launch); a task that exhausts its attempts fails the job, as Spark's
     /// `spark.task.maxFailures` does.
-    pub(crate) fn charge_weighted(&self, task_costs: &[SimTime], task_overhead: bool) -> Result<()> {
+    pub(crate) fn charge_weighted(
+        &self,
+        task_costs: &[SimTime],
+        task_overhead: bool,
+    ) -> Result<()> {
+        let start = self.sim_time();
         let stage_id = self.core.stats.snapshot().stages;
         if task_overhead {
             self.core.stats.add_stage(task_costs.len() as u64);
             // Driver schedules tasks serially; this is what makes very high
             // task counts expensive independent of cluster size.
-            self.core
-                .clock
-                .advance(self.config().costs.task_schedule * task_costs.len() as u64);
+            self.core.clock.advance(self.config().costs.task_schedule * task_costs.len() as u64);
         }
         let faults = &self.config().faults;
         let mut effective = task_costs.to_vec();
@@ -71,31 +106,65 @@ impl Engine {
             }
         }
         self.core.clock.advance(lpt_makespan(&effective, self.config().total_cores()));
+        self.record_event(|| EngineEvent::Stage {
+            stage: stage_id,
+            operator: self.current_operator(),
+            tasks: effective.len() as u64,
+            scheduled: task_overhead,
+            start,
+            end: self.sim_time(),
+            busy: effective.iter().copied().sum(),
+        });
         Ok(())
     }
 
     /// Charge a shuffle of `records` records of `bytes` each: map-side
     /// serialization (parallel across cores) plus network transfer at the
     /// aggregate cluster bandwidth.
-    pub(crate) fn charge_shuffle(&self, records: u64, bytes: f64) {
+    pub(crate) fn charge_shuffle(&self, operator: &'static str, records: u64, bytes: f64) {
         let c = &self.config().costs;
         let total_bytes = (records as f64 * bytes) as u64;
         self.core.stats.add_shuffle_bytes(total_bytes);
+        let start = self.sim_time();
         let ser = SimTime::from_nanos(
-            c.per_shuffle_record.as_nanos().saturating_mul(records) / self.config().total_cores().max(1) as u64,
+            c.per_shuffle_record.as_nanos().saturating_mul(records)
+                / self.config().total_cores().max(1) as u64,
         );
-        let net = SimTime::from_secs_f64(total_bytes as f64 / self.config().aggregate_bandwidth() as f64);
+        let net =
+            SimTime::from_secs_f64(total_bytes as f64 / self.config().aggregate_bandwidth() as f64);
         self.core.clock.advance(ser + net);
+        self.record_event(|| EngineEvent::Shuffle {
+            operator,
+            records,
+            bytes: total_bytes,
+            start,
+            end: self.sim_time(),
+        });
     }
 
     /// Memory-check a stage given per-task working sets (bytes, already
     /// including any materialization factor). Spilling advances the clock;
     /// overflow returns a simulated OutOfMemory.
-    pub(crate) fn charge_memory(&self, operator: &str, working_sets: &[u64]) -> Result<()> {
+    pub(crate) fn charge_memory(&self, operator: &'static str, working_sets: &[u64]) -> Result<()> {
         let outcome = check_stage_memory(self.config(), operator, working_sets)?;
+        if outcome.peak_bytes > 0 {
+            self.core.stats.add_peak_memory(outcome.peak_bytes);
+            self.record_event(|| EngineEvent::MemoryPeak {
+                operator,
+                peak_bytes: outcome.peak_bytes,
+                at: self.sim_time(),
+            });
+        }
         if outcome.spilled_bytes > 0 {
             self.core.stats.add_spill_bytes(outcome.spilled_bytes);
+            let start = self.sim_time();
             self.core.clock.advance(outcome.spill_time);
+            self.record_event(|| EngineEvent::Spill {
+                operator,
+                bytes: outcome.spilled_bytes,
+                start,
+                end: self.sim_time(),
+            });
         }
         Ok(())
     }
@@ -110,21 +179,35 @@ impl Engine {
     /// single machine's link, processed serially by the driver.
     pub(crate) fn charge_driver_collect(&self, records: u64, bytes: f64) {
         let total_bytes = records as f64 * bytes;
+        let start = self.sim_time();
         let cpu = self.record_cost(bytes) * records;
         let net = SimTime::from_secs_f64(total_bytes / self.config().network_bandwidth as f64);
         self.core.clock.advance(cpu + net);
+        self.record_event(|| EngineEvent::Collect {
+            records,
+            bytes: total_bytes as u64,
+            start,
+            end: self.sim_time(),
+        });
     }
 
     /// Charge distributing a broadcast variable of `bytes` to every worker,
     /// failing if the deserialized value cannot fit in worker memory.
-    pub(crate) fn charge_broadcast(&self, operator: &str, bytes: u64) -> Result<()> {
+    pub(crate) fn charge_broadcast(&self, operator: &'static str, bytes: u64) -> Result<()> {
         let expanded = (bytes as f64 * self.config().costs.materialize_factor) as u64;
         // A broadcast must fit on *every single* machine (paper Sec. 9.6).
         check_stage_memory(self.config(), operator, &[expanded])?;
         self.core.stats.add_broadcast_bytes(bytes);
+        let start = self.sim_time();
         // Torrent-style distribution: pipeline bound by one machine's link.
         let net = SimTime::from_secs_f64(bytes as f64 / self.config().network_bandwidth as f64);
         self.core.clock.advance(net);
+        self.record_event(|| EngineEvent::Broadcast {
+            operator,
+            bytes,
+            start,
+            end: self.sim_time(),
+        });
         Ok(())
     }
 }
@@ -139,9 +222,9 @@ mod tests {
     fn shuffle_time_scales_with_bytes() {
         let e = Engine::new(ClusterConfig::local_test());
         let t0 = e.sim_time();
-        e.charge_shuffle(1000, 100.0);
+        e.charge_shuffle("t", 1000, 100.0);
         let t1 = e.sim_time();
-        e.charge_shuffle(1000, 10_000.0);
+        e.charge_shuffle("t", 1000, 10_000.0);
         let t2 = e.sim_time();
         assert!((t2 - t1) > (t1 - t0));
         assert!(e.stats().shuffle_bytes >= 1000 * 100);
@@ -218,5 +301,32 @@ mod tests {
         let wide = e.sim_time() - t1;
         assert!(wide > SimTime::ZERO, "stage start pays scheduling/launch even when empty");
         assert_eq!(e.stats().tasks, 4);
+    }
+
+    #[test]
+    fn run_job_records_job_events_with_outcome() {
+        let e = Engine::new(ClusterConfig::local_test());
+        e.enable_tracing();
+        let ok: crate::Result<u32> = e.run_job("count", || Ok(7));
+        assert_eq!(ok.unwrap(), 7);
+        let err: crate::Result<u32> =
+            e.run_job("collect", || Err(crate::EngineError::Unsupported("x".into())));
+        assert!(err.is_err());
+        let events = e.events();
+        let jobs: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                crate::EngineEvent::JobStart { job, action, .. } => Some((*job, *action, None)),
+                crate::EngineEvent::JobEnd { job, ok, .. } => Some((*job, "", Some(*ok))),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].1, "count");
+        assert_eq!(jobs[1].2, Some(true));
+        assert_eq!(jobs[2].1, "collect");
+        assert_eq!(jobs[3].2, Some(false));
+        assert_eq!(e.trace_summary().jobs, 2);
+        assert_eq!(e.trace_summary().jobs_failed, 1);
     }
 }

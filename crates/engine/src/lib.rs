@@ -13,6 +13,13 @@
 //! network transfer, disk spilling and per-worker memory limits (with
 //! simulated `OutOfMemory` failures). Experiments read [`Engine::sim_time`].
 //!
+//! Execution is observable: always-on counters ([`StatsSnapshot`]), opt-in
+//! structured events ([`EngineEvent`], via [`Engine::enable_tracing`] or
+//! [`ClusterConfig::trace_events`]), the lowering-[`Decision`] log filled in
+//! by `matryoshka-core`, and JSON / Chrome-trace exporters in the [`trace`]
+//! module ([`Engine::trace_json`], [`Engine::chrome_trace`]). See
+//! `docs/OBSERVABILITY.md`.
+//!
 //! ```
 //! use matryoshka_engine::{ClusterConfig, Engine};
 //!
@@ -34,6 +41,7 @@ mod exec;
 pub mod partitioner;
 pub mod pool;
 pub mod sim;
+pub mod trace;
 mod types;
 
 pub use bag::{Bag, JoinAlgorithm, Partitioning, WorkEstimate};
@@ -41,12 +49,16 @@ pub use config::FaultConfig;
 pub use config::{ClusterConfig, CostModel, GB, KB, MB};
 pub use error::{EngineError, Result};
 pub use sim::{SimTime, StatsSnapshot};
+pub use trace::{Decision, EngineEvent, TraceSummary};
 pub use types::{Data, Key};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use sim::{SimClock, Stats};
+use trace::TraceCollector;
 
 /// One entry of the execution trace: an operator that was evaluated, in
 /// evaluation (topological) order.
@@ -71,6 +83,10 @@ pub(crate) struct EngineCore {
     clock: SimClock,
     stats: Stats,
     trace: Mutex<Vec<TraceEvent>>,
+    collector: TraceCollector,
+    decisions: Mutex<Vec<Decision>>,
+    current_op: Mutex<Vec<&'static str>>,
+    job_counter: AtomicU64,
 }
 
 /// Handle to a simulated cluster. Cheap to clone; all clones share the same
@@ -83,12 +99,17 @@ pub struct Engine {
 impl Engine {
     /// Create an engine over the given simulated cluster.
     pub fn new(cfg: ClusterConfig) -> Engine {
+        let collector = TraceCollector::new(cfg.trace_events);
         Engine {
             core: Arc::new(EngineCore {
                 cfg,
                 clock: SimClock::default(),
                 stats: Stats::default(),
                 trace: Mutex::new(Vec::new()),
+                collector,
+                decisions: Mutex::new(Vec::new()),
+                current_op: Mutex::new(Vec::new()),
+                job_counter: AtomicU64::new(0),
             }),
         }
     }
@@ -124,7 +145,7 @@ impl Engine {
     /// clock at completion — the moral equivalent of an engine UI's
     /// completed-stages view. Memoized operators appear exactly once.
     pub fn trace(&self) -> Vec<TraceEvent> {
-        self.core.trace.lock().clone()
+        self.core.trace.lock().expect("trace lock poisoned").clone()
     }
 
     /// Render the trace as an indented text report.
@@ -148,7 +169,111 @@ impl Engine {
     }
 
     pub(crate) fn record_trace(&self, ev: TraceEvent) {
-        self.core.trace.lock().push(ev);
+        self.core.trace.lock().expect("trace lock poisoned").push(ev);
+    }
+
+    /// Turn structured event collection on for this engine (see
+    /// [`trace`]). Equivalent to constructing the engine with
+    /// [`ClusterConfig::trace_events`] set.
+    pub fn enable_tracing(&self) {
+        self.core.collector.set_enabled(true);
+    }
+
+    /// Turn structured event collection off. Already-collected events are
+    /// kept and remain readable via [`Engine::events`].
+    pub fn disable_tracing(&self) {
+        self.core.collector.set_enabled(false);
+    }
+
+    /// Whether structured event collection is currently on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.core.collector.enabled()
+    }
+
+    /// The structured events collected so far, in recording order. Empty
+    /// unless tracing was enabled ([`Engine::enable_tracing`] or
+    /// [`ClusterConfig::trace_events`]).
+    pub fn events(&self) -> Vec<EngineEvent> {
+        self.core.collector.events()
+    }
+
+    /// The lowering-decision log: every cardinality-driven physical choice
+    /// recorded via [`Engine::record_decision`], in decision order. Always
+    /// collected (its size is bounded by plan size, not data size).
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.core.decisions.lock().expect("decision lock poisoned").clone()
+    }
+
+    /// Append an entry to the lowering-decision log, stamping the current
+    /// simulated time. Called by the lowering layer (crate
+    /// `matryoshka-core`) at each cardinality-driven physical choice.
+    pub fn record_decision(
+        &self,
+        site: &'static str,
+        choice: impl Into<String>,
+        cardinality: u64,
+        bytes: u64,
+        detail: impl Into<String>,
+    ) {
+        let d = Decision {
+            site,
+            choice: choice.into(),
+            cardinality,
+            bytes,
+            detail: detail.into(),
+            at: self.sim_time(),
+        };
+        self.core.decisions.lock().expect("decision lock poisoned").push(d);
+    }
+
+    /// Aggregate the collected events into a [`TraceSummary`]; its fields
+    /// reconcile with [`Engine::stats`] for the same run when tracing was on
+    /// the whole time.
+    pub fn trace_summary(&self) -> TraceSummary {
+        TraceSummary::from_events(&self.events())
+    }
+
+    /// Export collected events and decisions as a self-contained JSON
+    /// document (see `docs/OBSERVABILITY.md`).
+    pub fn trace_json(&self) -> String {
+        trace::export_json(&self.events(), &self.decisions())
+    }
+
+    /// Export collected events and decisions in the Chrome Trace Event
+    /// Format, loadable in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        trace::export_chrome_trace(&self.events(), &self.decisions())
+    }
+
+    /// Record a structured event; `make` runs only when tracing is enabled.
+    pub(crate) fn record_event(&self, make: impl FnOnce() -> EngineEvent) {
+        self.core.collector.record(make);
+    }
+
+    /// Push the operator currently being evaluated (used to attribute
+    /// charge-site events to the operator that incurred them).
+    pub(crate) fn push_current_op(&self, op: &'static str) {
+        self.core.current_op.lock().expect("current-op lock poisoned").push(op);
+    }
+
+    pub(crate) fn pop_current_op(&self) {
+        self.core.current_op.lock().expect("current-op lock poisoned").pop();
+    }
+
+    /// The operator currently being evaluated, or `"driver"` outside any
+    /// operator (e.g. a direct `Engine::broadcast`).
+    pub(crate) fn current_operator(&self) -> &'static str {
+        self.core
+            .current_op
+            .lock()
+            .expect("current-op lock poisoned")
+            .last()
+            .copied()
+            .unwrap_or("driver")
+    }
+
+    pub(crate) fn next_job_id(&self) -> u64 {
+        self.core.job_counter.fetch_add(1, Ordering::Relaxed)
     }
 
     /// True if `other` is the same engine instance (bags from different
@@ -203,7 +328,8 @@ impl Engine {
             let ranges: Vec<(u64, u64)> = (0..partitions as u64)
                 .map(|p| ((p * chunk).min(n), ((p + 1) * chunk).min(n)))
                 .collect();
-            let parts: Vec<Vec<T>> = pool::parallel_map(ranges, |_, (lo, hi)| (lo..hi).map(&f).collect());
+            let parts: Vec<Vec<T>> =
+                pool::parallel_map(ranges, |_, (lo, hi)| (lo..hi).map(&f).collect());
             let counts: Vec<usize> = parts.iter().map(Vec::len).collect();
             engine.charge_compute(&counts, bytes, true)?;
             Ok(bag_parts(parts))

@@ -1,13 +1,13 @@
 //! Real (wall-clock) parallel execution of partition work.
 //!
 //! The engine evaluates each operator's partitions in parallel on the host
-//! machine using scoped threads over a crossbeam work queue. This is
+//! machine using scoped threads over a dynamic work queue. This is
 //! orthogonal to the *simulated* cluster model: the pool makes test and
 //! benchmark runs fast; the simulator decides what the program would cost
 //! on the modeled cluster.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Number of worker threads to use for real execution.
 pub fn host_parallelism() -> usize {
@@ -16,9 +16,16 @@ pub fn host_parallelism() -> usize {
 
 /// Apply `f` to every item of `items` in parallel, preserving order.
 ///
-/// Work is distributed dynamically through an MPMC channel so that skewed
-/// partitions do not serialize behind a static chunking. Panics in `f`
-/// propagate to the caller.
+/// # Ordering guarantee
+///
+/// The output is index-aligned with the input: `result[i] == f(i, items[i])`
+/// for every `i`, regardless of which worker ran which item or in what
+/// order items finished. Workers claim items dynamically (so skewed items
+/// do not serialize behind a static chunking) and send `(index, output)`
+/// pairs over a channel; outputs are then placed by index — a write-once
+/// slot per item, with no per-slot lock.
+///
+/// Panics in `f` propagate to the caller when the thread scope joins.
 pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -33,23 +40,39 @@ where
     if threads <= 1 {
         return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    let (tx, rx) = channel::bounded::<(usize, I)>(n);
-    for pair in items.into_iter().enumerate() {
-        tx.send(pair).expect("bounded(n) queue accepts all items");
-    }
-    drop(tx);
-    let outs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Dynamic distribution: workers pop the next unclaimed item under a
+    // short-lived lock (claim only; `f` runs outside the critical section).
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
+            let tx = tx.clone();
             scope.spawn(|| {
-                while let Ok((i, item)) = rx.recv() {
-                    let out = f(i, item);
-                    *outs[i].lock() = Some(out);
+                let tx = tx; // move the clone into the worker
+                loop {
+                    let next = queue.lock().expect("queue lock poisoned").next();
+                    match next {
+                        Some((i, item)) => {
+                            let out = f(i, item);
+                            if tx.send((i, out)).is_err() {
+                                return; // receiver gone: nothing left to do
+                            }
+                        }
+                        None => return,
+                    }
                 }
             });
         }
     });
-    outs.into_iter().map(|m| m.into_inner().expect("every slot filled")).collect()
+    drop(tx);
+    // Write-once slots: each index is produced exactly once, so every slot
+    // transitions None -> Some exactly once, lock-free on this side.
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(out);
+    }
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
 }
 
 #[cfg(test)]
@@ -87,13 +110,13 @@ mod tests {
         use std::collections::HashSet;
         let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         let _ = parallel_map((0..64).collect::<Vec<i32>>(), |_, x| {
-            seen.lock().insert(std::thread::current().id());
+            seen.lock().unwrap().insert(std::thread::current().id());
             // A little work so threads overlap.
             (0..1000).fold(x, |a, b| a.wrapping_add(b))
         });
         // On a multi-core host more than one thread should have participated.
         if host_parallelism() > 1 {
-            assert!(seen.lock().len() > 1);
+            assert!(seen.lock().unwrap().len() > 1);
         }
     }
 
@@ -110,5 +133,18 @@ mod tests {
         });
         assert_eq!(out.len(), 32);
         assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map((0..16u32).collect(), |_, x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err(), "a panicking worker must fail the whole map");
     }
 }

@@ -28,7 +28,8 @@ pub fn lpt_makespan(task_costs: &[SimTime], cores: usize) -> SimTime {
     let mut sorted: Vec<SimTime> = task_costs.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     // Min-heap of core loads.
-    let mut loads: BinaryHeap<Reverse<SimTime>> = (0..cores).map(|_| Reverse(SimTime::ZERO)).collect();
+    let mut loads: BinaryHeap<Reverse<SimTime>> =
+        (0..cores).map(|_| Reverse(SimTime::ZERO)).collect();
     for t in sorted {
         let Reverse(load) = loads.pop().expect("heap has `cores` entries");
         loads.push(Reverse(load + t));

@@ -18,11 +18,15 @@ pub struct MemoryOutcome {
     pub spilled_bytes: u64,
     /// Extra simulated time spent on spill I/O (write + re-read).
     pub spill_time: SimTime,
+    /// Peak bytes concurrently resident on the heaviest machine (0 only for
+    /// stages with no non-empty task).
+    pub peak_bytes: u64,
 }
 
 impl MemoryOutcome {
-    /// No memory pressure.
-    pub const FITS: MemoryOutcome = MemoryOutcome { spilled_bytes: 0, spill_time: SimTime::ZERO };
+    /// No memory pressure (and no resident working set at all).
+    pub const FITS: MemoryOutcome =
+        MemoryOutcome { spilled_bytes: 0, spill_time: SimTime::ZERO, peak_bytes: 0 };
 }
 
 /// Check whether a stage with the given per-task working sets fits in worker
@@ -63,9 +67,13 @@ pub fn check_stage_memory(
         let spilled = peak - spill_limit;
         // Written once and read back once.
         let secs = (2 * spilled) as f64 / cfg.costs.disk_bandwidth as f64;
-        return Ok(MemoryOutcome { spilled_bytes: spilled, spill_time: SimTime::from_secs_f64(secs) });
+        return Ok(MemoryOutcome {
+            spilled_bytes: spilled,
+            spill_time: SimTime::from_secs_f64(secs),
+            peak_bytes: peak,
+        });
     }
-    Ok(MemoryOutcome::FITS)
+    Ok(MemoryOutcome { spilled_bytes: 0, spill_time: SimTime::ZERO, peak_bytes: peak })
 }
 
 #[cfg(test)]
@@ -85,7 +93,10 @@ mod tests {
     #[test]
     fn small_working_sets_fit() {
         let out = check_stage_memory(&cfg(), "t", &[MB, MB, MB]).unwrap();
-        assert_eq!(out, MemoryOutcome::FITS);
+        assert_eq!(out.spilled_bytes, 0);
+        assert_eq!(out.spill_time, SimTime::ZERO);
+        // 3 non-empty tasks on 2 machines: 2 concurrent on the heaviest.
+        assert_eq!(out.peak_bytes, 2 * MB);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct Stats {
     shuffle_bytes: AtomicU64,
     spill_bytes: AtomicU64,
     broadcast_bytes: AtomicU64,
+    peak_memory_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -35,10 +36,18 @@ pub struct StatsSnapshot {
     pub spill_bytes: u64,
     /// Bytes shipped for broadcast variables.
     pub broadcast_bytes: u64,
+    /// High-water mark of a single stage's peak concurrent working-set
+    /// memory on the heaviest worker (a maximum, not an accumulating
+    /// counter).
+    pub peak_memory_bytes: u64,
 }
 
 impl StatsSnapshot {
     /// Difference since an earlier snapshot (for per-experiment deltas).
+    ///
+    /// `peak_memory_bytes` is a high-water mark, not a counter: the delta
+    /// carries the later snapshot's value unchanged (the peak observed up to
+    /// that point, which bounds the peak of the interval).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             jobs: self.jobs - earlier.jobs,
@@ -48,6 +57,7 @@ impl StatsSnapshot {
             shuffle_bytes: self.shuffle_bytes - earlier.shuffle_bytes,
             spill_bytes: self.spill_bytes - earlier.spill_bytes,
             broadcast_bytes: self.broadcast_bytes - earlier.broadcast_bytes,
+            peak_memory_bytes: self.peak_memory_bytes,
         }
     }
 }
@@ -78,6 +88,10 @@ impl Stats {
     pub fn add_broadcast_bytes(&self, n: u64) {
         self.broadcast_bytes.fetch_add(n, Ordering::Relaxed);
     }
+    /// Raise the peak-memory high-water mark (no-op if `n` is below it).
+    pub fn add_peak_memory(&self, n: u64) {
+        self.peak_memory_bytes.fetch_max(n, Ordering::Relaxed);
+    }
 
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -89,6 +103,7 @@ impl Stats {
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            peak_memory_bytes: self.peak_memory_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +123,8 @@ mod tests {
         s.add_shuffle_bytes(42);
         s.add_spill_bytes(7);
         s.add_broadcast_bytes(3);
+        s.add_peak_memory(500);
+        s.add_peak_memory(200);
         let snap = s.snapshot();
         assert_eq!(snap.jobs, 2);
         assert_eq!(snap.stages, 2);
@@ -116,6 +133,7 @@ mod tests {
         assert_eq!(snap.shuffle_bytes, 42);
         assert_eq!(snap.spill_bytes, 7);
         assert_eq!(snap.broadcast_bytes, 3);
+        assert_eq!(snap.peak_memory_bytes, 500, "peak is a max, not a sum");
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! Structured observability: engine events, the lowering-decision log, and
+//! exporters.
+//!
+//! Three complementary surfaces, mirroring what a real engine's UI exposes:
+//!
+//! 1. **[`EngineEvent`]s** — job, stage, shuffle, broadcast, spill, collect
+//!    and memory-peak events with simulated start/end times, recorded by the
+//!    cost-charging sites in `crate::exec`. Collection is gated on
+//!    [`ClusterConfig::trace_events`](crate::ClusterConfig::trace_events) or
+//!    [`Engine::enable_tracing`](crate::Engine::enable_tracing); when off,
+//!    each would-be event costs one relaxed atomic load and the event is
+//!    never even constructed.
+//! 2. **The decision log** — [`Decision`] records appended by the Matryoshka
+//!    lowering phase (crate `matryoshka-core`) each time runtime cardinality
+//!    information drives a physical choice: partition counts (paper
+//!    Sec. 8.1), broadcast vs. repartition tag joins (Sec. 8.2), the
+//!    broadcast side of half-lifted cross products (Sec. 8.3), and live-tag
+//!    counts in lifted loops (Sec. 6.2). The log is always on: its volume is
+//!    bounded by plan size and loop iterations, never by data size.
+//! 3. **Exporters** — [`export_json`] dumps a run as a self-contained JSON
+//!    document; [`export_chrome_trace`] emits the Chrome Trace Event Format
+//!    consumed by Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//!
+//! [`TraceSummary::from_events`] aggregates an event stream back into the
+//! counters of [`StatsSnapshot`](crate::StatsSnapshot), so a traced run can
+//! be reconciled against the engine's own statistics (see
+//! `docs/OBSERVABILITY.md` at the repository root).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::sim::SimTime;
+
+/// One structured event of a traced run, in recording order.
+///
+/// Interval events carry simulated `start`/`end` times; instantaneous events
+/// carry a single `at` timestamp. All times come from the engine's simulated
+/// clock, so durations are *modeled* cluster time, not host wall-clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// An action began executing (one simulated job).
+    JobStart {
+        /// Job sequence number, unique per engine.
+        job: u64,
+        /// The action that launched the job (`collect`, `count`, ...).
+        action: &'static str,
+        /// Simulated time when the driver started the job (before the
+        /// job-launch overhead is charged).
+        at: SimTime,
+    },
+    /// The matching end of a [`EngineEvent::JobStart`].
+    JobEnd {
+        /// Job sequence number.
+        job: u64,
+        /// Simulated completion (or failure) time.
+        at: SimTime,
+        /// Whether the action succeeded.
+        ok: bool,
+    },
+    /// One stage-like unit of compute charged onto the simulated cores.
+    ///
+    /// `scheduled == true` marks a real stage boundary (a source or shuffle
+    /// read paying driver scheduling and task launch — what
+    /// [`StatsSnapshot::stages`](crate::StatsSnapshot::stages) counts);
+    /// `scheduled == false` is the pipelined compute of a narrow operator
+    /// riding inside an already-scheduled stage.
+    Stage {
+        /// Stage counter value at charge time (stable within a run).
+        stage: u64,
+        /// Operator being evaluated when the charge happened (`map`,
+        /// `reduce_by_key`, ... or `driver` outside any operator).
+        operator: &'static str,
+        /// Number of simulated tasks.
+        tasks: u64,
+        /// True for stage starts (scheduling + task-launch overhead paid).
+        scheduled: bool,
+        /// Simulated start time.
+        start: SimTime,
+        /// Simulated end time.
+        end: SimTime,
+        /// Total task time (sum over tasks, before LPT packing).
+        busy: SimTime,
+    },
+    /// Records crossed a shuffle boundary.
+    Shuffle {
+        /// Operator that shuffled.
+        operator: &'static str,
+        /// Records shuffled.
+        records: u64,
+        /// Total bytes shuffled.
+        bytes: u64,
+        /// Simulated start time.
+        start: SimTime,
+        /// Simulated end time.
+        end: SimTime,
+    },
+    /// A broadcast variable was shipped to every worker.
+    Broadcast {
+        /// Operator that broadcast (`broadcast`, `broadcast_join`, ...).
+        operator: &'static str,
+        /// Serialized bytes shipped.
+        bytes: u64,
+        /// Simulated start time.
+        start: SimTime,
+        /// Simulated end time.
+        end: SimTime,
+    },
+    /// A stage's working set exceeded the spill threshold.
+    Spill {
+        /// Operator that spilled.
+        operator: &'static str,
+        /// Bytes written to (and re-read from) simulated disk.
+        bytes: u64,
+        /// Simulated start time.
+        start: SimTime,
+        /// Simulated end time.
+        end: SimTime,
+    },
+    /// Records were moved to the driver.
+    Collect {
+        /// Records transferred.
+        records: u64,
+        /// Total bytes transferred.
+        bytes: u64,
+        /// Simulated start time.
+        start: SimTime,
+        /// Simulated end time.
+        end: SimTime,
+    },
+    /// Peak concurrent working-set memory of a stage on the heaviest worker.
+    MemoryPeak {
+        /// Operator whose stage was memory-checked.
+        operator: &'static str,
+        /// Peak bytes concurrently resident on the heaviest machine.
+        peak_bytes: u64,
+        /// Simulated time of the check.
+        at: SimTime,
+    },
+}
+
+/// One entry of the lowering-decision log: a physical choice the runtime
+/// optimizer made from actual cardinality information (paper Sec. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Decision site: `partition_tuning`, `tag_join`, `cross_product`,
+    /// `co_partition`, `lifted_while`, ...
+    pub site: &'static str,
+    /// The choice taken (`broadcast`, `repartition`, a partition count, ...).
+    pub choice: String,
+    /// The driving cardinality estimate (records / tags), when applicable.
+    pub cardinality: u64,
+    /// The driving size estimate in bytes, when applicable (0 if unused).
+    pub bytes: u64,
+    /// Human-readable explanation of why this choice won.
+    pub detail: String,
+    /// Simulated time of the decision.
+    pub at: SimTime,
+}
+
+/// Aggregate totals of an event stream, field-compatible with
+/// [`StatsSnapshot`](crate::StatsSnapshot) so traced runs can be reconciled
+/// against the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Jobs started ([`EngineEvent::JobStart`] count).
+    pub jobs: u64,
+    /// Jobs that ended with `ok == false`.
+    pub jobs_failed: u64,
+    /// Scheduled stages ([`EngineEvent::Stage`] with `scheduled`).
+    pub stages: u64,
+    /// Tasks of scheduled stages.
+    pub tasks: u64,
+    /// Total shuffled bytes.
+    pub shuffle_bytes: u64,
+    /// Total spilled bytes.
+    pub spill_bytes: u64,
+    /// Total broadcast bytes.
+    pub broadcast_bytes: u64,
+    /// Records moved to the driver by collects.
+    pub collected_records: u64,
+    /// Maximum [`EngineEvent::MemoryPeak`] seen.
+    pub peak_memory_bytes: u64,
+}
+
+impl TraceSummary {
+    /// Aggregate an event stream. The result matches the engine's
+    /// [`StatsSnapshot`](crate::StatsSnapshot) deltas for the same run on
+    /// every shared field (`jobs`, `stages`, `tasks`, `shuffle_bytes`,
+    /// `spill_bytes`, `broadcast_bytes`, `peak_memory_bytes`).
+    pub fn from_events(events: &[EngineEvent]) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for ev in events {
+            match ev {
+                EngineEvent::JobStart { .. } => s.jobs += 1,
+                EngineEvent::JobEnd { ok, .. } => {
+                    if !ok {
+                        s.jobs_failed += 1;
+                    }
+                }
+                EngineEvent::Stage { tasks, scheduled, .. } => {
+                    if *scheduled {
+                        s.stages += 1;
+                        s.tasks += tasks;
+                    }
+                }
+                EngineEvent::Shuffle { bytes, .. } => s.shuffle_bytes += bytes,
+                EngineEvent::Spill { bytes, .. } => s.spill_bytes += bytes,
+                EngineEvent::Broadcast { bytes, .. } => s.broadcast_bytes += bytes,
+                EngineEvent::Collect { records, .. } => s.collected_records += records,
+                EngineEvent::MemoryPeak { peak_bytes, .. } => {
+                    s.peak_memory_bytes = s.peak_memory_bytes.max(*peak_bytes)
+                }
+            }
+        }
+        s
+    }
+}
+
+/// The config-gated event collector held by each engine.
+///
+/// Recording costs one relaxed atomic load when disabled; the event value is
+/// only constructed (and the mutex only taken) when enabled, so untraced
+/// runs stay within measurement noise.
+pub(crate) struct TraceCollector {
+    enabled: AtomicBool,
+    events: Mutex<Vec<EngineEvent>>,
+}
+
+/// Initial capacity reserved when tracing is enabled, so steady-state
+/// recording does not reallocate for typical runs.
+const EVENT_CAPACITY: usize = 4096;
+
+impl TraceCollector {
+    pub(crate) fn new(enabled: bool) -> TraceCollector {
+        let events = if enabled { Vec::with_capacity(EVENT_CAPACITY) } else { Vec::new() };
+        TraceCollector { enabled: AtomicBool::new(enabled), events: Mutex::new(events) }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        if on {
+            let mut ev = self.events.lock().expect("trace collector lock poisoned");
+            if ev.capacity() == 0 {
+                ev.reserve(EVENT_CAPACITY);
+            }
+        }
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record an event; `make` runs only when the collector is enabled.
+    pub(crate) fn record(&self, make: impl FnOnce() -> EngineEvent) {
+        if self.enabled() {
+            self.events.lock().expect("trace collector lock poisoned").push(make());
+        }
+    }
+
+    pub(crate) fn events(&self) -> Vec<EngineEvent> {
+        self.events.lock().expect("trace collector lock poisoned").clone()
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Simulated time as fractional microseconds (the unit of the Chrome Trace
+/// Event Format; also used in the JSON dump for readability).
+fn micros(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1e3
+}
+
+fn span(out: &mut String, start: SimTime, end: SimTime) {
+    let _ = write!(out, "\"start_us\":{:.3},\"end_us\":{:.3}", micros(start), micros(end));
+}
+
+/// Serialize events, decisions and the derived [`TraceSummary`] as one
+/// self-contained JSON document (hand-rolled; the engine has no serializer
+/// dependency). Timestamps are simulated microseconds.
+pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
+    let summary = TraceSummary::from_events(events);
+    let mut out = String::with_capacity(events.len() * 96 + decisions.len() * 128 + 512);
+    out.push_str("{\n  \"summary\": {");
+    let _ = write!(
+        out,
+        "\"jobs\":{},\"jobs_failed\":{},\"stages\":{},\"tasks\":{},\"shuffle_bytes\":{},\
+         \"spill_bytes\":{},\"broadcast_bytes\":{},\"collected_records\":{},\"peak_memory_bytes\":{}",
+        summary.jobs,
+        summary.jobs_failed,
+        summary.stages,
+        summary.tasks,
+        summary.shuffle_bytes,
+        summary.spill_bytes,
+        summary.broadcast_bytes,
+        summary.collected_records,
+        summary.peak_memory_bytes
+    );
+    out.push_str("},\n  \"events\": [\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str("    {");
+        match ev {
+            EngineEvent::JobStart { job, action, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_start\",\"job\":{job},\"action\":\"{}\",\"at_us\":{:.3}",
+                    esc(action),
+                    micros(*at)
+                );
+            }
+            EngineEvent::JobEnd { job, at, ok } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_end\",\"job\":{job},\"ok\":{ok},\"at_us\":{:.3}",
+                    micros(*at)
+                );
+            }
+            EngineEvent::Stage { stage, operator, tasks, scheduled, start, end, busy } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"stage\",\"stage\":{stage},\"operator\":\"{}\",\"tasks\":{tasks},\
+                     \"scheduled\":{scheduled},\"busy_us\":{:.3},",
+                    esc(operator),
+                    micros(*busy)
+                );
+                span(&mut out, *start, *end);
+            }
+            EngineEvent::Shuffle { operator, records, bytes, start, end } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"shuffle\",\"operator\":\"{}\",\"records\":{records},\"bytes\":{bytes},",
+                    esc(operator)
+                );
+                span(&mut out, *start, *end);
+            }
+            EngineEvent::Broadcast { operator, bytes, start, end } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"broadcast\",\"operator\":\"{}\",\"bytes\":{bytes},",
+                    esc(operator)
+                );
+                span(&mut out, *start, *end);
+            }
+            EngineEvent::Spill { operator, bytes, start, end } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"spill\",\"operator\":\"{}\",\"bytes\":{bytes},",
+                    esc(operator)
+                );
+                span(&mut out, *start, *end);
+            }
+            EngineEvent::Collect { records, bytes, start, end } => {
+                let _ =
+                    write!(out, "\"type\":\"collect\",\"records\":{records},\"bytes\":{bytes},");
+                span(&mut out, *start, *end);
+            }
+            EngineEvent::MemoryPeak { operator, peak_bytes, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"memory_peak\",\"operator\":\"{}\",\"peak_bytes\":{peak_bytes},\
+                     \"at_us\":{:.3}",
+                    esc(operator),
+                    micros(*at)
+                );
+            }
+        }
+        out.push('}');
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"decisions\": [\n");
+    for (i, d) in decisions.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"site\":\"{}\",\"choice\":\"{}\",\"cardinality\":{},\"bytes\":{},\
+             \"detail\":\"{}\",\"at_us\":{:.3}}}",
+            esc(d.site),
+            esc(&d.choice),
+            d.cardinality,
+            d.bytes,
+            esc(&d.detail),
+            micros(d.at)
+        );
+        if i + 1 < decisions.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Virtual thread ids of the Chrome trace: one lane per event family.
+const TID_JOBS: u32 = 1;
+const TID_STAGES: u32 = 2;
+const TID_SHUFFLE: u32 = 3;
+const TID_IO: u32 = 4;
+
+/// Serialize events in the Chrome Trace Event Format (JSON array form),
+/// loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+///
+/// The simulated cluster appears as one process with a lane ("thread") per
+/// event family: jobs, stages, shuffles, and driver/broadcast/spill I/O.
+/// Decisions become instant events on the jobs lane; memory peaks become a
+/// counter track. Timestamps are simulated microseconds.
+pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 1024);
+    out.push_str("[\n");
+    // Process/thread names (metadata events).
+    let _ = writeln!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"simulated cluster\"}}}},"
+    );
+    for (tid, name) in
+        [(TID_JOBS, "jobs"), (TID_STAGES, "stages"), (TID_SHUFFLE, "shuffle"), (TID_IO, "io")]
+    {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}},"
+        );
+    }
+    let complete = |out: &mut String,
+                    name: String,
+                    cat: &str,
+                    tid: u32,
+                    start: SimTime,
+                    end: SimTime,
+                    args: String| {
+        let dur = (micros(end) - micros(start)).max(0.001);
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{tid},\"args\":{{{args}}}}},",
+            esc(&name),
+            micros(start),
+            dur
+        );
+    };
+    // Pair job starts with their ends to draw one slice per job.
+    let mut open_jobs: Vec<(u64, &'static str, SimTime)> = Vec::new();
+    for ev in events {
+        match ev {
+            EngineEvent::JobStart { job, action, at } => open_jobs.push((*job, action, *at)),
+            EngineEvent::JobEnd { job, at, ok } => {
+                if let Some(pos) = open_jobs.iter().rposition(|(j, _, _)| j == job) {
+                    let (j, action, start) = open_jobs.remove(pos);
+                    complete(
+                        &mut out,
+                        format!("job {j}: {action}"),
+                        "job",
+                        TID_JOBS,
+                        start,
+                        *at,
+                        format!("\"job\":{j},\"ok\":{ok}"),
+                    );
+                }
+            }
+            EngineEvent::Stage { stage, operator, tasks, scheduled, start, end, busy } => {
+                complete(
+                    &mut out,
+                    format!("{operator} [{tasks} tasks]"),
+                    if *scheduled { "stage" } else { "narrow" },
+                    TID_STAGES,
+                    *start,
+                    *end,
+                    format!(
+                        "\"stage\":{stage},\"tasks\":{tasks},\"scheduled\":{scheduled},\"busy_us\":{:.3}",
+                        micros(*busy)
+                    ),
+                );
+            }
+            EngineEvent::Shuffle { operator, records, bytes, start, end } => {
+                complete(
+                    &mut out,
+                    format!("shuffle: {operator}"),
+                    "shuffle",
+                    TID_SHUFFLE,
+                    *start,
+                    *end,
+                    format!("\"records\":{records},\"bytes\":{bytes}"),
+                );
+            }
+            EngineEvent::Broadcast { operator, bytes, start, end } => {
+                complete(
+                    &mut out,
+                    format!("broadcast: {operator}"),
+                    "broadcast",
+                    TID_IO,
+                    *start,
+                    *end,
+                    format!("\"bytes\":{bytes}"),
+                );
+            }
+            EngineEvent::Spill { operator, bytes, start, end } => {
+                complete(
+                    &mut out,
+                    format!("spill: {operator}"),
+                    "spill",
+                    TID_IO,
+                    *start,
+                    *end,
+                    format!("\"bytes\":{bytes}"),
+                );
+            }
+            EngineEvent::Collect { records, bytes, start, end } => {
+                complete(
+                    &mut out,
+                    "collect".to_string(),
+                    "collect",
+                    TID_IO,
+                    *start,
+                    *end,
+                    format!("\"records\":{records},\"bytes\":{bytes}"),
+                );
+            }
+            EngineEvent::MemoryPeak { operator, peak_bytes, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"stage peak memory\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+                     \"args\":{{\"bytes\":{peak_bytes}}},\"cat\":\"memory\",\"id\":\"{}\"}},",
+                    micros(*at),
+                    esc(operator)
+                );
+            }
+        }
+    }
+    for d in decisions {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"{}: {}\",\"cat\":\"decision\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\
+             \"tid\":{TID_JOBS},\"s\":\"p\",\"args\":{{\"cardinality\":{},\"bytes\":{},\"detail\":\"{}\"}}}},",
+            esc(d.site),
+            esc(&d.choice),
+            micros(d.at),
+            d.cardinality,
+            d.bytes,
+            esc(&d.detail)
+        );
+    }
+    // Trailing metadata event avoids dangling-comma bookkeeping.
+    out.push_str("{\"name\":\"trace_end\",\"ph\":\"M\",\"pid\":1,\"args\":{}}\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sample_events() -> Vec<EngineEvent> {
+        vec![
+            EngineEvent::JobStart { job: 0, action: "count", at: t(0) },
+            EngineEvent::Stage {
+                stage: 0,
+                operator: "parallelize",
+                tasks: 4,
+                scheduled: true,
+                start: t(1),
+                end: t(2),
+                busy: t(3),
+            },
+            EngineEvent::Shuffle {
+                operator: "reduce_by_key",
+                records: 10,
+                bytes: 80,
+                start: t(2),
+                end: t(3),
+            },
+            EngineEvent::Stage {
+                stage: 1,
+                operator: "reduce_by_key",
+                tasks: 4,
+                scheduled: true,
+                start: t(3),
+                end: t(4),
+                busy: t(2),
+            },
+            EngineEvent::Stage {
+                stage: 2,
+                operator: "map",
+                tasks: 4,
+                scheduled: false,
+                start: t(4),
+                end: t(4),
+                busy: SimTime::ZERO,
+            },
+            EngineEvent::Broadcast {
+                operator: "broadcast_join",
+                bytes: 64,
+                start: t(4),
+                end: t(5),
+            },
+            EngineEvent::Spill { operator: "group_by_key", bytes: 100, start: t(5), end: t(6) },
+            EngineEvent::Collect { records: 5, bytes: 40, start: t(6), end: t(7) },
+            EngineEvent::MemoryPeak { operator: "group_by_key", peak_bytes: 4096, at: t(6) },
+            EngineEvent::JobEnd { job: 0, at: t(7), ok: true },
+        ]
+    }
+
+    #[test]
+    fn summary_aggregates_scheduled_stages_only() {
+        let s = TraceSummary::from_events(&sample_events());
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.jobs_failed, 0);
+        assert_eq!(s.stages, 2, "narrow charges are not stages");
+        assert_eq!(s.tasks, 8);
+        assert_eq!(s.shuffle_bytes, 80);
+        assert_eq!(s.spill_bytes, 100);
+        assert_eq!(s.broadcast_bytes, 64);
+        assert_eq!(s.collected_records, 5);
+        assert_eq!(s.peak_memory_bytes, 4096);
+    }
+
+    #[test]
+    fn collector_is_inert_when_disabled() {
+        let c = TraceCollector::new(false);
+        let mut built = false;
+        c.record(|| {
+            built = true;
+            EngineEvent::JobEnd { job: 0, at: SimTime::ZERO, ok: true }
+        });
+        assert!(!built, "event must not be constructed when tracing is off");
+        assert!(c.events().is_empty());
+        c.set_enabled(true);
+        c.record(|| EngineEvent::JobEnd { job: 0, at: SimTime::ZERO, ok: true });
+        assert_eq!(c.events().len(), 1);
+    }
+
+    #[test]
+    fn json_export_is_balanced_and_contains_fields() {
+        let decisions = vec![Decision {
+            site: "tag_join",
+            choice: "broadcast".into(),
+            cardinality: 12,
+            bytes: 96,
+            detail: "scalar smaller than 2 x cores".into(),
+            at: t(1),
+        }];
+        let json = export_json(&sample_events(), &decisions);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"summary\"",
+            "\"job_start\"",
+            "\"shuffle\"",
+            "\"tag_join\"",
+            "\"broadcast\"",
+            "\"stages\":2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn chrome_export_has_complete_events_and_thread_names() {
+        let chrome = export_chrome_trace(&sample_events(), &[]);
+        assert!(chrome.starts_with("[\n"));
+        assert!(chrome.trim_end().ends_with(']'));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+        assert!(chrome.contains("\"ph\":\"X\""), "needs complete events");
+        assert!(chrome.contains("\"ph\":\"C\""), "needs the memory counter");
+        assert!(chrome.contains("thread_name"));
+        assert!(chrome.contains("job 0: count"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,12 +1,15 @@
-//! Property-based tests of the engine's operators against driver-side
-//! oracles: for arbitrary inputs, every distributed operator must compute
-//! exactly what the obvious sequential code computes, and the simulator's
-//! accounting must satisfy its structural invariants (monotonic clock,
-//! memoized single-charging, trace/topology consistency).
+//! Property-style tests of the engine's operators against driver-side
+//! oracles: for pseudo-randomly generated inputs, every distributed operator
+//! must compute exactly what the obvious sequential code computes, and the
+//! simulator's accounting must satisfy its structural invariants (monotonic
+//! clock, memoized single-charging, trace/topology consistency).
+//!
+//! Inputs are drawn from a seeded SplitMix64 stream (many seeds per
+//! property), so runs are deterministic and reproducible while still
+//! covering varied shapes: empty inputs, single elements, colliding keys,
+//! and different partition counts.
 
 use std::collections::{HashMap, HashSet};
-
-use proptest::prelude::*;
 
 use matryoshka_engine::{ClusterConfig, Engine};
 
@@ -14,55 +17,97 @@ fn engine() -> Engine {
     Engine::new(ClusterConfig::local_test())
 }
 
-fn pairs() -> impl Strategy<Value = Vec<(u8, i64)>> {
-    proptest::collection::vec(((0u8..12), (-50i64..50)), 0..200)
+/// Deterministic 64-bit generator (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+    /// A length in `0..max` that is often small (empty and tiny inputs are
+    /// the classic edge cases).
+    fn len(&mut self, max: u64) -> usize {
+        match self.below(8) {
+            0 => 0,
+            1 => 1,
+            _ => self.below(max) as usize,
+        }
+    }
+    fn pairs(&mut self, max_len: u64) -> Vec<(u8, i64)> {
+        let n = self.len(max_len);
+        (0..n).map(|_| ((self.below(12)) as u8, self.below(100) as i64 - 50)).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const SEEDS: u64 = 24;
 
-    #[test]
-    fn map_filter_flat_map_match_iterators(data in proptest::collection::vec(-100i64..100, 0..300), parts in 1usize..9) {
+#[test]
+fn map_filter_flat_map_match_iterators() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed);
+        let data: Vec<i64> = (0..g.len(300)).map(|_| g.below(200) as i64 - 100).collect();
+        let parts = 1 + g.below(8) as usize;
         let e = engine();
         let b = e.parallelize(data.clone(), parts);
-        let got = b.map(|x| x * 2).filter(|x| *x >= 0).flat_map(|x| [*x, *x + 1]).collect().unwrap();
-        let expect: Vec<i64> = data
-            .iter()
-            .map(|x| x * 2)
-            .filter(|x| *x >= 0)
-            .flat_map(|x| [x, x + 1])
-            .collect();
+        let got =
+            b.map(|x| x * 2).filter(|x| *x >= 0).flat_map(|x| [*x, *x + 1]).collect().unwrap();
+        let expect: Vec<i64> =
+            data.iter().map(|x| x * 2).filter(|x| *x >= 0).flat_map(|x| [x, x + 1]).collect();
         // Order within partitions is preserved; across partitions it is the
         // concatenation order, which parallelize also preserves.
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn reduce_by_key_matches_hashmap(data in pairs(), parts in 1usize..9) {
+#[test]
+fn reduce_by_key_matches_hashmap() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xA1);
+        let data = g.pairs(200);
+        let parts = 1 + g.below(8) as usize;
         let e = engine();
         let expect: HashMap<u8, i64> = data.iter().fold(HashMap::new(), |mut m, (k, v)| {
             *m.entry(*k).or_insert(0) += v;
             m
         });
         let got = e.parallelize(data, parts).reduce_by_key(|a, b| a + b).collect().unwrap();
-        prop_assert_eq!(got.len(), expect.len());
+        assert_eq!(got.len(), expect.len(), "seed {seed}");
         for (k, v) in got {
-            prop_assert_eq!(expect.get(&k), Some(&v));
+            assert_eq!(expect.get(&k), Some(&v), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn group_by_key_partitions_nothing_away(data in pairs()) {
+#[test]
+fn group_by_key_partitions_nothing_away() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xB2);
+        let data = g.pairs(200);
         let e = engine();
         let groups = e.parallelize(data.clone(), 5).group_by_key().collect().unwrap();
         let total: usize = groups.iter().map(|(_, vs)| vs.len()).sum();
-        prop_assert_eq!(total, data.len());
+        assert_eq!(total, data.len(), "seed {seed}");
         let keys: HashSet<u8> = data.iter().map(|(k, _)| *k).collect();
-        prop_assert_eq!(groups.len(), keys.len());
+        assert_eq!(groups.len(), keys.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn join_matches_nested_loops(l in pairs(), r in pairs()) {
+#[test]
+fn join_matches_nested_loops() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xC3);
+        let l = g.pairs(200);
+        let r = g.pairs(200);
         let e = engine();
         let mut expect: Vec<(u8, (i64, i64))> = Vec::new();
         for (k, v) in &l {
@@ -73,38 +118,39 @@ proptest! {
             }
         }
         expect.sort();
-        let mut got = e
-            .parallelize(l.clone(), 4)
-            .join(&e.parallelize(r.clone(), 3))
-            .collect()
-            .unwrap();
+        let mut got =
+            e.parallelize(l.clone(), 4).join(&e.parallelize(r.clone(), 3)).collect().unwrap();
         got.sort();
-        prop_assert_eq!(&got, &expect);
+        assert_eq!(&got, &expect, "seed {seed}");
 
         // Broadcast join agrees with repartition join.
         let e2 = engine();
-        let mut got2 = e2
-            .parallelize(l, 4)
-            .broadcast_join(&e2.parallelize(r, 3))
-            .collect()
-            .unwrap();
+        let mut got2 =
+            e2.parallelize(l, 4).broadcast_join(&e2.parallelize(r, 3)).collect().unwrap();
         got2.sort();
-        prop_assert_eq!(got2, expect);
+        assert_eq!(got2, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn distinct_matches_hashset(data in proptest::collection::vec(0u16..64, 0..300)) {
+#[test]
+fn distinct_matches_hashset() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xD4);
+        let data: Vec<u16> = (0..g.len(300)).map(|_| g.below(64) as u16).collect();
         let e = engine();
-        let got: HashSet<u16> = e.parallelize(data.clone(), 6).distinct().collect().unwrap().into_iter().collect();
+        let got: HashSet<u16> =
+            e.parallelize(data.clone(), 6).distinct().collect().unwrap().into_iter().collect();
         let expect: HashSet<u16> = data.into_iter().collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn subtract_and_intersection_match_sets(
-        a in proptest::collection::vec(0u16..40, 0..120),
-        b in proptest::collection::vec(0u16..40, 0..120),
-    ) {
+#[test]
+fn subtract_and_intersection_match_sets() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xE5);
+        let a: Vec<u16> = (0..g.len(120)).map(|_| g.below(40) as u16).collect();
+        let b: Vec<u16> = (0..g.len(120)).map(|_| g.below(40) as u16).collect();
         let e = engine();
         let ba = e.parallelize(a.clone(), 4);
         let bb = e.parallelize(b.clone(), 3);
@@ -114,67 +160,90 @@ proptest! {
         sub.sort_unstable();
         let mut expect_sub: Vec<u16> = a.iter().copied().filter(|x| !bset.contains(x)).collect();
         expect_sub.sort_unstable();
-        prop_assert_eq!(sub, expect_sub);
+        assert_eq!(sub, expect_sub, "seed {seed}");
 
         let inter: HashSet<u16> = ba.intersection(&bb).collect().unwrap().into_iter().collect();
         let aset: HashSet<u16> = a.into_iter().collect();
         let expect_inter: HashSet<u16> = aset.intersection(&bset).copied().collect();
-        prop_assert_eq!(inter, expect_inter);
+        assert_eq!(inter, expect_inter, "seed {seed}");
     }
+}
 
-    #[test]
-    fn sort_by_is_a_permutation_in_order(data in proptest::collection::vec(-1000i64..1000, 0..300), parts in 1usize..7) {
+#[test]
+fn sort_by_is_a_permutation_in_order() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xF6);
+        let data: Vec<i64> = (0..g.len(300)).map(|_| g.below(2000) as i64 - 1000).collect();
+        let parts = 1 + g.below(6) as usize;
         let e = engine();
         let got = e.parallelize(data.clone(), 5).sort_by(parts, |x| *x).collect().unwrap();
         let mut expect = data;
         expect.sort();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn actions_agree_with_iterators(data in proptest::collection::vec(0u64..1000, 0..200)) {
+#[test]
+fn actions_agree_with_iterators() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x17);
+        let data: Vec<u64> = (0..g.len(200)).map(|_| g.below(1000)).collect();
         let e = engine();
         let b = e.parallelize(data.clone(), 4);
-        prop_assert_eq!(b.count().unwrap(), data.len() as u64);
-        prop_assert_eq!(b.fold(0u64, |a, x| a + x).unwrap(), data.iter().sum::<u64>());
-        prop_assert_eq!(b.reduce(|a, x| *a.max(x)).unwrap(), data.iter().copied().max());
-        prop_assert_eq!(b.is_empty().unwrap(), data.is_empty());
+        assert_eq!(b.count().unwrap(), data.len() as u64, "seed {seed}");
+        assert_eq!(b.fold(0u64, |a, x| a + x).unwrap(), data.iter().sum::<u64>(), "seed {seed}");
+        assert_eq!(b.reduce(|a, x| *a.max(x)).unwrap(), data.iter().copied().max(), "seed {seed}");
+        assert_eq!(b.is_empty().unwrap(), data.is_empty(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn union_is_multiset_concatenation(a in pairs(), b in pairs()) {
+#[test]
+fn union_is_multiset_concatenation() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x28);
+        let a = g.pairs(200);
+        let b = g.pairs(200);
         let e = engine();
-        let mut got = e.parallelize(a.clone(), 3).union(&e.parallelize(b.clone(), 2)).collect().unwrap();
+        let mut got =
+            e.parallelize(a.clone(), 3).union(&e.parallelize(b.clone(), 2)).collect().unwrap();
         got.sort();
         let mut expect = a;
         expect.extend(b);
         expect.sort();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn simulated_clock_is_monotone_and_trace_is_topological(data in pairs()) {
+#[test]
+fn simulated_clock_is_monotone_and_trace_is_topological() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x39);
+        let data = g.pairs(200);
         let e = engine();
         let t0 = e.sim_time();
         let b = e.parallelize(data, 4);
         let grouped = b.map(|(k, v)| (*k, v * 2)).reduce_by_key(|a, b| a + b);
         grouped.count().unwrap();
         let t1 = e.sim_time();
-        prop_assert!(t1 >= t0);
+        assert!(t1 >= t0, "seed {seed}");
         // Trace: parents complete before children; timestamps non-decreasing.
         let trace = e.trace();
-        prop_assert!(!trace.is_empty());
+        assert!(!trace.is_empty(), "seed {seed}");
         for w in trace.windows(2) {
-            prop_assert!(w[0].completed_at <= w[1].completed_at);
+            assert!(w[0].completed_at <= w[1].completed_at, "seed {seed}");
         }
         let names: Vec<&str> = trace.iter().map(|ev| ev.op).collect();
         let src = names.iter().position(|n| *n == "parallelize").unwrap();
         let red = names.iter().position(|n| *n == "reduce_by_key").unwrap();
-        prop_assert!(src < red, "source must evaluate before the shuffle: {names:?}");
+        assert!(src < red, "source must evaluate before the shuffle: {names:?}");
     }
+}
 
-    #[test]
-    fn memoization_never_recharges(data in pairs()) {
+#[test]
+fn memoization_never_recharges() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x4A);
+        let data = g.pairs(200);
         let e = engine();
         let b = e.parallelize(data, 4).map(|(k, v)| (*k, v + 1)).reduce_by_key(|a, b| a + b);
         b.count().unwrap();
@@ -183,16 +252,28 @@ proptest! {
         b.count().unwrap();
         let d_time = e.sim_time() - t1;
         let d = e.stats().since(&s1);
-        prop_assert_eq!(d.stages, 0, "no stage re-runs on a memoized bag");
-        prop_assert_eq!(d_time, e.config().costs.job_launch, "second action costs one job launch");
+        assert_eq!(d.stages, 0, "no stage re-runs on a memoized bag (seed {seed})");
+        assert_eq!(
+            d_time,
+            e.config().costs.job_launch,
+            "second action costs one job launch (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn aggregate_by_key_matches_manual(data in pairs()) {
+#[test]
+fn aggregate_by_key_matches_manual() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x5B);
+        let data = g.pairs(200);
         let e = engine();
         let got = e
             .parallelize(data.clone(), 4)
-            .aggregate_by_key((0i64, 0u64), |z, v| (z.0 + v, z.1 + 1), |a, b| (a.0 + b.0, a.1 + b.1))
+            .aggregate_by_key(
+                (0i64, 0u64),
+                |z, v| (z.0 + v, z.1 + 1),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
             .collect()
             .unwrap();
         let mut expect: HashMap<u8, (i64, u64)> = HashMap::new();
@@ -201,9 +282,9 @@ proptest! {
             ent.0 += v;
             ent.1 += 1;
         }
-        prop_assert_eq!(got.len(), expect.len());
+        assert_eq!(got.len(), expect.len(), "seed {seed}");
         for (k, acc) in got {
-            prop_assert_eq!(expect.get(&k), Some(&acc));
+            assert_eq!(expect.get(&k), Some(&acc), "seed {seed}");
         }
     }
 }

@@ -1,0 +1,183 @@
+//! End-to-end checks of the structured tracing surface: a job with a known
+//! plan must produce the expected event sequence, and the aggregate of the
+//! event stream must reconcile with the engine's own [`StatsSnapshot`]
+//! counters (`docs/OBSERVABILITY.md` documents this contract).
+
+use matryoshka_engine::{ClusterConfig, Engine, EngineEvent};
+
+fn traced_engine() -> Engine {
+    let engine = Engine::new(ClusterConfig::local_test());
+    engine.enable_tracing();
+    engine
+}
+
+/// One shuffle plan: parallelize -> map -> reduce_by_key -> count.
+#[test]
+fn shuffle_job_produces_expected_event_sequence() {
+    let engine = traced_engine();
+    let total = engine
+        .parallelize((0..1000u64).collect::<Vec<_>>(), 4)
+        .map(|i| (i % 7, 1u64))
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
+    assert_eq!(total, 7);
+
+    let events = engine.events();
+    assert!(!events.is_empty());
+
+    // The job brackets everything: first event is the JobStart of the
+    // `count` action, last is its successful JobEnd.
+    match &events[0] {
+        EngineEvent::JobStart { job, action, .. } => {
+            assert_eq!(*job, 0);
+            assert_eq!(*action, "count");
+        }
+        other => panic!("first event should be JobStart, got {other:?}"),
+    }
+    match events.last().unwrap() {
+        EngineEvent::JobEnd { job, ok, .. } => {
+            assert_eq!(*job, 0);
+            assert!(*ok);
+        }
+        other => panic!("last event should be JobEnd, got {other:?}"),
+    }
+
+    // Exactly one shuffle, attributed to reduce_by_key, with positive volume.
+    let shuffles: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::Shuffle { operator, records, bytes, .. } => {
+                Some((*operator, *records, *bytes))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shuffles.len(), 1, "one shuffle expected, got {shuffles:?}");
+    assert_eq!(shuffles[0].0, "reduce_by_key");
+    assert!(shuffles[0].1 > 0 && shuffles[0].2 > 0);
+
+    // Narrow map compute is attributed to the operator being evaluated, as
+    // an unscheduled (pipelined) stage charge.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, EngineEvent::Stage { operator: "map", scheduled: false, .. })));
+    // The shuffle read side is a real scheduled stage.
+    assert!(events.iter().any(|e| matches!(e, EngineEvent::Stage { scheduled: true, .. })));
+
+    // No broadcast in this plan.
+    assert!(!events.iter().any(|e| matches!(e, EngineEvent::Broadcast { .. })));
+
+    // Event times are monotone within each interval.
+    for e in &events {
+        match e {
+            EngineEvent::Stage { start, end, .. }
+            | EngineEvent::Shuffle { start, end, .. }
+            | EngineEvent::Broadcast { start, end, .. }
+            | EngineEvent::Spill { start, end, .. }
+            | EngineEvent::Collect { start, end, .. } => {
+                assert!(start <= end, "interval runs backwards: {e:?}")
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Broadcast-join plan: the small side is collected + broadcast, never
+/// shuffled.
+#[test]
+fn broadcast_join_job_traces_broadcast_not_shuffle() {
+    let engine = traced_engine();
+    let big = engine.parallelize((0..512u64).map(|i| (i % 16, i)).collect::<Vec<_>>(), 4);
+    let small = engine.parallelize((0..16u64).map(|i| (i, i * 100)).collect::<Vec<_>>(), 1);
+    let joined = big.broadcast_join(&small).count().unwrap();
+    assert_eq!(joined, 512);
+
+    let events = engine.events();
+    let broadcasts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::Broadcast { operator, bytes, .. } => Some((*operator, *bytes)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(broadcasts.len(), 1, "one broadcast expected, got {broadcasts:?}");
+    assert_eq!(broadcasts[0].0, "broadcast_join");
+    assert!(broadcasts[0].1 > 0);
+
+    // Collecting the small side to the driver is traced too.
+    assert!(events.iter().any(|e| matches!(e, EngineEvent::Collect { records: 16, .. })));
+    // The probe side is never shuffled.
+    assert!(!events.iter().any(|e| matches!(e, EngineEvent::Shuffle { .. })));
+}
+
+/// The aggregate of the event stream must match the engine's counters.
+#[test]
+fn trace_summary_reconciles_with_stats_snapshot() {
+    let engine = traced_engine();
+    engine
+        .parallelize((0..2000u64).collect::<Vec<_>>(), 8)
+        .map(|i| (i % 13, *i))
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
+    let small = engine.parallelize((0..13u64).map(|i| (i, ())).collect::<Vec<_>>(), 1);
+    engine
+        .parallelize((0..100u64).map(|i| (i % 13, i)).collect::<Vec<_>>(), 4)
+        .broadcast_join(&small)
+        .count()
+        .unwrap();
+
+    let stats = engine.stats();
+    let summary = engine.trace_summary();
+    assert_eq!(summary.jobs, stats.jobs);
+    assert_eq!(summary.jobs_failed, 0);
+    assert_eq!(summary.stages, stats.stages);
+    assert_eq!(summary.tasks, stats.tasks);
+    assert_eq!(summary.shuffle_bytes, stats.shuffle_bytes);
+    assert_eq!(summary.spill_bytes, stats.spill_bytes);
+    assert_eq!(summary.broadcast_bytes, stats.broadcast_bytes);
+    assert_eq!(summary.peak_memory_bytes, stats.peak_memory_bytes);
+}
+
+/// With tracing off (the default) no events are recorded, but the engine's
+/// statistics still accumulate.
+#[test]
+fn tracing_off_records_no_events_but_stats_still_accumulate() {
+    let engine = Engine::new(ClusterConfig::local_test());
+    assert!(!engine.tracing_enabled());
+    engine
+        .parallelize((0..100u64).map(|i| (i % 5, i)).collect::<Vec<_>>(), 4)
+        .reduce_by_key(|a, b| a + b)
+        .count()
+        .unwrap();
+    assert!(engine.events().is_empty());
+    let stats = engine.stats();
+    assert_eq!(stats.jobs, 1);
+    assert!(stats.shuffle_bytes > 0);
+}
+
+/// The exporters produce well-formed output for a real run.
+#[test]
+fn exports_cover_a_real_run() {
+    let engine = traced_engine();
+    engine
+        .parallelize((0..200u64).map(|i| (i % 3, i)).collect::<Vec<_>>(), 4)
+        .reduce_by_key(|a, b| a + b)
+        .collect()
+        .unwrap();
+
+    let json = engine.trace_json();
+    assert!(json.contains("\"events\""));
+    assert!(json.contains("\"decisions\""));
+    assert!(json.contains("\"summary\""));
+    assert!(json.contains("\"shuffle\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    // The chrome trace is the JSON-array flavor of the Trace Event Format.
+    let chrome = engine.chrome_trace();
+    assert!(chrome.trim_start().starts_with('['));
+    assert!(chrome.trim_end().ends_with(']'));
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert!(chrome.contains("job 0: collect"));
+}

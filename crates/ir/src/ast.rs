@@ -362,11 +362,8 @@ mod tests {
     #[test]
     fn free_vars_respect_binders() {
         // let a = x in a + b   -> free: x, b
-        let e = Expr::let_(
-            "a",
-            Expr::var("x"),
-            Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
-        );
+        let e =
+            Expr::let_("a", Expr::var("x"), Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")));
         assert_eq!(e.free_vars(), vec!["x".to_string(), "b".to_string()]);
     }
 

@@ -206,9 +206,7 @@ fn split_captures(
 /// Zip several lifted scalars into one whose values are tuples (so a single
 /// tag join delivers all closure values, like the paper's single
 /// `mapWithClosure` argument).
-fn combine_scalars(
-    scalars: &[(String, InnerScalar<Value, Value>)],
-) -> InnerScalar<Value, Value> {
+fn combine_scalars(scalars: &[(String, InnerScalar<Value, Value>)]) -> InnerScalar<Value, Value> {
     let mut iter = scalars.iter();
     let (_, first) = iter.next().expect("at least one lifted closure");
     let mut combined = first.map(|v| Value::tuple(vec![v.clone()]));
@@ -225,7 +223,11 @@ fn combine_scalars(
     combined
 }
 
-fn bind_combined(names: &[(String, InnerScalar<Value, Value>)], combined: &Value, env: &mut PureEnv) {
+fn bind_combined(
+    names: &[(String, InnerScalar<Value, Value>)],
+    combined: &Value,
+    env: &mut PureEnv,
+) {
     for (i, (name, _)) in names.iter().enumerate() {
         env.insert(name.clone(), combined.proj(i).expect("combined closure arity"));
     }
@@ -356,8 +358,10 @@ impl Lowering {
                     env2.insert(n.clone(), v);
                 }
                 while self.scalar(cond, &env2, inputs)?.as_bool()? {
-                    let next: Vec<RtVal> =
-                        step.iter().map(|x| self.eval(x, &env2, inputs)).collect::<IrResult<_>>()?;
+                    let next: Vec<RtVal> = step
+                        .iter()
+                        .map(|x| self.eval(x, &env2, inputs))
+                        .collect::<IrResult<_>>()?;
                     for (n, v) in names.iter().zip(next) {
                         env2.insert((*n).clone(), v);
                     }
@@ -366,8 +370,7 @@ impl Lowering {
             }
             Expr::Map(input, udf) => {
                 let bag = self.bag(input, env, inputs)?;
-                let (pure, lifted) = driver_captures(&udf.body, &[&udf.param], env)?;
-                let _ = lifted;
+                let (pure, _lifted) = driver_captures(&udf.body, &[&udf.param], env)?;
                 let body = Arc::clone(&udf.body);
                 let param = udf.param.clone();
                 RtVal::Bag(bag.map(move |v| {
@@ -456,7 +459,12 @@ impl Lowering {
         }
     }
 
-    fn bag(&self, e: &Expr, env: &Env, inputs: &HashMap<String, Bag<Value>>) -> IrResult<Bag<Value>> {
+    fn bag(
+        &self,
+        e: &Expr,
+        env: &Env,
+        inputs: &HashMap<String, Bag<Value>>,
+    ) -> IrResult<Bag<Value>> {
         match self.eval(e, env, inputs)? {
             RtVal::Bag(b) => Ok(b),
             _ => Err(IrError::Type("expected a flat bag".into())),
@@ -483,10 +491,10 @@ impl Lowering {
             }
             RtVal::Bag(b) => {
                 // Non-nested input: tags via zipWithUniqueId (Sec. 4.3).
-                let tagged = b.zip_with_unique_id().map(|(v, id)| (Value::Long(*id as i64), v.clone()));
+                let tagged =
+                    b.zip_with_unique_id().map(|(v, id)| (Value::Long(*id as i64), v.clone()));
                 let tags = tagged.map(|(t, _)| t.clone());
-                let ctx =
-                    LiftingContext::counted(self.engine.clone(), tags, self.config.clone())?;
+                let ctx = LiftingContext::counted(self.engine.clone(), tags, self.config.clone())?;
                 (ctx.clone(), LVal::Scalar(InnerScalar::from_repr(tagged, ctx)))
             }
             RtVal::Scalar(_) => return Err(IrError::Type("mapWithLiftedUDF over a scalar".into())),
@@ -595,9 +603,9 @@ impl Lowering {
                 let a = self.lifted_scalar(a, lenv, ctx, inputs)?;
                 let b = self.lifted_scalar(b, lenv, ctx, inputs)?;
                 let op = *op;
-                LVal::Scalar(a.zip_with(&b, move |x, y| {
-                    apply_bin(op, x, y).expect("lifted scalar op")
-                }))
+                LVal::Scalar(
+                    a.zip_with(&b, move |x, y| apply_bin(op, x, y).expect("lifted scalar op")),
+                )
             }
             Expr::Un(op, a) => {
                 // unaryScalarOp (Sec. 4.3): a tagged map.
@@ -726,9 +734,8 @@ impl Lowering {
                 // (Sec. 4.4) via the typed layer.
                 let b = self.lifted_bag(input, lenv, ctx, inputs)?;
                 let f = pure2(l2);
-                let pairs = b.map(|v| {
-                    (v.proj(0).expect("(k,v) record"), v.proj(1).expect("(k,v) record"))
-                });
+                let pairs =
+                    b.map(|v| (v.proj(0).expect("(k,v) record"), v.proj(1).expect("(k,v) record")));
                 let reduced = pairs.reduce_by_key(move |a, b| f(a, b));
                 LVal::Bag(reduced.map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()])))
             }
@@ -750,12 +757,10 @@ impl Lowering {
                             Value::tuple(vec![k.clone(), Value::tuple(vec![v.clone(), w.clone()])])
                         }))
                     }
-                    _ => {
-                        return Err(IrError::Unsupported(
-                            "lifted join requires inner bags (left) and inner or driver bags (right)"
-                                .into(),
-                        ))
-                    }
+                    _ => return Err(IrError::Unsupported(
+                        "lifted join requires inner bags (left) and inner or driver bags (right)"
+                            .into(),
+                    )),
                 }
             }
             Expr::Union(a, b) => {
@@ -765,12 +770,10 @@ impl Lowering {
             }
             Expr::Distinct(x) => LVal::Bag(self.lifted_bag(x, lenv, ctx, inputs)?.distinct()),
             Expr::Count(x) => match self.eval_lifted(x, lenv, ctx, inputs)? {
-                LVal::Bag(b) => {
-                    LVal::Scalar(InnerScalar::from_repr(
-                        b.count().repr().map(|(t, n)| (t.clone(), Value::Long(*n as i64))),
-                        b.ctx().clone(),
-                    ))
-                }
+                LVal::Bag(b) => LVal::Scalar(InnerScalar::from_repr(
+                    b.count().repr().map(|(t, n)| (t.clone(), Value::Long(*n as i64))),
+                    b.ctx().clone(),
+                )),
                 LVal::Driver(RtVal::Bag(db)) => {
                     LVal::Scalar(ctx.constant(Value::Long(db.count()? as i64)))
                 }
@@ -788,7 +791,9 @@ impl Lowering {
                 let folded = b.fold(z, move |a, v| f(a, v), move |a, b| g(a, b));
                 LVal::Scalar(folded)
             }
-            Expr::GroupByKey(_) | Expr::GroupByKeyIntoNestedBag(_) | Expr::MapWithLiftedUdf { .. } => {
+            Expr::GroupByKey(_)
+            | Expr::GroupByKeyIntoNestedBag(_)
+            | Expr::MapWithLiftedUdf { .. } => {
                 return Err(IrError::Unsupported(
                     "more than two levels of parallel operations in the IR dialect \
                      (the typed API in matryoshka-core supports deeper nesting)"
@@ -798,6 +803,7 @@ impl Lowering {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_lifted_loop(
         &self,
         init: &[(String, Expr)],

@@ -51,19 +51,21 @@ pub enum Shape {
 /// Infer the shape of `e` under `env` (variable shapes).
 pub fn shape_of(e: &Expr, env: &HashMap<String, Shape>) -> IrResult<Shape> {
     Ok(match e {
-        Expr::Const(_) | Expr::Bin(..) | Expr::Un(..) | Expr::Count(_) | Expr::Fold(..) => Shape::Scalar,
+        Expr::Const(_) | Expr::Bin(..) | Expr::Un(..) | Expr::Count(_) | Expr::Fold(..) => {
+            Shape::Scalar
+        }
         Expr::Proj(inner, _) => {
             // Projections apply to scalar tuples only.
             match shape_of(inner, env)? {
                 Shape::Scalar => Shape::Scalar,
                 other => {
-                    return Err(IrError::Type(format!("projection on a {other:?}-shaped expression")))
+                    return Err(IrError::Type(format!(
+                        "projection on a {other:?}-shaped expression"
+                    )))
                 }
             }
         }
-        Expr::Var(n) => *env
-            .get(n)
-            .ok_or_else(|| IrError::Unbound(n.clone()))?,
+        Expr::Var(n) => *env.get(n).ok_or_else(|| IrError::Unbound(n.clone()))?,
         Expr::Tuple(items) => {
             for it in items {
                 if shape_of(it, env)? != Shape::Scalar {
@@ -86,7 +88,9 @@ pub fn shape_of(e: &Expr, env: &HashMap<String, Shape>) -> IrResult<Shape> {
             let st = shape_of(t, env)?;
             let se = shape_of(e2, env)?;
             if st != se {
-                return Err(IrError::Type(format!("if branches have different shapes: {st:?} vs {se:?}")));
+                return Err(IrError::Type(format!(
+                    "if branches have different shapes: {st:?} vs {se:?}"
+                )));
             }
             st
         }
@@ -136,7 +140,10 @@ fn rewrite(
     Ok(match e {
         Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => e.clone(),
         Expr::Tuple(items) => Expr::Tuple(
-            items.iter().map(|x| rewrite(x, env, dialect, inside_lifted)).collect::<IrResult<_>>()?,
+            items
+                .iter()
+                .map(|x| rewrite(x, env, dialect, inside_lifted))
+                .collect::<IrResult<_>>()?,
         ),
         Expr::Proj(x, i) => Expr::Proj(Box::new(rewrite(x, env, dialect, inside_lifted)?), *i),
         Expr::Bin(op, a, b) => Expr::Bin(
@@ -183,18 +190,12 @@ fn rewrite(
             }
         }
         // The nested-bag producer becomes the nesting primitive (Sec. 4.5).
-        Expr::GroupByKey(x) => Expr::GroupByKeyIntoNestedBag(Box::new(rewrite(
-            x,
-            env,
-            dialect,
-            inside_lifted,
-        )?)),
-        Expr::GroupByKeyIntoNestedBag(x) => Expr::GroupByKeyIntoNestedBag(Box::new(rewrite(
-            x,
-            env,
-            dialect,
-            inside_lifted,
-        )?)),
+        Expr::GroupByKey(x) => {
+            Expr::GroupByKeyIntoNestedBag(Box::new(rewrite(x, env, dialect, inside_lifted)?))
+        }
+        Expr::GroupByKeyIntoNestedBag(x) => {
+            Expr::GroupByKeyIntoNestedBag(Box::new(rewrite(x, env, dialect, inside_lifted)?))
+        }
         Expr::Map(input, udf) => {
             let rin = rewrite(input, env, dialect, inside_lifted)?;
             let in_shape = shape_of(&rin, env)?;
@@ -205,12 +206,13 @@ fn rewrite(
                 let mut env2 = env.clone();
                 env2.insert(udf.param.clone(), Shape::Scalar);
                 let body = rewrite(&udf.body, &env2, dialect, true)?;
-                let closures: Vec<String> = Lambda { param: udf.param.clone(), body: body.clone().into() }
-                    .body
-                    .free_vars()
-                    .into_iter()
-                    .filter(|n| n != &udf.param)
-                    .collect();
+                let closures: Vec<String> =
+                    Lambda { param: udf.param.clone(), body: body.clone().into() }
+                        .body
+                        .free_vars()
+                        .into_iter()
+                        .filter(|n| n != &udf.param)
+                        .collect();
                 Expr::MapWithLiftedUdf {
                     input: Box::new(rin),
                     udf: Lambda { param: udf.param.clone(), body: body.into() },
@@ -231,17 +233,11 @@ fn rewrite(
         }
         Expr::Filter(input, udf) => {
             check_scalar_udf("filter", udf)?;
-            Expr::Filter(
-                Box::new(rewrite(input, env, dialect, inside_lifted)?),
-                udf.clone(),
-            )
+            Expr::Filter(Box::new(rewrite(input, env, dialect, inside_lifted)?), udf.clone())
         }
         Expr::FlatMapTuple(input, udf) => {
             check_scalar_udf("flatMap", udf)?;
-            Expr::FlatMapTuple(
-                Box::new(rewrite(input, env, dialect, inside_lifted)?),
-                udf.clone(),
-            )
+            Expr::FlatMapTuple(Box::new(rewrite(input, env, dialect, inside_lifted)?), udf.clone())
         }
         Expr::ReduceByKey(input, l2) => {
             if l2.body.contains_bag_ops() {
@@ -335,7 +331,11 @@ mod tests {
                 Box::new(group.clone()),
                 Lambda::new("ip", Expr::Tuple(vec![Expr::var("ip"), Expr::long(1)])),
             )),
-            crate::ast::Lambda2::new("a", "b", Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b"))),
+            crate::ast::Lambda2::new(
+                "a",
+                "b",
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+            ),
         );
         let bounces = Expr::Count(Box::new(Expr::Filter(
             Box::new(counts),
@@ -355,7 +355,8 @@ mod tests {
 
     #[test]
     fn group_by_becomes_nested_bag_primitive_and_map_is_lifted() {
-        let parsed = parsing_phase(&bounce_rate_program(), &["visits"], Dialect::Matryoshka).unwrap();
+        let parsed =
+            parsing_phase(&bounce_rate_program(), &["visits"], Dialect::Matryoshka).unwrap();
         match &parsed {
             Expr::MapWithLiftedUdf { input, closures, .. } => {
                 assert!(matches!(**input, Expr::GroupByKeyIntoNestedBag(_)));

@@ -154,7 +154,7 @@ fn go(e: &Expr, depth: usize, out: &mut String) {
             if !closures.is_empty() {
                 let _ = write!(out, "[closures: {}]", closures.join(", "));
             }
-            let _ = write!(out, " {{ {} =>\n", udf.param);
+            let _ = writeln!(out, " {{ {} =>", udf.param);
             indent(out, depth + 1);
             go(&udf.body, depth + 1, out);
             out.push('\n');

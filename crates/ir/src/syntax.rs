@@ -196,9 +196,10 @@ impl Parser {
     }
 
     fn at(&self) -> usize {
-        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or_else(|| {
-            self.toks.last().map(|(p, _)| *p + 1).unwrap_or(0)
-        })
+        self.toks
+            .get(self.i)
+            .map(|(p, _)| *p)
+            .unwrap_or_else(|| self.toks.last().map(|(p, _)| *p + 1).unwrap_or(0))
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -388,7 +389,9 @@ impl Parser {
             self.i += 1;
             match self.bump() {
                 Some(Tok::Int(i)) if i >= 0 => e = Expr::Proj(Box::new(e), i as usize),
-                other => return self.err(format!("expected tuple index after `.`, found {other:?}")),
+                other => {
+                    return self.err(format!("expected tuple index after `.`, found {other:?}"))
+                }
             }
         }
         Ok(e)
@@ -557,10 +560,8 @@ mod tests {
 
     #[test]
     fn parses_loops() {
-        let e = parse_program(
-            "loop (i = 0, acc = 1) while i < 5 do (i + 1, acc * 2) yield acc",
-        )
-        .unwrap();
+        let e = parse_program("loop (i = 0, acc = 1) while i < 5 do (i + 1, acc * 2) yield acc")
+            .unwrap();
         match e {
             Expr::Loop { init, step, .. } => {
                 assert_eq!(init.len(), 2);
@@ -578,10 +579,7 @@ mod tests {
 
     #[test]
     fn parses_bag_operations() {
-        let e = parse_program(
-            "count(filter(map(source(xs), x => x + 1), y => y > 2))",
-        )
-        .unwrap();
+        let e = parse_program("count(filter(map(source(xs), x => x + 1), y => y > 2))").unwrap();
         assert!(matches!(e, Expr::Count(_)));
         assert!(parse_program("reduceByKey(source(xs), (a, b) => a + b)").is_ok());
         assert!(parse_program("fold(source(xs), 0, (a, b) => a + b)").is_ok());
@@ -598,10 +596,7 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_skipped() {
-        let e = parse_program(
-            "// a comment\nlet x = 1 in // another\n x + 1",
-        )
-        .unwrap();
+        let e = parse_program("// a comment\nlet x = 1 in // another\n x + 1").unwrap();
         assert!(matches!(e, Expr::Let(..)));
     }
 

@@ -45,10 +45,9 @@ impl Value {
     /// Project a tuple component.
     pub fn proj(&self, i: usize) -> IrResult<Value> {
         match self {
-            Value::Tuple(items) => items
-                .get(i)
-                .cloned()
-                .ok_or_else(|| IrError::Type(format!("tuple index {i} out of bounds (len {})", items.len()))),
+            Value::Tuple(items) => items.get(i).cloned().ok_or_else(|| {
+                IrError::Type(format!("tuple index {i} out of bounds (len {})", items.len()))
+            }),
             other => Err(IrError::Type(format!("projection .{i} on non-tuple {other}"))),
         }
     }
@@ -193,13 +192,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![
-            Value::str("b"),
-            Value::Long(2),
-            Value::Unit,
-            Value::Double(1.0),
-            Value::Long(1),
-        ];
+        let mut vs =
+            [Value::str("b"), Value::Long(2), Value::Unit, Value::Double(1.0), Value::Long(1)];
         vs.sort();
         assert_eq!(vs[0], Value::Unit);
         assert_eq!(vs[1], Value::Long(1));

@@ -10,11 +10,17 @@ use matryoshka_ir::ast::{BinOp, Expr, Lambda, Lambda2, UnOp};
 use matryoshka_ir::{parsing_phase, Dialect, Lowering, RtVal, Value};
 
 fn run(program: &Expr, sources: Vec<(&str, Bag<Value>)>, engine: &Engine) -> RtVal {
-    let parsed = parsing_phase(program, &sources.iter().map(|(n, _)| *n).collect::<Vec<_>>(), Dialect::Matryoshka)
-        .expect("parsing phase");
+    let parsed = parsing_phase(
+        program,
+        &sources.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        Dialect::Matryoshka,
+    )
+    .expect("parsing phase");
     let inputs: HashMap<String, Bag<Value>> =
         sources.into_iter().map(|(n, b)| (n.to_string(), b)).collect();
-    Lowering::new(engine.clone(), MatryoshkaConfig::optimized()).run(&parsed, &inputs).expect("lowering")
+    Lowering::new(engine.clone(), MatryoshkaConfig::optimized())
+        .run(&parsed, &inputs)
+        .expect("lowering")
 }
 
 fn bag_of(out: RtVal) -> Vec<Value> {
@@ -71,10 +77,7 @@ fn bounce_rate_listing1_through_the_ir() {
     let out = bag_of(run(&program, vec![("visits", bag)], &e));
     assert_eq!(
         out,
-        vec![
-            pair(Value::Long(1), Value::Double(0.5)),
-            pair(Value::Long(2), Value::Double(1.0)),
-        ]
+        vec![pair(Value::Long(1), Value::Double(0.5)), pair(Value::Long(2), Value::Double(1.0)),]
     );
 }
 
@@ -83,7 +86,7 @@ fn bounce_rate_listing1_through_the_ir() {
 #[test]
 fn per_group_loop_through_the_ir() {
     // Groups: key 1 -> 3 elements, key 2 -> 1 element.
-    let data = vec![(1, 10), (1, 20), (1, 30), (2, 40)];
+    let data = [(1, 10), (1, 20), (1, 30), (2, 40)];
     // For each group: loop { steps++ ; n-- } while n > 0; result (key, steps).
     let program = Expr::Map(
         Box::new(Expr::GroupByKey(Box::new(Expr::Source("xs".into())))),
@@ -107,10 +110,8 @@ fn per_group_loop_through_the_ir() {
         ),
     );
     let e = Engine::local();
-    let bag = e.parallelize(
-        data.iter().map(|&(k, v)| pair(Value::Long(k), Value::Long(v))).collect(),
-        2,
-    );
+    let bag =
+        e.parallelize(data.iter().map(|&(k, v)| pair(Value::Long(k), Value::Long(v))).collect(), 2);
     let out = bag_of(run(&program, vec![("xs", bag)], &e));
     assert_eq!(
         out,
@@ -139,7 +140,11 @@ fn scalar_closure_through_the_ir() {
     );
     let e = Engine::local();
     let bag = e.parallelize(
-        vec![pair(Value::Long(1), Value::Long(0)), pair(Value::Long(1), Value::Long(0)), pair(Value::Long(2), Value::Long(0))],
+        vec![
+            pair(Value::Long(1), Value::Long(0)),
+            pair(Value::Long(1), Value::Long(0)),
+            pair(Value::Long(2), Value::Long(0)),
+        ],
         2,
     );
     let out = bag_of(run(&program, vec![("xs", bag)], &e));
@@ -167,7 +172,11 @@ fn half_lifted_closure_through_the_ir() {
                             Lambda::new("y", Expr::bin(BinOp::Mul, Expr::var("n"), Expr::var("y"))),
                         )),
                         Box::new(Expr::long(0)),
-                        Lambda2::new("a", "b", Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b"))),
+                        Lambda2::new(
+                            "a",
+                            "b",
+                            Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                        ),
                     ),
                 ),
             ),
@@ -178,7 +187,11 @@ fn half_lifted_closure_through_the_ir() {
     // becomes the half-lifted cross against the lifted closure `n`.
     let e = Engine::local();
     let xs = e.parallelize(
-        vec![pair(Value::Long(1), Value::Long(0)), pair(Value::Long(1), Value::Long(0)), pair(Value::Long(2), Value::Long(0))],
+        vec![
+            pair(Value::Long(1), Value::Long(0)),
+            pair(Value::Long(1), Value::Long(0)),
+            pair(Value::Long(2), Value::Long(0)),
+        ],
         2,
     );
     let ys = e.parallelize(vec![Value::Long(1), Value::Long(2), Value::Long(3)], 2);
@@ -262,7 +275,11 @@ fn lifted_if_through_the_ir() {
     );
     let e = Engine::local();
     let xs = e.parallelize(
-        vec![pair(Value::Long(1), Value::Long(0)), pair(Value::Long(1), Value::Long(0)), pair(Value::Long(2), Value::Long(0))],
+        vec![
+            pair(Value::Long(1), Value::Long(0)),
+            pair(Value::Long(1), Value::Long(0)),
+            pair(Value::Long(2), Value::Long(0)),
+        ],
         2,
     );
     let out = bag_of(run(&program, vec![("xs", xs)], &e));

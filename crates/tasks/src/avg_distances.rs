@@ -25,7 +25,10 @@ fn sort(mut v: AvgDistances) -> AvgDistances {
 /// Tag each edge with its component label using a flat connected-components
 /// pass (the outermost, non-nested part of the task, shared by every
 /// strategy: `connectedComps(g)` in the paper's composition example).
-fn tag_edges_by_component(engine: &Engine, edges: &Bag<(u64, u64)>) -> Result<Bag<(u64, (u64, u64))>> {
+fn tag_edges_by_component(
+    engine: &Engine,
+    edges: &Bag<(u64, u64)>,
+) -> Result<Bag<(u64, (u64, u64))>> {
     let cc = crate::flat::connected_components(edges)?;
     let bytes = (cc.len() * 16) as u64;
     let comp_of: HashMap<u64, u64> = cc.into_iter().collect();
@@ -66,19 +69,24 @@ pub fn matryoshka(
         let ctx1_loop = ctx1.clone();
         let (visited, _frontier) = lifted_while(
             &(visited0, frontier0),
-            move |(visited, frontier): &(InnerBag<(u64, u64), (u64, u64)>, InnerBag<(u64, u64), u64>)| {
+            move |(visited, frontier): &(
+                InnerBag<(u64, u64), (u64, u64)>,
+                InnerBag<(u64, u64), u64>,
+            )| {
                 let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
                 // Expand the frontier through the level-1 adjacency: a
                 // half-lifted join across nesting levels — demote the
                 // level-2 frontier to level 1, join on (component, vertex),
                 // promote the discovered neighbours back to level 2.
                 let keyed = frontier.demote(&ctx1_loop).map(|&(src, cur)| (cur, src));
-                let discovered = keyed.join_co_partitioned(&adj_p).map(|&(_, (src, nbr))| (src, nbr));
-                let candidates =
-                    discovered.promote(&ctx2).map(move |nbr| (*nbr, d)).with_record_bytes(msg_bytes);
+                let discovered =
+                    keyed.join_co_partitioned(&adj_p).map(|&(_, (src, nbr))| (src, nbr));
+                let candidates = discovered
+                    .promote(&ctx2)
+                    .map(move |nbr| (*nbr, d))
+                    .with_record_bytes(msg_bytes);
                 let new_visited = visited.union(&candidates).reduce_by_key(|a, b| *a.min(b));
-                let new_frontier =
-                    new_visited.filter(move |&(_, dist)| dist == d).map(|&(v, _)| v);
+                let new_frontier = new_visited.filter(move |&(_, dist)| dist == d).map(|&(v, _)| v);
                 let cond = new_frontier.count().map(|c| *c > 0);
                 Ok(((new_visited, new_frontier), cond))
             },
@@ -184,7 +192,10 @@ mod tests {
     }
 
     fn small_graph() -> Vec<(u64, u64)> {
-        component_graph(&ComponentGraphSpec { vertices_per_component: 8, ..ComponentGraphSpec::small(3) })
+        component_graph(&ComponentGraphSpec {
+            vertices_per_component: 8,
+            ..ComponentGraphSpec::small(3)
+        })
     }
 
     #[test]

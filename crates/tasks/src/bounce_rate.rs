@@ -30,13 +30,16 @@ pub fn matryoshka(
         let counts_per_ip = group.map(|ip| (*ip, 1u64)).reduce_by_key(|a, b| a + b);
         let num_bounces = counts_per_ip.filter(|(_, c)| *c == 1).count();
         let num_visitors = group.distinct().count();
-        num_bounces.zip_with(&num_visitors, |b, v| {
-            if *v == 0 {
-                0.0
-            } else {
-                *b as f64 / *v as f64
-            }
-        })
+        num_bounces.zip_with(
+            &num_visitors,
+            |b, v| {
+                if *v == 0 {
+                    0.0
+                } else {
+                    *b as f64 / *v as f64
+                }
+            },
+        )
     });
     Ok(sort(rates.collect()?))
 }
@@ -69,7 +72,11 @@ const BOUNCE_UDF_MEMORY_FACTOR: f64 = 12.0;
 /// Inner-parallel workaround: the driver loops over the groups (pre-split,
 /// as if each group were its own input file) and runs the flat-parallel
 /// bounce-rate dataflow per group — two jobs per group.
-pub fn inner_parallel(engine: &Engine, groups: &[(u32, Vec<u64>)], record_bytes: f64) -> Result<BounceRates> {
+pub fn inner_parallel(
+    engine: &Engine,
+    groups: &[(u32, Vec<u64>)],
+    record_bytes: f64,
+) -> Result<BounceRates> {
     let mut out = Vec::with_capacity(groups.len());
     for (day, ips) in groups {
         let partitions = crate::hdfs_partitions(engine, ips.len() as f64 * record_bytes);
@@ -165,7 +172,11 @@ mod tests {
             let bag = engine.parallelize(log, 4);
             matryoshka(engine, &bag, MatryoshkaConfig::optimized()).unwrap();
         }
-        assert_eq!(e1.stats().jobs, e2.stats().jobs, "Matryoshka job count must not depend on #groups");
+        assert_eq!(
+            e1.stats().jobs,
+            e2.stats().jobs,
+            "Matryoshka job count must not depend on #groups"
+        );
     }
 
     #[test]

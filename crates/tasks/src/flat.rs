@@ -23,10 +23,8 @@ pub fn pagerank(edges: &Bag<(u64, u64)>, params: &PageRankParams) -> Result<Vec<
         return Ok(Vec::new());
     }
     let nf = n as f64;
-    let out_deg = edges
-        .map(|(s, _)| (*s, 1u64))
-        .with_record_bytes(msg_bytes)
-        .reduce_by_key(|a, b| a + b);
+    let out_deg =
+        edges.map(|(s, _)| (*s, 1u64)).with_record_bytes(msg_bytes).reduce_by_key(|a, b| a + b);
     let mut ranks = vertices.map(move |v| (*v, 1.0 / nf));
     let damping = params.damping;
     for _ in 0..params.max_iterations {
@@ -36,9 +34,7 @@ pub fn pagerank(edges: &Bag<(u64, u64)>, params: &PageRankParams) -> Result<Vec<
             .join(&edges.clone())
             .map(|(_, ((rank, deg), dst))| (*dst, rank / *deg as f64))
             .with_record_bytes(msg_bytes);
-        let sums = contribs
-            .union(&vertices.map(|v| (*v, 0.0)))
-            .reduce_by_key(|a, b| a + b);
+        let sums = contribs.union(&vertices.map(|v| (*v, 0.0))).reduce_by_key(|a, b| a + b);
         // Dangling mass: total rank minus mass that flowed along edges.
         let flowed = with_deg
             .filter(|(_, (_, deg))| *deg > 0)
@@ -89,12 +85,8 @@ pub fn kmeans(
                 continue;
             }
             let new: Point = sum.iter().map(|s| s / count as f64).collect();
-            let d: f64 = new
-                .iter()
-                .zip(&centroids[c])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let d: f64 =
+                new.iter().zip(&centroids[c]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             shift = shift.max(d);
             centroids[c] = new;
         }
@@ -171,10 +163,7 @@ pub fn connected_components(edges: &Bag<(u64, u64)>) -> Result<Vec<(u64, u64)>> 
             .map(|(_, (label, dst))| (*dst, *label))
             .with_record_bytes(msg_bytes);
         let new_labels = labels.union(&msgs).reduce_by_key_into(p, |a, b| *a.min(b));
-        let changed = new_labels
-            .join(&labels)
-            .filter(|(_, (a, b))| a != b)
-            .count()?; // one job per round
+        let changed = new_labels.join(&labels).filter(|(_, (a, b))| a != b).count()?; // one job per round
         labels = new_labels;
         if changed == 0 {
             break;
@@ -257,8 +246,11 @@ mod tests {
         let edges = e.parallelize(vec![(0u64, 1u64), (1, 0)], 1);
         let s0 = e.stats();
         // epsilon < 0 never converges: exactly max_iterations run.
-        pagerank(&edges, &PageRankParams { max_iterations: 5, epsilon: -1.0, ..Default::default() })
-            .unwrap();
+        pagerank(
+            &edges,
+            &PageRankParams { max_iterations: 5, epsilon: -1.0, ..Default::default() },
+        )
+        .unwrap();
         let d = e.stats().since(&s0);
         // >= 2 jobs per iteration (dangling fold + delta fold) plus setup.
         assert!(d.jobs >= 10, "expected at least 10 jobs, got {}", d.jobs);

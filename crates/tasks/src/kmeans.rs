@@ -109,9 +109,8 @@ pub fn outer_parallel(
     let p = *params;
     // One record per configuration; the points are reached as a closure and
     // streamed per iteration (working set stays small, compute does not).
-    let bag = engine
-        .parallelize(configs.to_vec(), configs.len().max(1))
-        .with_record_bytes(point_bytes);
+    let bag =
+        engine.parallelize(configs.to_vec(), configs.len().max(1)).with_record_bytes(point_bytes);
     let results = bag.map_with_work(move |(id, init)| {
         let r = seq::kmeans(&points, init, &p);
         ((*id, r.value), WorkEstimate { cost_units: r.work, mem_bytes: (init.len() * 64) as u64 })
@@ -137,7 +136,11 @@ pub fn inner_parallel(
 }
 
 /// Sequential oracle.
-pub fn reference(configs: &[(u32, Vec<Point>)], points: &[Point], params: &KmeansParams) -> KmeansResult {
+pub fn reference(
+    configs: &[(u32, Vec<Point>)],
+    points: &[Point],
+    params: &KmeansParams,
+) -> KmeansResult {
     sort(configs.iter().map(|(id, init)| (*id, seq::kmeans(points, init, params).value)).collect())
 }
 
@@ -167,9 +170,8 @@ pub fn matryoshka_grouped(
         let final_centers = lifted_while(
             &centers0,
             move |centers: &InnerScalar<u32, Vec<Point>>| {
-                let assigns = points.map_with_scalar(centers, |p, cs| {
-                    (nearest_centroid(cs, p), (p.clone(), 1u64))
-                });
+                let assigns = points
+                    .map_with_scalar(centers, |p, cs| (nearest_centroid(cs, p), (p.clone(), 1u64)));
                 let sums = assigns
                     .reduce_by_key_partials(CENTROID_PARTIAL_BYTES, |(pa, ca), (pb, cb)| {
                         (add_points(pa, pb), ca + cb)
@@ -252,10 +254,7 @@ pub fn reference_grouped(
 ) -> KmeansResult {
     let inits: std::collections::HashMap<u32, Vec<Point>> = configs.iter().cloned().collect();
     sort(
-        samples
-            .iter()
-            .map(|(id, pts)| (*id, seq::kmeans(pts, &inits[id], params).value))
-            .collect(),
+        samples.iter().map(|(id, pts)| (*id, seq::kmeans(pts, &inits[id], params).value)).collect(),
     )
 }
 
@@ -325,8 +324,14 @@ mod tests {
             let (points, configs) = inputs(n);
             let config_bag = e.parallelize(configs, 2);
             let point_bag = e.parallelize(points, 4);
-            matryoshka(&e, &config_bag, &point_bag, &KmeansParams::default(), MatryoshkaConfig::optimized())
-                .unwrap();
+            matryoshka(
+                &e,
+                &config_bag,
+                &point_bag,
+                &KmeansParams::default(),
+                MatryoshkaConfig::optimized(),
+            )
+            .unwrap();
             e.stats().jobs
         };
         let j1 = count_jobs(1);
@@ -354,19 +359,22 @@ mod tests {
         let configs = initial_centroid_configs(&spec, 4);
         // Each config gets its own sample slice of the cloud.
         let cloud = point_cloud(&spec);
-        let samples_flat: Vec<(u32, Point)> = cloud
-            .iter()
-            .enumerate()
-            .map(|(i, p)| ((i % 4) as u32, p.clone()))
-            .collect();
+        let samples_flat: Vec<(u32, Point)> =
+            cloud.iter().enumerate().map(|(i, p)| ((i % 4) as u32, p.clone())).collect();
         let params = KmeansParams::default();
         let samples_split = split_samples(&samples_flat);
         let oracle = reference_grouped(&configs, &samples_split, &params);
 
         let config_bag = e.parallelize(configs.clone(), 2);
         let sample_bag = e.parallelize(samples_flat.clone(), 4);
-        let m = matryoshka_grouped(&e, &config_bag, &sample_bag, &params, MatryoshkaConfig::optimized())
-            .unwrap();
+        let m = matryoshka_grouped(
+            &e,
+            &config_bag,
+            &sample_bag,
+            &params,
+            MatryoshkaConfig::optimized(),
+        )
+        .unwrap();
         assert_results_close(&m, &oracle, 1e-6);
 
         let o = outer_parallel_grouped(&e, &configs, &sample_bag, &params).unwrap();
@@ -382,7 +390,10 @@ mod tests {
         let (points, configs) = inputs(2);
         let params = KmeansParams::default();
         let oracle = reference(&configs, &points, &params);
-        for cross in [matryoshka_core::CrossChoice::ForceBroadcastScalar, matryoshka_core::CrossChoice::ForceBroadcastBag] {
+        for cross in [
+            matryoshka_core::CrossChoice::ForceBroadcastScalar,
+            matryoshka_core::CrossChoice::ForceBroadcastBag,
+        ] {
             let cfg = MatryoshkaConfig { cross, ..MatryoshkaConfig::optimized() };
             let config_bag = e.parallelize(configs.clone(), 2);
             let point_bag = e.parallelize(points.clone(), 4);

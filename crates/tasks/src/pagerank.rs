@@ -18,7 +18,7 @@ pub(crate) const MSG_WEIGHT_FRACTION: f64 = 0.2;
 pub type GroupRanks = Vec<(u32, (u64, f64))>;
 
 fn sort(mut v: GroupRanks) -> GroupRanks {
-    v.sort_by(|a, b| (a.0, a.1 .0).cmp(&(b.0, b.1 .0)));
+    v.sort_by_key(|a| (a.0, a.1 .0));
     v
 }
 
@@ -67,9 +67,8 @@ pub fn matryoshka(
                     .join_co_partitioned(&edges_p)
                     .map(|&(_, ((rank, deg), dst))| (dst, rank / deg as f64))
                     .with_record_bytes(msg_bytes);
-                let sums = contribs
-                    .union(&vertices2.map(|v| (*v, 0.0f64)))
-                    .reduce_by_key(|a, b| a + b);
+                let sums =
+                    contribs.union(&vertices2.map(|v| (*v, 0.0f64))).reduce_by_key(|a, b| a + b);
                 // Per-group dangling mass: 1 - mass that flowed along edges.
                 let flowed =
                     with_deg.map(|(_, (rank, _))| *rank).fold(0.0f64, |a, r| a + r, |a, b| a + b);
@@ -83,10 +82,11 @@ pub fn matryoshka(
                 let new_ranks = sums
                     .map_with_scalar(&base, move |(v, s), b| (*v, b + damping * s))
                     .with_record_bytes(rank_bytes);
-                let delta = new_ranks
-                    .join(ranks)
-                    .map(|(_, (a, b))| (a - b).abs())
-                    .fold(0.0f64, |m, d| m.max(*d), |a, b| a.max(*b));
+                let delta = new_ranks.join(ranks).map(|(_, (a, b))| (a - b).abs()).fold(
+                    0.0f64,
+                    |m, d| m.max(*d),
+                    |a, b| a.max(*b),
+                );
                 let mut cond = delta.map(move |d| *d > epsilon);
                 if per_group_scalar_bytes > 0.0 {
                     cond = cond.with_record_bytes(per_group_scalar_bytes);
@@ -190,7 +190,11 @@ mod tests {
     }
 
     fn small_input() -> Vec<(u32, (u64, u64))> {
-        grouped_edges(&GroupedGraphSpec { total_edges: 600, vertices_per_group: 20, ..GroupedGraphSpec::small(4) })
+        grouped_edges(&GroupedGraphSpec {
+            total_edges: 600,
+            vertices_per_group: 20,
+            ..GroupedGraphSpec::small(4)
+        })
     }
 
     #[test]
@@ -238,10 +242,7 @@ mod tests {
         };
         let j2 = count_jobs(2);
         let j16 = count_jobs(16);
-        assert!(
-            j16 < j2 * 3,
-            "matryoshka jobs should track iterations, not groups: {j2} vs {j16}"
-        );
+        assert!(j16 < j2 * 3, "matryoshka jobs should track iterations, not groups: {j2} vs {j16}");
     }
 
     #[test]
@@ -250,7 +251,10 @@ mod tests {
         let edges = small_input();
         let params = PageRankParams::default();
         let oracle = reference(&edges, &params);
-        for join in [matryoshka_core::JoinChoice::ForceBroadcast, matryoshka_core::JoinChoice::ForceRepartition] {
+        for join in [
+            matryoshka_core::JoinChoice::ForceBroadcast,
+            matryoshka_core::JoinChoice::ForceRepartition,
+        ] {
             let cfg = MatryoshkaConfig { tag_join: join, ..MatryoshkaConfig::optimized() };
             let bag = e.parallelize(edges.clone(), 4);
             let m = matryoshka(&e, &bag, &params, cfg, 0.0).unwrap();

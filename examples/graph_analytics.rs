@@ -1,12 +1,14 @@
 //! Graph analytics with nested parallelism: per-group PageRank (two levels
-//! + a lifted loop, paper Sec. 9.1) and Average Distances over connected
+//! plus a lifted loop, paper Sec. 9.1) and Average Distances over connected
 //! components (THREE levels of parallelism with composite lifting tags,
 //! Sec. 2.2) — the composability story: `connectedComps(g).map(avgDistances)`.
 //!
 //! Run with: `cargo run --release --example graph_analytics`
 
 use matryoshka::core::MatryoshkaConfig;
-use matryoshka::datagen::{component_graph, grouped_edges, ComponentGraphSpec, GroupedGraphSpec, KeyDist};
+use matryoshka::datagen::{
+    component_graph, grouped_edges, ComponentGraphSpec, GroupedGraphSpec, KeyDist,
+};
 use matryoshka::engine::{ClusterConfig, Engine, GB};
 use matryoshka::tasks::seq::PageRankParams;
 use matryoshka::tasks::{avg_distances, pagerank};

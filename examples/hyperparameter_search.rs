@@ -26,8 +26,14 @@ fn main() {
     let point_bag = engine.parallelize_with_bytes(points.clone(), 1200, point_bytes);
     let config_bag = engine.parallelize(configs.clone(), 1);
 
-    let results = kmeans::matryoshka(&engine, &config_bag, &point_bag, &params, MatryoshkaConfig::optimized())
-        .expect("lifted K-means");
+    let results = kmeans::matryoshka(
+        &engine,
+        &config_bag,
+        &point_bag,
+        &params,
+        MatryoshkaConfig::optimized(),
+    )
+    .expect("lifted K-means");
 
     // Pick the configuration with the lowest clustering cost — the point of
     // hyperparameter search.
@@ -39,7 +45,10 @@ fn main() {
     let worst_cost = results.iter().map(|(_, (_, c))| *c).fold(f64::MIN, f64::max);
 
     println!("tried {} configurations in parallel on the simulated cluster", results.len());
-    println!("best:  config {best_id} with cost {best_cost:.4} ({} centroids)", best_centroids.len());
+    println!(
+        "best:  config {best_id} with cost {best_cost:.4} ({} centroids)",
+        best_centroids.len()
+    );
     println!("worst: cost {worst_cost:.4} ({:.1}x the best)", worst_cost / best_cost);
     println!(
         "\n{} simulated, {} jobs, {:.2} MB broadcast",

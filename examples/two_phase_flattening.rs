@@ -72,7 +72,8 @@ fn main() {
         Err(e) => println!("DIQL-like dialect: {e}"),
         Ok(_) => println!("DIQL-like dialect unexpectedly accepted the loop"),
     }
-    let flattened = parsing_phase(&loop_prog, &["xs"], Dialect::Matryoshka).expect("Matryoshka flattens it");
+    let flattened =
+        parsing_phase(&loop_prog, &["xs"], Dialect::Matryoshka).expect("Matryoshka flattens it");
 
     let e2 = Engine::local();
     let mut rows = Vec::new();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints (deny warnings), docs, build, tests.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -1,11 +1,13 @@
-//! Property-based tests of the flattening's correctness invariants
-//! (paper Sec. 7): for arbitrary nested data, the lifted operations must
-//! preserve the semantics of the original per-group operations — the
-//! isomorphism `m(op(x)) = op'(m(x))` checked on randomly generated inputs.
+//! Property-style tests of the flattening's correctness invariants
+//! (paper Sec. 7): for pseudo-randomly generated nested data, the lifted
+//! operations must preserve the semantics of the original per-group
+//! operations — the isomorphism `m(op(x)) = op'(m(x))` checked on many
+//! seeded inputs.
+//!
+//! Inputs come from a deterministic SplitMix64 stream so failures are
+//! reproducible by seed.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use matryoshka::core::{
     group_by_key_into_nested_bag, lifted_while, InnerScalar, LiftingContext, MatryoshkaConfig,
@@ -17,11 +19,39 @@ fn engine() -> Engine {
     Engine::new(ClusterConfig::local_test())
 }
 
-/// Arbitrary tagged records: small key space so groups collide, values in a
-/// small range so aggregations are interesting.
-fn tagged_records() -> impl Strategy<Value = Vec<(u32, i64)>> {
-    proptest::collection::vec(((0u32..8), (-20i64..20)), 0..120)
+/// Deterministic 64-bit generator (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+    fn len(&mut self, max: u64) -> usize {
+        match self.below(8) {
+            0 => 0,
+            1 => 1,
+            _ => self.below(max) as usize,
+        }
+    }
+    /// Tagged records: small key space so groups collide, values in a small
+    /// range so aggregations are interesting.
+    fn tagged_records(&mut self) -> Vec<(u32, i64)> {
+        let n = self.len(120);
+        (0..n).map(|_| (self.below(8) as u32, self.below(40) as i64 - 20)).collect()
+    }
 }
+
+const SEEDS: u64 = 16;
 
 /// Per-group sequential oracle for a map/filter/aggregate pipeline.
 fn oracle_pipeline(records: &[(u32, i64)]) -> Vec<(u32, (i64, u64))> {
@@ -41,13 +71,12 @@ fn oracle_pipeline(records: &[(u32, i64)]) -> Vec<(u32, (i64, u64))> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// m(op(x)) = op'(m(x)) for a map+filter+fold+count pipeline over
-    /// arbitrary nested data.
-    #[test]
-    fn lifted_pipeline_matches_per_group_oracle(records in tagged_records()) {
+/// m(op(x)) = op'(m(x)) for a map+filter+fold+count pipeline over
+/// arbitrary nested data.
+#[test]
+fn lifted_pipeline_matches_per_group_oracle() {
+    for seed in 0..SEEDS {
+        let records = Gen::new(seed).tagged_records();
         let expect = oracle_pipeline(&records);
         let e = engine();
         let bag = e.parallelize(records.clone(), 5);
@@ -60,12 +89,15 @@ proptest! {
         });
         let mut got = result.collect().unwrap();
         got.sort_by_key(|(k, _)| *k);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    /// Lifted distinct+count equals per-group set cardinality.
-    #[test]
-    fn lifted_distinct_count_matches(records in tagged_records()) {
+/// Lifted distinct+count equals per-group set cardinality.
+#[test]
+fn lifted_distinct_count_matches() {
+    for seed in 0..SEEDS {
+        let records = Gen::new(seed ^ 0x11).tagged_records();
         let mut expect: Vec<(u32, u64)> = {
             let mut m: HashMap<u32, std::collections::HashSet<i64>> = HashMap::new();
             for &(k, v) in &records {
@@ -77,17 +109,21 @@ proptest! {
         let e = engine();
         let bag = e.parallelize(records.clone(), 4);
         let nested = group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
-        let mut got = nested
-            .map_with_lifted_udf(|_k, group| group.distinct().count())
-            .collect()
-            .unwrap();
+        let mut got =
+            nested.map_with_lifted_udf(|_k, group| group.distinct().count()).collect().unwrap();
         got.sort_by_key(|(k, _)| *k);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    /// Lifted reduce_by_key never merges across tags, for arbitrary data.
-    #[test]
-    fn lifted_reduce_by_key_respects_tags(records in proptest::collection::vec(((0u32..5), (0u32..4), (1i64..10)), 0..100)) {
+/// Lifted reduce_by_key never merges across tags, for arbitrary data.
+#[test]
+fn lifted_reduce_by_key_respects_tags() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x22);
+        let n = g.len(100);
+        let records: Vec<(u32, u32, i64)> =
+            (0..n).map(|_| (g.below(5) as u32, g.below(4) as u32, 1 + g.below(9) as i64)).collect();
         let mut expect: HashMap<(u32, u32), i64> = HashMap::new();
         for &(t, k, v) in &records {
             *expect.entry((t, k)).or_insert(0) += v;
@@ -100,17 +136,22 @@ proptest! {
             .map_with_lifted_udf(|_t, group| group.reduce_by_key(|a, b| a + b))
             .collect()
             .unwrap();
-        prop_assert_eq!(got.len(), expect.len());
+        assert_eq!(got.len(), expect.len(), "seed {seed}");
         for (t, (k, v)) in got {
-            prop_assert_eq!(expect.get(&(t, k)), Some(&v), "tag {} key {}", t, k);
+            assert_eq!(expect.get(&(t, k)), Some(&v), "tag {t} key {k} seed {seed}");
         }
     }
+}
 
-    /// The lifted do-while retires every tag after exactly its own number
-    /// of iterations, for arbitrary per-tag iteration counts (Listing 4's
-    /// P1-P3 as a property).
-    #[test]
-    fn lifted_while_matches_per_tag_loops(counts in proptest::collection::vec(0i64..12, 1..24)) {
+/// The lifted do-while retires every tag after exactly its own number
+/// of iterations, for arbitrary per-tag iteration counts (Listing 4's
+/// P1-P3 as a property).
+#[test]
+fn lifted_while_matches_per_tag_loops() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x33);
+        let n = 1 + g.below(23) as usize;
+        let counts: Vec<i64> = (0..n).map(|_| g.below(12) as i64).collect();
         let e = engine();
         let tags: Vec<u64> = (0..counts.len() as u64).collect();
         let ctx = LiftingContext::new(
@@ -138,31 +179,37 @@ proptest! {
         for (t, (_, steps)) in got {
             // A do-while runs at least once.
             let expect = counts[t as usize].max(1);
-            prop_assert_eq!(steps, expect, "tag {}", t);
+            assert_eq!(steps, expect, "tag {t} seed {seed}");
         }
     }
+}
 
-    /// Matryoshka bounce rate equals the sequential oracle for arbitrary
-    /// visit logs (the end-to-end isomorphism on the paper's Listing 1).
-    #[test]
-    fn bounce_rate_is_correct_on_arbitrary_logs(
-        visits in proptest::collection::vec(((0u32..6), (0u64..30)), 1..150)
-    ) {
+/// Matryoshka bounce rate equals the sequential oracle for arbitrary
+/// visit logs (the end-to-end isomorphism on the paper's Listing 1).
+#[test]
+fn bounce_rate_is_correct_on_arbitrary_logs() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0x44);
+        let n = 1 + g.below(149) as usize;
+        let visits: Vec<(u32, u64)> = (0..n).map(|_| (g.below(6) as u32, g.below(30))).collect();
         let e = engine();
         let oracle = bounce_rate::reference(&visits);
         let bag = e.parallelize(visits.clone(), 4);
         let got = bounce_rate::matryoshka(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
-        prop_assert_eq!(got.len(), oracle.len());
+        assert_eq!(got.len(), oracle.len(), "seed {seed}");
         for ((d1, r1), (d2, r2)) in got.iter().zip(&oracle) {
-            prop_assert_eq!(d1, d2);
-            prop_assert!((r1 - r2).abs() < 1e-12);
+            assert_eq!(d1, d2, "seed {seed}");
+            assert!((r1 - r2).abs() < 1e-12, "seed {seed}");
         }
     }
+}
 
-    /// collect_nested is the inverse isomorphism m^-1: grouping then
-    /// reconstructing yields exactly the driver-side grouping.
-    #[test]
-    fn nested_bag_roundtrip(records in tagged_records()) {
+/// collect_nested is the inverse isomorphism m^-1: grouping then
+/// reconstructing yields exactly the driver-side grouping.
+#[test]
+fn nested_bag_roundtrip() {
+    for seed in 0..SEEDS {
+        let records = Gen::new(seed ^ 0x55).tagged_records();
         let e = engine();
         let bag = e.parallelize(records.clone(), 4);
         let nested = group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap();
@@ -181,24 +228,25 @@ proptest! {
             })
             .collect();
         expect.sort_by_key(|(k, _)| *k);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The IR's pure evaluator agrees with the lifted scalar pipeline: a
+/// random arithmetic expression over a per-group count computes the
+/// same value lifted as it does sequentially.
+#[test]
+fn ir_lifted_scalars_match_pure_evaluation() {
+    use matryoshka::ir::ast::{BinOp, Expr, Lambda};
+    use matryoshka::ir::{parsing_phase, Dialect, Lowering, RtVal, Value};
 
-    /// The IR's pure evaluator agrees with the lifted scalar pipeline: a
-    /// random arithmetic expression over a per-group count computes the
-    /// same value lifted as it does sequentially.
-    #[test]
-    fn ir_lifted_scalars_match_pure_evaluation(
-        records in proptest::collection::vec(((0i64..4), (0i64..5)), 1..40),
-        mul in 1i64..5,
-        add in -5i64..5,
-    ) {
-        use matryoshka::ir::ast::{BinOp, Expr, Lambda};
-        use matryoshka::ir::{parsing_phase, Dialect, Lowering, RtVal, Value};
+    for seed in 0..8u64 {
+        let mut g = Gen::new(seed ^ 0x66);
+        let n = 1 + g.below(39) as usize;
+        let records: Vec<(i64, i64)> =
+            (0..n).map(|_| (g.below(4) as i64, g.below(5) as i64)).collect();
+        let mul = 1 + g.below(4) as i64;
+        let add = g.below(10) as i64 - 5;
 
         let program = Expr::Map(
             Box::new(Expr::GroupByKey(Box::new(Expr::Source("xs".into())))),
@@ -221,7 +269,10 @@ proptest! {
         let parsed = parsing_phase(&program, &["xs"], Dialect::Matryoshka).unwrap();
         let e = engine();
         let xs = e.parallelize(
-            records.iter().map(|&(k, v)| Value::tuple(vec![Value::Long(k), Value::Long(v)])).collect(),
+            records
+                .iter()
+                .map(|&(k, v)| Value::tuple(vec![Value::Long(k), Value::Long(v)]))
+                .collect(),
             3,
         );
         let lowering = Lowering::new(e.clone(), MatryoshkaConfig::optimized());
@@ -240,6 +291,6 @@ proptest! {
             .map(|(k, n)| Value::tuple(vec![Value::Long(k), Value::Long(n * mul + add)]))
             .collect();
         expect.sort();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
 }

@@ -76,7 +76,8 @@ fn pagerank_strategies_agree_and_matryoshka_jobs_are_flat() {
         let oracle = pagerank::reference(&edges, &params);
         let e = engine();
         let bag = e.parallelize(edges.clone(), 6);
-        let m = pagerank::matryoshka(&e, &bag, &params, MatryoshkaConfig::optimized(), 0.0).unwrap();
+        let m =
+            pagerank::matryoshka(&e, &bag, &params, MatryoshkaConfig::optimized(), 0.0).unwrap();
         assert_eq!(m.len(), oracle.len());
         for ((g1, (v1, r1)), (g2, (v2, r2))) in m.iter().zip(&oracle) {
             assert_eq!((g1, v1), (g2, v2));
@@ -109,7 +110,10 @@ fn inner_parallel_job_count_is_linear_in_groups() {
     };
     let j4 = jobs_at(4);
     let j16 = jobs_at(16);
-    assert!(j16 as f64 >= j4 as f64 * 2.5, "inner-parallel jobs must grow with groups: {j4} vs {j16}");
+    assert!(
+        j16 as f64 >= j4 as f64 * 2.5,
+        "inner-parallel jobs must grow with groups: {j4} vs {j16}"
+    );
 }
 
 #[test]
@@ -138,7 +142,8 @@ fn kmeans_shared_and_grouped_variants_agree_with_reference() {
     let e2 = engine();
     let cb2 = e2.parallelize(configs.clone(), 2);
     let sb = e2.parallelize(samples, 6);
-    let mg = kmeans::matryoshka_grouped(&e2, &cb2, &sb, &params, MatryoshkaConfig::optimized()).unwrap();
+    let mg =
+        kmeans::matryoshka_grouped(&e2, &cb2, &sb, &params, MatryoshkaConfig::optimized()).unwrap();
     for ((i1, (_, c1)), (i2, (_, c2))) in mg.iter().zip(&oracle_g) {
         assert_eq!(i1, i2);
         assert!((c1 - c2).abs() / c1.max(1e-9) < 1e-6);
@@ -199,7 +204,9 @@ fn forced_optimizer_choices_never_change_results() {
     let params = KmeansParams::default();
     let oracle = kmeans::reference(&configs, &points, &params);
     for join in [JoinChoice::Auto, JoinChoice::ForceBroadcast, JoinChoice::ForceRepartition] {
-        for cross in [CrossChoice::Auto, CrossChoice::ForceBroadcastScalar, CrossChoice::ForceBroadcastBag] {
+        for cross in
+            [CrossChoice::Auto, CrossChoice::ForceBroadcastScalar, CrossChoice::ForceBroadcastBag]
+        {
             let cfg = MatryoshkaConfig { tag_join: join, cross, partition_tuning: true };
             let e = engine();
             let cb = e.parallelize(configs.clone(), 1);
