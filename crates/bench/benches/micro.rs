@@ -1,11 +1,22 @@
 //! Microbenchmarks of the engine's *real* (wall-clock) performance: core
-//! operators, lifted operators vs. hand-flattened equivalents, and
-//! lifted-loop overhead. These complement the simulated figures: the
-//! simulator's numbers are modeled, these are measured.
+//! operators, the co-partitioned iterative fast path, lifted operators vs.
+//! hand-flattened equivalents, and lifted-loop overhead. These complement
+//! the simulated figures: the simulator's numbers are modeled, these are
+//! measured.
 //!
 //! Uses a small built-in timing harness (median of repeated runs) so the
 //! benches need no external framework. Run with
 //! `cargo bench -p matryoshka-bench --bench micro`.
+//!
+//! Besides the human-readable table on stdout, every run writes a
+//! machine-readable `BENCH_micro.json` (op, n, median/min milliseconds) so
+//! successive PRs leave a comparable perf trajectory. The output path
+//! defaults to the repository root and can be overridden with the
+//! `BENCH_MICRO_OUT` environment variable.
+//!
+//! Pass `--smoke` (as `cargo bench -p matryoshka-bench --bench micro --
+//! --smoke`) for a seconds-scale run over tiny inputs: CI uses it to keep
+//! the harness and its JSON emitter from rotting.
 
 use std::time::Instant;
 
@@ -16,45 +27,96 @@ fn engine() -> Engine {
     Engine::new(ClusterConfig::local_test())
 }
 
-/// Time `f` a few times and report the median wall-clock duration.
-fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
-    const WARMUP: usize = 1;
-    const RUNS: usize = 5;
-    for _ in 0..WARMUP {
-        std::hint::black_box(f());
-    }
-    let mut times: Vec<f64> = (0..RUNS)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    let median = times[RUNS / 2];
-    let min = times[0];
-    println!("{group:<28} {name:<28} median {:>9.3} ms   min {:>9.3} ms", median * 1e3, min * 1e3);
+/// One benchmark's recorded timing, destined for `BENCH_micro.json`.
+struct BenchRecord {
+    op: String,
+    n: u64,
+    median_ms: f64,
+    min_ms: f64,
 }
 
-fn bench_engine_ops() {
-    for &n in &[10_000u64, 100_000] {
-        bench("engine_ops", &format!("reduce_by_key/{n}"), || {
+/// Scaling knobs: the full run measures real sizes; the smoke run only
+/// proves the harness executes end to end.
+struct Harness {
+    smoke: bool,
+    warmup: usize,
+    runs: usize,
+    records: Vec<BenchRecord>,
+}
+
+impl Harness {
+    fn new(smoke: bool) -> Harness {
+        Harness {
+            smoke,
+            warmup: if smoke { 0 } else { 1 },
+            runs: if smoke { 2 } else { 5 },
+            records: Vec::new(),
+        }
+    }
+
+    /// Pick `full` normally, `smoke` under `--smoke`.
+    fn size(&self, full: u64, smoke: u64) -> u64 {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Time `f` a few times and record the median/min wall-clock duration.
+    fn bench<R>(&mut self, op: &str, n: u64, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<f64> = (0..self.runs)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let median = times[self.runs / 2] * 1e3;
+        let min = times[0] * 1e3;
+        println!("{op:<44} n={n:<9} median {median:>9.3} ms   min {min:>9.3} ms");
+        self.records.push(BenchRecord { op: op.to_string(), n, median_ms: median, min_ms: min });
+    }
+
+    /// Serialize all records as a JSON array (no external dependencies).
+    fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"op\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"min_ms\": {:.3}}}{}\n",
+                r.op, r.n, r.median_ms, r.min_ms, sep
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn bench_engine_ops(h: &mut Harness) {
+    let sizes = if h.smoke { vec![2_000u64] } else { vec![10_000u64, 100_000] };
+    for &n in &sizes {
+        h.bench("engine_ops/reduce_by_key", n, || {
             let e = engine();
             let bag = e.generate(n, 8, |i| (i % 997, 1u64));
             bag.reduce_by_key(|a, b| a + b).count().unwrap()
         });
-        bench("engine_ops", &format!("join/{n}"), || {
+        h.bench("engine_ops/join", n, || {
             let e = engine();
             let l = e.generate(n, 8, |i| (i % 997, i));
             let r = e.generate(n / 10, 4, |i| (i % 997, i * 2));
             l.join(&r).count().unwrap()
         });
-        bench("engine_ops", &format!("group_by_key/{n}"), || {
+        h.bench("engine_ops/group_by_key", n, || {
             let e = engine();
             let bag = e.generate(n, 8, |i| (i % 997, i));
             bag.group_by_key().count().unwrap()
         });
-        bench("engine_ops", &format!("distinct/{n}"), || {
+        h.bench("engine_ops/distinct", n, || {
             let e = engine();
             let bag = e.generate(n, 8, |i| i % 4096);
             bag.distinct().count().unwrap()
@@ -62,14 +124,50 @@ fn bench_engine_ops() {
     }
 }
 
-fn bench_lifted_vs_flat() {
-    let visits: Vec<(u32, u64)> = (0..50_000u64).map(|i| ((i % 64) as u32, i % 1000)).collect();
-    bench("lifted_vs_flat_bounce_rate", "lifted", || {
+/// The workload the host-executor fast path targets: one shuffle up front,
+/// then an iterative join + reduce loop that stays entirely on the
+/// co-partitioned (narrow) path — as in the paper's iterative experiments,
+/// where per-iteration host overhead is what separates the flattened program
+/// from hand-written flat dataflow.
+fn bench_copartitioned_loop(h: &mut Harness) {
+    let n = h.size(100_000, 2_000);
+    let iters = if h.smoke { 2 } else { 8 };
+    h.bench("copartitioned_loop/join_reduce", n, || {
         let e = engine();
-        let bag = e.parallelize(visits.clone(), 8);
+        let base = e.generate(n, 8, |i| (i, i)).partition_by_key(8);
+        base.count().unwrap();
+        let mut cur = base;
+        for _ in 0..iters {
+            let stepped = cur.map_values(|v| v + 1);
+            cur = cur
+                .join_into(8, &stepped)
+                .map_values(|&(a, b)| a + b)
+                .reduce_by_key_into(8, |a, b| a + b);
+            cur.count().unwrap();
+        }
+        cur.count().unwrap()
+    });
+    h.bench("copartitioned_loop/shuffle_scatter", n, || {
+        // Repeated explicit re-partitioning: isolates `scatter_by_key`.
+        let e = engine();
+        let mut cur = e.generate(n, 8, |i| (i, i));
+        for p in [16usize, 8, 12, 8] {
+            cur = cur.partition_by_key(p);
+        }
+        cur.count().unwrap()
+    });
+}
+
+fn bench_lifted_vs_flat(h: &mut Harness) {
+    let n = h.size(50_000, 2_000);
+    let visits: Vec<(u32, u64)> = (0..n).map(|i| ((i % 64) as u32, i % 1000)).collect();
+    let v1 = visits.clone();
+    h.bench("lifted_vs_flat_bounce_rate/lifted", n, move || {
+        let e = engine();
+        let bag = e.parallelize(v1.clone(), 8);
         matryoshka_tasks::bounce_rate::matryoshka(&e, &bag, MatryoshkaConfig::optimized()).unwrap()
     });
-    bench("lifted_vs_flat_bounce_rate", "hand_flattened", || {
+    h.bench("lifted_vs_flat_bounce_rate/hand_flattened", n, move || {
         // Listing 3 of the paper, written directly against the engine.
         let e = engine();
         let visits = e.parallelize(visits.clone(), 8);
@@ -86,9 +184,10 @@ fn bench_lifted_vs_flat() {
     });
 }
 
-fn bench_lifted_loop() {
-    for &tags in &[16u64, 256] {
-        bench("lifted_loop", &format!("countdown/{tags}"), || {
+fn bench_lifted_loop(h: &mut Harness) {
+    let sizes = if h.smoke { vec![16u64] } else { vec![16u64, 256] };
+    for &tags in &sizes {
+        h.bench("lifted_loop/countdown", tags, || {
             let e = engine();
             let ctx = matryoshka_core::LiftingContext::new(
                 e.clone(),
@@ -116,17 +215,28 @@ fn bench_lifted_loop() {
     }
 }
 
-fn bench_nesting() {
-    bench("nesting_primitives", "group_by_key_into_nested_bag_100k", || {
+fn bench_nesting(h: &mut Harness) {
+    let n = h.size(100_000, 2_000);
+    h.bench("nesting_primitives/group_by_key_into_nested_bag", n, || {
         let e = engine();
-        let bag = e.generate(100_000, 8, |i| ((i % 512) as u32, i));
+        let bag = e.generate(n, 8, |i| ((i % 512) as u32, i));
         group_by_key_into_nested_bag(&e, &bag, MatryoshkaConfig::optimized()).unwrap().ctx().size()
     });
 }
 
 fn main() {
-    bench_engine_ops();
-    bench_lifted_vs_flat();
-    bench_lifted_loop();
-    bench_nesting();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut h = Harness::new(smoke);
+    bench_engine_ops(&mut h);
+    bench_copartitioned_loop(&mut h);
+    bench_lifted_vs_flat(&mut h);
+    bench_lifted_loop(&mut h);
+    bench_nesting(&mut h);
+
+    let out_path = std::env::var("BENCH_MICRO_OUT").unwrap_or_else(|_| {
+        // crates/bench -> repository root.
+        format!("{}/../../BENCH_micro.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&out_path, h.to_json()).expect("write BENCH_micro.json");
+    println!("\nwrote {} records to {out_path}", h.records.len());
 }

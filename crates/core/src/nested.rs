@@ -63,7 +63,11 @@ impl<T: Key, O: Data, I: Data> NestedBag<T, O, I> {
     {
         let outers = self.outer.collect()?;
         let inners = self.inner.collect()?;
-        let mut by_tag: std::collections::HashMap<T, Vec<I>> = std::collections::HashMap::new();
+        let mut by_tag: matryoshka_engine::FxHashMap<T, Vec<I>> =
+            matryoshka_engine::FxHashMap::with_capacity_and_hasher(
+                outers.len(),
+                matryoshka_engine::FxBuildHasher,
+            );
         for (t, i) in inners {
             by_tag.entry(t).or_default().push(i);
         }

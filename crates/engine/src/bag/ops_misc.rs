@@ -6,10 +6,9 @@
 //! in `matryoshka-core` (per-tag statistics, set differences in BFS-style
 //! loops) have natural implementations over them.
 
-use std::collections::HashSet;
-
 use super::{to_parts, Bag};
-use crate::partitioner::stable_hash;
+use crate::fx::{fx_set_with_capacity, FxHashSet};
+use crate::partitioner::{scatter_shared_by_key, stable_hash};
 use crate::pool::parallel_map;
 use crate::types::{Data, Key};
 use crate::Result;
@@ -144,7 +143,8 @@ impl<T: Key> Bag<T> {
             let rs = scatter_by_value(&rp, partitions);
             let zipped: Vec<(Vec<T>, Vec<T>)> = ls.into_iter().zip(rs).collect();
             let out: Vec<Vec<T>> = parallel_map(zipped, |_, (l, r)| {
-                let exclude: HashSet<T> = r.into_iter().collect();
+                let mut exclude: FxHashSet<T> = fx_set_with_capacity(r.len());
+                exclude.extend(r);
                 l.into_iter().filter(|x| !exclude.contains(x)).collect()
             });
             let counts: Vec<usize> = out.iter().map(Vec::len).collect();
@@ -172,8 +172,9 @@ impl<T: Key> Bag<T> {
             let rs = scatter_by_value(&rp, partitions);
             let zipped: Vec<(Vec<T>, Vec<T>)> = ls.into_iter().zip(rs).collect();
             let out: Vec<Vec<T>> = parallel_map(zipped, |_, (l, r)| {
-                let rset: HashSet<T> = r.into_iter().collect();
-                let mut seen = HashSet::new();
+                let mut rset: FxHashSet<T> = fx_set_with_capacity(r.len());
+                rset.extend(r);
+                let mut seen: FxHashSet<T> = fx_set_with_capacity(l.len().min(rset.len()));
                 l.into_iter().filter(|x| rset.contains(x) && seen.insert(x.clone())).collect()
             });
             let counts: Vec<usize> = out.iter().map(Vec::len).collect();
@@ -183,14 +184,10 @@ impl<T: Key> Bag<T> {
     }
 }
 
+/// Shuffle whole records by their own hash: the zero-copy parallel scatter
+/// with the identity key.
 fn scatter_by_value<T: Key>(parts: &super::Parts<T>, partitions: usize) -> Vec<Vec<T>> {
-    let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
-    for p in parts.iter() {
-        for x in p.iter() {
-            out[crate::partitioner::partition_for(x, partitions)].push(x.clone());
-        }
-    }
-    out
+    scatter_shared_by_key(parts, partitions, |x| x)
 }
 
 impl<K: Key, V: Data> Bag<(K, V)> {

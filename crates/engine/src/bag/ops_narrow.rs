@@ -161,6 +161,11 @@ impl<T: Data> Bag<T> {
         Bag::new(self.engine().clone(), "coalesce", bytes, out_parts, move || {
             let input = parent.eval()?;
             let total = input.len();
+            if out_parts == total {
+                // Nothing to merge: reuse the parent's partitions as-is
+                // (coalesce charges nothing, so this is sim-neutral).
+                return Ok(input);
+            }
             let group = total.div_ceil(out_parts);
             let mut out: Vec<Vec<T>> = Vec::with_capacity(out_parts);
             for g in 0..out_parts {

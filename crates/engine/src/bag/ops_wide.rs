@@ -5,12 +5,23 @@
 //! for the shuffled records, then a new stage (driver scheduling + task
 //! launch per output partition + per-record processing), and a memory check
 //! for whatever it materializes per task (hash tables, grouped values).
+//!
+//! # Wall-clock fast path
+//!
+//! Host-side, these operators are on the zero-copy partition flow (see
+//! `DESIGN.md`): co-partitioned (narrow) branches read straight out of the
+//! shared `Arc<Vec<T>>` partitions instead of deep-copying them, shuffling
+//! branches scatter through the parallel
+//! [`crate::partitioner::scatter_shared_by_key`], and worker-private hash
+//! tables use the deterministic [`crate::fx`] hasher. None of this changes
+//! a single charge: simulated times and [`crate::StatsSnapshot`] are pinned
+//! bit-identical by `tests/golden_sim.rs`.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use super::{to_parts, Bag, Partitioning};
-use crate::partitioner::scatter_by_key;
+use crate::fx::{fx_map, fx_map_with_capacity, fx_set_with_capacity, FxHashMap};
+use crate::partitioner::{scatter_by_key, scatter_shared_by_key};
 use crate::pool::parallel_map;
 use crate::types::{Data, Key};
 
@@ -64,22 +75,37 @@ impl<K: Key, V: Data> Bag<(K, V)> {
             meta,
             move || {
                 let input = parent.eval()?;
-                let shuffled: Vec<Vec<(K, V)>> = if co_partitioned {
+                if co_partitioned {
                     // Already hash-placed by key with the right modulus: a
-                    // narrow dependency, no shuffle (Spark co-partitioning).
-                    input.iter().map(|p| p.to_vec()).collect()
-                } else {
-                    let records: u64 = input.iter().map(|p| p.len() as u64).sum();
-                    engine.charge_shuffle("group_by_key", records, bytes);
-                    scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
-                };
+                    // narrow dependency, no shuffle (Spark co-partitioning) —
+                    // and zero-copy: group straight out of the shared
+                    // partitions.
+                    let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+                    let factor = engine.config().costs.materialize_factor;
+                    let working_sets: Vec<u64> =
+                        in_counts.iter().map(|&n| (n as f64 * bytes * factor) as u64).collect();
+                    engine.charge_memory("group_by_key", &working_sets)?;
+                    let out: Vec<Vec<(K, Vec<V>)>> =
+                        parallel_map(input.to_vec(), |_, p: Arc<Vec<(K, V)>>| {
+                            let mut groups: FxHashMap<K, Vec<V>> = fx_map();
+                            for (k, v) in p.iter() {
+                                groups.entry(k.clone()).or_default().push(v.clone());
+                            }
+                            groups.into_iter().collect()
+                        });
+                    engine.charge_compute(&in_counts, bytes, true)?;
+                    return Ok(to_parts(out));
+                }
+                let records: u64 = input.iter().map(|p| p.len() as u64).sum();
+                engine.charge_shuffle("group_by_key", records, bytes);
+                let shuffled = scatter_shared_by_key(&input, partitions, |r| &r.0);
                 let factor = engine.config().costs.materialize_factor;
                 let working_sets: Vec<u64> =
                     shuffled.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
                 engine.charge_memory("group_by_key", &working_sets)?;
                 let in_counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
                 let out: Vec<Vec<(K, Vec<V>)>> = parallel_map(shuffled, |_, part| {
-                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                    let mut groups: FxHashMap<K, Vec<V>> = fx_map();
                     for (k, v) in part {
                         groups.entry(k).or_default().push(v);
                     }
@@ -142,7 +168,7 @@ impl<K: Key, V: Data> Bag<(K, V)> {
                 let fc = Arc::clone(&f);
                 let combined: Vec<Vec<(K, V)>> =
                     parallel_map(input.to_vec(), move |_, p: Arc<Vec<(K, V)>>| {
-                        let mut acc: HashMap<K, V> = HashMap::new();
+                        let mut acc: FxHashMap<K, V> = fx_map_with_capacity(p.len());
                         for (k, v) in p.iter() {
                             match acc.get_mut(k) {
                                 Some(cur) => *cur = fc(cur, v),
@@ -160,9 +186,23 @@ impl<K: Key, V: Data> Bag<(K, V)> {
                     .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
                     .collect();
                 engine.charge_memory("reduce_by_key(combine)", &combine_ws)?;
-                let shuffled = if co_partitioned {
-                    combined
-                } else {
+                if co_partitioned {
+                    // Co-location puts every record of a key in exactly one
+                    // partition, so the map-side combine already produced the
+                    // final value per key: the reduce pass would rebuild an
+                    // identical table. Skip the rebuild host-side but charge
+                    // the reduce stage exactly as before — the *model* still
+                    // runs it.
+                    let reduce_ws: Vec<u64> = combined
+                        .iter()
+                        .map(|p| (p.len() as f64 * partial_bytes * factor) as u64)
+                        .collect();
+                    engine.charge_memory("reduce_by_key", &reduce_ws)?;
+                    let counts: Vec<usize> = combined.iter().map(Vec::len).collect();
+                    engine.charge_compute(&counts, bytes, true)?;
+                    return Ok(to_parts(combined));
+                }
+                let shuffled = {
                     let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
                     engine.charge_shuffle("reduce_by_key", records, partial_bytes);
                     scatter_by_key(combined, partitions, |r| &r.0)
@@ -175,7 +215,7 @@ impl<K: Key, V: Data> Bag<(K, V)> {
                 let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
                 let fr = Arc::clone(&f);
                 let out: Vec<Vec<(K, V)>> = parallel_map(shuffled, move |_, part| {
-                    let mut acc: HashMap<K, V> = HashMap::new();
+                    let mut acc: FxHashMap<K, V> = fx_map();
                     for (k, v) in part {
                         match acc.get_mut(&k) {
                             Some(cur) => *cur = fr(cur, &v),
@@ -229,35 +269,55 @@ impl<K: Key, V: Data> Bag<(K, V)> {
         Bag::new_with_partitioning(engine.clone(), "join", out_bytes, partitions, meta, move || {
             let lp = left.eval()?;
             let rp = right.eval()?;
-            let ls: Vec<Vec<(K, V)>> = if l_co {
-                lp.iter().map(|p| p.to_vec()).collect()
+            // Co-partitioned sides are reused as-is (refcount bump only); a
+            // side that must shuffle scatters straight from the shared
+            // partitions. Either way no input is deep-copied: the only
+            // per-record clones left are the output tuples themselves.
+            let ls: Vec<Arc<Vec<(K, V)>>> = if l_co {
+                lp.to_vec()
             } else {
                 let lrecords: u64 = lp.iter().map(|p| p.len() as u64).sum();
                 engine.charge_shuffle("join", lrecords, lbytes);
-                scatter_by_key(lp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
+                scatter_shared_by_key(&lp, partitions, |r| &r.0).into_iter().map(Arc::new).collect()
             };
-            let rs: Vec<Vec<(K, W)>> = if r_co {
-                rp.iter().map(|p| p.to_vec()).collect()
+            let rs: Vec<Arc<Vec<(K, W)>>> = if r_co {
+                rp.to_vec()
             } else {
                 let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
                 engine.charge_shuffle("join", rrecords, rbytes);
-                scatter_by_key(rp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0)
+                scatter_shared_by_key(&rp, partitions, |r| &r.0).into_iter().map(Arc::new).collect()
             };
             let factor = engine.config().costs.materialize_factor;
             let build_ws: Vec<u64> =
                 rs.iter().map(|p| (p.len() as f64 * rbytes * factor) as u64).collect();
             engine.charge_memory("join(build)", &build_ws)?;
-            let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = ls.into_iter().zip(rs).collect();
+            let zipped: Vec<(Arc<Vec<(K, V)>>, Arc<Vec<(K, W)>>)> =
+                ls.into_iter().zip(rs).collect();
             let out: Vec<Vec<(K, (V, W))>> = parallel_map(zipped, |_, (l, r)| {
-                let mut table: HashMap<K, Vec<W>> = HashMap::new();
-                for (k, w) in r {
-                    table.entry(k).or_default().push(w);
+                // Chained-index multimap over the shared right side: one map
+                // entry per key plus one `next` slot per record — no per-key
+                // `Vec` allocations, and nothing is cloned until an actual
+                // match is emitted. Chains are threaded back-to-front so a
+                // probe walks matches in right-side record order.
+                const NIL: u32 = u32::MAX;
+                assert!(r.len() < NIL as usize, "join partition exceeds u32 chain capacity");
+                let mut head: FxHashMap<&K, u32> = fx_map_with_capacity(r.len());
+                let mut next: Vec<u32> = vec![NIL; r.len()];
+                for (i, (k, _)) in r.iter().enumerate().rev() {
+                    if let Some(later) = head.insert(k, i as u32) {
+                        next[i] = later;
+                    }
                 }
-                let mut res = Vec::new();
-                for (k, v) in l {
-                    if let Some(ws) = table.get(&k) {
-                        for w in ws {
-                            res.push((k.clone(), (v.clone(), w.clone())));
+                let mut res: Vec<(K, (V, W))> = Vec::with_capacity(l.len());
+                for (k, v) in l.iter() {
+                    let Some(&first) = head.get(k) else { continue };
+                    let mut i = first;
+                    loop {
+                        let w = &r[i as usize].1;
+                        res.push((k.clone(), (v.clone(), w.clone())));
+                        i = next[i as usize];
+                        if i == NIL {
+                            break;
                         }
                     }
                 }
@@ -284,7 +344,7 @@ impl<K: Key, V: Data> Bag<(K, V)> {
             let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
             engine.charge_driver_collect(rrecords, rbytes);
             engine.charge_broadcast("broadcast_join", (rrecords as f64 * rbytes) as u64)?;
-            let mut table: HashMap<K, Vec<W>> = HashMap::new();
+            let mut table: FxHashMap<K, Vec<W>> = fx_map_with_capacity(rrecords as usize);
             for p in rp.iter() {
                 for (k, w) in p.iter() {
                     table.entry(k.clone()).or_default().push(w.clone());
@@ -325,8 +385,8 @@ impl<K: Key, V: Data> Bag<(K, V)> {
             let rrecords: u64 = rp.iter().map(|p| p.len() as u64).sum();
             engine.charge_shuffle("co_group", lrecords, lbytes);
             engine.charge_shuffle("co_group", rrecords, rbytes);
-            let ls = scatter_by_key(lp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
-            let rs = scatter_by_key(rp.iter().map(|p| p.to_vec()).collect(), partitions, |r| &r.0);
+            let ls = scatter_shared_by_key(&lp, partitions, |r| &r.0);
+            let rs = scatter_shared_by_key(&rp, partitions, |r| &r.0);
             let factor = engine.config().costs.materialize_factor;
             let ws: Vec<u64> = ls
                 .iter()
@@ -336,7 +396,7 @@ impl<K: Key, V: Data> Bag<(K, V)> {
             engine.charge_memory("co_group", &ws)?;
             let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = ls.into_iter().zip(rs).collect();
             let out: Vec<Vec<(K, (Vec<V>, Vec<W>))>> = parallel_map(zipped, |_, (l, r)| {
-                let mut table: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+                let mut table: FxHashMap<K, (Vec<V>, Vec<W>)> = fx_map();
                 for (k, v) in l {
                     table.entry(k).or_default().0.push(v);
                 }
@@ -390,10 +450,7 @@ impl<K: Key, V: Data> Bag<(K, V)> {
                 let input = parent.eval()?;
                 let records: u64 = input.iter().map(|p| p.len() as u64).sum();
                 engine.charge_shuffle("partition_by_key", records, bytes);
-                let shuffled =
-                    scatter_by_key(input.iter().map(|p| p.to_vec()).collect(), partitions, |r| {
-                        &r.0
-                    });
+                let shuffled = scatter_shared_by_key(&input, partitions, |r| &r.0);
                 let counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
                 engine.charge_compute(&counts, bytes, true)?;
                 Ok(to_parts(shuffled))
@@ -421,12 +478,13 @@ impl<T: Key> Bag<T> {
         Bag::new(engine.clone(), "distinct", bytes, partitions, move || {
             let input = parent.eval()?;
             let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
-            // Map-side dedup.
+            // Map-side dedup: the seen-set borrows from the shared partition,
+            // so each kept record is cloned exactly once.
             let combined: Vec<Vec<T>> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
-                let mut seen: std::collections::HashSet<T> = std::collections::HashSet::new();
+                let mut seen = fx_set_with_capacity(p.len());
                 let mut out = Vec::new();
                 for x in p.iter() {
-                    if seen.insert(x.clone()) {
+                    if seen.insert(x) {
                         out.push(x.clone());
                     }
                 }
@@ -439,25 +497,18 @@ impl<T: Key> Bag<T> {
             engine.charge_memory("distinct(combine)", &combine_ws)?;
             let records: u64 = combined.iter().map(|p| p.len() as u64).sum();
             engine.charge_shuffle("distinct", records, bytes);
-            let shuffled: Vec<Vec<T>> = {
-                let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
-                for p in combined {
-                    for rec in p {
-                        out[crate::partitioner::partition_for(&rec, partitions)].push(rec);
-                    }
-                }
-                out
-            };
-            let factor = engine.config().costs.materialize_factor;
+            // Whole-record keys: the shuffle is the ordinary by-key scatter.
+            let shuffled = scatter_by_key(combined, partitions, |rec| rec);
             let ws: Vec<u64> =
                 shuffled.iter().map(|p| (p.len() as f64 * bytes * factor) as u64).collect();
             engine.charge_memory("distinct", &ws)?;
             let in_counts: Vec<usize> = shuffled.iter().map(Vec::len).collect();
             let out: Vec<Vec<T>> = parallel_map(shuffled, |_, part| {
-                let mut seen: std::collections::HashSet<T> = std::collections::HashSet::new();
-                let mut res = Vec::new();
+                let mut seen = fx_set_with_capacity(part.len());
+                let mut res = Vec::with_capacity(part.len());
                 for x in part {
-                    if seen.insert(x.clone()) {
+                    if !seen.contains(&x) {
+                        seen.insert(x.clone());
                         res.push(x);
                     }
                 }

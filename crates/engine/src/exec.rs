@@ -89,11 +89,15 @@ impl Engine {
             self.core.clock.advance(self.config().costs.task_schedule * task_costs.len() as u64);
         }
         let faults = &self.config().faults;
-        let mut effective = task_costs.to_vec();
-        if faults.task_failure_rate > 0.0 {
+        // Fault-free runs (the common case) charge straight off the caller's
+        // slice: the per-stage `to_vec` is only paid when the fault model
+        // actually has to rewrite costs for re-run attempts.
+        let mut patched: Vec<SimTime>;
+        let effective: &[SimTime] = if faults.task_failure_rate > 0.0 {
             let threshold = (faults.task_failure_rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
             let launch = self.config().costs.task_launch;
-            for (i, cost) in effective.iter_mut().enumerate() {
+            patched = task_costs.to_vec();
+            for (i, cost) in patched.iter_mut().enumerate() {
                 let mut attempt = 0u32;
                 while stable_hash(&(faults.seed, stage_id, i as u64, attempt)) <= threshold {
                     attempt += 1;
@@ -104,8 +108,11 @@ impl Engine {
                     *cost = *cost + *cost + launch;
                 }
             }
-        }
-        self.core.clock.advance(lpt_makespan(&effective, self.config().total_cores()));
+            &patched
+        } else {
+            task_costs
+        };
+        self.core.clock.advance(lpt_makespan(effective, self.config().total_cores()));
         self.record_event(|| EngineEvent::Stage {
             stage: stage_id,
             operator: self.current_operator(),

@@ -38,6 +38,7 @@ mod bag;
 pub mod config;
 mod error;
 mod exec;
+pub mod fx;
 pub mod partitioner;
 pub mod pool;
 pub mod sim;
@@ -48,6 +49,7 @@ pub use bag::{Bag, JoinAlgorithm, Partitioning, WorkEstimate};
 pub use config::FaultConfig;
 pub use config::{ClusterConfig, CostModel, GB, KB, MB};
 pub use error::{EngineError, Result};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use sim::{SimTime, StatsSnapshot};
 pub use trace::{Decision, EngineEvent, TraceSummary};
 pub use types::{Data, Key};

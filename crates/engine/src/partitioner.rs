@@ -1,34 +1,133 @@
 //! Deterministic hash partitioning.
+//!
+//! Partition *placement* ([`stable_hash`] / [`partition_for`]) is part of
+//! the simulated cost model's identity: where a record lands decides task
+//! sizes, skew, and therefore simulated schedules. It stays SipHash-1-3 with
+//! fixed keys, bit-stable forever. The *scatter* implementations below are
+//! host-side mechanics only — they may (and do) parallelize, but every
+//! variant produces the exact same buckets in the exact same order as the
+//! naive sequential loop, so nothing observable depends on which path ran.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::pool::parallel_map;
 
 /// Deterministic hash of a key (SipHash-1-3 with fixed keys, the std default
 /// hasher constructed via `new()`), stable across runs and threads so that
 /// simulated schedules and test results are reproducible.
-pub fn stable_hash<K: Hash>(key: &K) -> u64 {
+pub fn stable_hash<K: Hash + ?Sized>(key: &K) -> u64 {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     h.finish()
 }
 
 /// Partition index for `key` among `partitions` partitions.
-pub fn partition_for<K: Hash>(key: &K, partitions: usize) -> usize {
+pub fn partition_for<K: Hash + ?Sized>(key: &K, partitions: usize) -> usize {
     (stable_hash(key) % partitions.max(1) as u64) as usize
 }
 
+/// Below this many total records a scatter stays sequential: spawning the
+/// pool costs more than the loop it would parallelize.
+const PARALLEL_SCATTER_MIN_RECORDS: usize = 4096;
+
 /// Scatter `(key, value)`-shaped records of several input partitions into
-/// `partitions` output buckets by key hash.
-pub fn scatter_by_key<T, K: Hash, F: Fn(&T) -> &K>(
-    inputs: Vec<Vec<T>>,
+/// `partitions` output buckets by key hash, consuming the inputs (no
+/// per-record clone).
+///
+/// Large inputs are scattered on the thread pool: each worker builds a
+/// private bucket set for one input partition, and the per-input sets are
+/// merged in input order — producing bit-identical bucket contents and
+/// record order to the sequential loop.
+pub fn scatter_by_key<T, K, F>(inputs: Vec<Vec<T>>, partitions: usize, key_of: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    K: Hash + ?Sized,
+    F: Fn(&T) -> &K + Send + Sync,
+{
+    let partitions = partitions.max(1);
+    let total: usize = inputs.iter().map(Vec::len).sum();
+    if total < PARALLEL_SCATTER_MIN_RECORDS
+        || inputs.len() <= 1
+        || crate::pool::host_parallelism() <= 1
+    {
+        let mut out: Vec<Vec<T>> = make_buckets(partitions, total);
+        for part in inputs {
+            for rec in part {
+                out[partition_for(key_of(&rec), partitions)].push(rec);
+            }
+        }
+        return out;
+    }
+    let locals: Vec<Vec<Vec<T>>> = parallel_map(inputs, |_, part: Vec<T>| {
+        let mut buckets: Vec<Vec<T>> = make_buckets(partitions, part.len());
+        for rec in part {
+            buckets[partition_for(key_of(&rec), partitions)].push(rec);
+        }
+        buckets
+    });
+    merge_bucket_sets(locals, partitions)
+}
+
+/// [`scatter_by_key`] over *shared* partitions (`Arc<Vec<T>>`, the engine's
+/// memoized representation): records are cloned exactly once, straight into
+/// their destination bucket, with no intermediate deep copy of the input.
+///
+/// This is what lets every shuffle site take its input as `&Parts<T>`
+/// instead of materializing `p.to_vec()` first.
+pub fn scatter_shared_by_key<T, K, F>(
+    inputs: &[Arc<Vec<T>>],
     partitions: usize,
     key_of: F,
-) -> Vec<Vec<T>> {
-    let mut out: Vec<Vec<T>> = (0..partitions.max(1)).map(|_| Vec::new()).collect();
-    for part in inputs {
-        for rec in part {
-            let p = partition_for(key_of(&rec), partitions);
-            out[p].push(rec);
+) -> Vec<Vec<T>>
+where
+    T: Clone + Send + Sync,
+    K: Hash + ?Sized,
+    F: Fn(&T) -> &K + Send + Sync,
+{
+    let partitions = partitions.max(1);
+    let total: usize = inputs.iter().map(|p| p.len()).sum();
+    if total < PARALLEL_SCATTER_MIN_RECORDS
+        || inputs.len() <= 1
+        || crate::pool::host_parallelism() <= 1
+    {
+        let mut out: Vec<Vec<T>> = make_buckets(partitions, total);
+        for part in inputs {
+            for rec in part.iter() {
+                out[partition_for(key_of(rec), partitions)].push(rec.clone());
+            }
+        }
+        return out;
+    }
+    let shared: Vec<Arc<Vec<T>>> = inputs.to_vec(); // refcount bumps only
+    let locals: Vec<Vec<Vec<T>>> = parallel_map(shared, |_, part: Arc<Vec<T>>| {
+        let mut buckets: Vec<Vec<T>> = make_buckets(partitions, part.len());
+        for rec in part.iter() {
+            buckets[partition_for(key_of(rec), partitions)].push(rec.clone());
+        }
+        buckets
+    });
+    merge_bucket_sets(locals, partitions)
+}
+
+/// Pre-sized output buckets: `records` spread over `partitions` with a
+/// little headroom, so the common near-uniform case never regrows.
+fn make_buckets<T>(partitions: usize, records: usize) -> Vec<Vec<T>> {
+    let hint = if records == 0 { 0 } else { records / partitions + records / (partitions * 8) + 1 };
+    (0..partitions).map(|_| Vec::with_capacity(hint)).collect()
+}
+
+/// Concatenate per-input bucket sets in input order. Input partition order
+/// is what the sequential scatter iterates in, so the merged output is
+/// record-for-record identical to it.
+fn merge_bucket_sets<T>(locals: Vec<Vec<Vec<T>>>, partitions: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..partitions)
+        .map(|p| Vec::with_capacity(locals.iter().map(|l| l[p].len()).sum()))
+        .collect();
+    for local in locals {
+        for (p, mut bucket) in local.into_iter().enumerate() {
+            out[p].append(&mut bucket);
         }
     }
     out
@@ -74,5 +173,43 @@ mod tests {
         let out = scatter_by_key(inputs, 8, |r| &r.0);
         let nonempty = out.iter().filter(|p| !p.is_empty()).count();
         assert!(nonempty >= 7, "hash partitioning should use nearly all partitions");
+    }
+
+    /// Reference implementation: the naive sequential scatter every variant
+    /// must reproduce bit-for-bit (contents *and* order).
+    fn sequential_scatter<T: Clone>(
+        inputs: &[Vec<T>],
+        partitions: usize,
+        key_of: impl Fn(&T) -> u64,
+    ) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        for part in inputs {
+            for rec in part {
+                out[(stable_hash(&key_of(rec)) % partitions as u64) as usize].push(rec.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_scatter_matches_sequential_exactly() {
+        // Well above the parallel threshold, uneven partition sizes.
+        let inputs: Vec<Vec<(u64, u64)>> = (0..9)
+            .map(|p| (0..(1500 + p * 321)).map(|i| ((i * 31 + p) % 4093, i)).collect())
+            .collect();
+        let expect = sequential_scatter(&inputs, 13, |r| r.0);
+        let owned = scatter_by_key(inputs.clone(), 13, |r| &r.0);
+        assert_eq!(owned, expect, "owned parallel scatter must match the sequential loop");
+        let shared: Vec<Arc<Vec<(u64, u64)>>> = inputs.into_iter().map(Arc::new).collect();
+        let zero_copy = scatter_shared_by_key(&shared, 13, |r| &r.0);
+        assert_eq!(zero_copy, expect, "shared parallel scatter must match the sequential loop");
+    }
+
+    #[test]
+    fn shared_scatter_small_input_serial_path_matches_too() {
+        let inputs: Vec<Arc<Vec<u64>>> = vec![Arc::new((0..50).collect())];
+        let out = scatter_shared_by_key(&inputs, 4, |x| x);
+        let expect = sequential_scatter(&[(0..50).collect()], 4, |x| *x);
+        assert_eq!(out, expect);
     }
 }

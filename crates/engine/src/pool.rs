@@ -1,17 +1,57 @@
 //! Real (wall-clock) parallel execution of partition work.
 //!
 //! The engine evaluates each operator's partitions in parallel on the host
-//! machine using scoped threads over a dynamic work queue. This is
+//! machine using scoped threads over a lock-free work queue. This is
 //! orthogonal to the *simulated* cluster model: the pool makes test and
 //! benchmark runs fast; the simulator decides what the program would cost
 //! on the modeled cluster.
 
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use for real execution.
 pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// A vector of slots that worker threads access disjointly by index.
+///
+/// Each index is touched by exactly one worker (ownership of an index is
+/// claimed through an atomic cursor before any access), so the unsynchronized
+/// interior mutability is race-free by construction.
+struct SlotVec<T>(Vec<UnsafeCell<MaybeUninit<T>>>);
+
+// SAFETY: slots are only accessed by the unique worker that claimed their
+// index off the atomic cursor; distinct indices are distinct memory locations.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    fn filled(items: Vec<T>) -> SlotVec<T> {
+        SlotVec(items.into_iter().map(|x| UnsafeCell::new(MaybeUninit::new(x))).collect())
+    }
+
+    fn uninit(n: usize) -> SlotVec<T> {
+        SlotVec((0..n).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect())
+    }
+
+    /// Move the value out of slot `i`.
+    ///
+    /// # Safety
+    /// The caller must hold the unique claim on index `i`, the slot must be
+    /// initialized, and it must never be read again.
+    unsafe fn take(&self, i: usize) -> T {
+        unsafe { (*self.0[i].get()).assume_init_read() }
+    }
+
+    /// Write `value` into slot `i`.
+    ///
+    /// # Safety
+    /// The caller must hold the unique claim on index `i` and the slot must
+    /// not be written more than once.
+    unsafe fn put(&self, i: usize, value: T) {
+        unsafe { (*self.0[i].get()).write(value) };
+    }
 }
 
 /// Apply `f` to every item of `items` in parallel, preserving order.
@@ -20,12 +60,20 @@ pub fn host_parallelism() -> usize {
 ///
 /// The output is index-aligned with the input: `result[i] == f(i, items[i])`
 /// for every `i`, regardless of which worker ran which item or in what
-/// order items finished. Workers claim items dynamically (so skewed items
-/// do not serialize behind a static chunking) and send `(index, output)`
-/// pairs over a channel; outputs are then placed by index — a write-once
-/// slot per item, with no per-slot lock.
+/// order items finished.
 ///
-/// Panics in `f` propagate to the caller when the thread scope joins.
+/// # Scheduling
+///
+/// Workers claim small index ranges off a shared `AtomicUsize` cursor (no
+/// mutex, no channel): claiming is one `fetch_add`, each input is *taken*
+/// from its slot exactly once, and each output is written to a
+/// pre-allocated write-once slot. Skewed items therefore never serialize
+/// behind a static chunking, and the fast path allocates exactly one output
+/// buffer.
+///
+/// Panics in `f` propagate to the caller when the thread scope joins. (A
+/// panicking run leaks not-yet-processed items and already-produced outputs
+/// — safe, and irrelevant since the process is unwinding the whole job.)
 pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -40,49 +88,64 @@ where
     if threads <= 1 {
         return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    // Dynamic distribution: workers pop the next unclaimed item under a
-    // short-lived lock (claim only; `f` runs outside the critical section).
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    // Small claim granules keep skewed items from hiding behind light ones
+    // while still amortizing the cursor traffic for very long inputs.
+    let chunk = (n / (threads * 8)).max(1);
+    let inputs = SlotVec::filled(items);
+    let outputs: SlotVec<O> = SlotVec::uninit(n);
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let tx = tx.clone();
-            scope.spawn(|| {
-                let tx = tx; // move the clone into the worker
-                loop {
-                    let next = queue.lock().expect("queue lock poisoned").next();
-                    match next {
-                        Some((i, item)) => {
-                            let out = f(i, item);
-                            if tx.send((i, out)).is_err() {
-                                return; // receiver gone: nothing left to do
-                            }
-                        }
-                        None => return,
-                    }
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                for i in start..(start + chunk).min(n) {
+                    // SAFETY: `i` was claimed exactly once (the cursor only
+                    // grows and hands out disjoint ranges), the input slot
+                    // was initialized from `items`, and nothing reads it
+                    // again after this take.
+                    let item = unsafe { inputs.take(i) };
+                    let out = f(i, item);
+                    // SAFETY: same unique claim; the slot is written once
+                    // and read only after the scope joins.
+                    unsafe { outputs.put(i, out) };
                 }
             });
         }
     });
-    drop(tx);
-    // Write-once slots: each index is produced exactly once, so every slot
-    // transitions None -> Some exactly once, lock-free on this side.
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    for (i, out) in rx {
-        debug_assert!(slots[i].is_none(), "index {i} produced twice");
-        slots[i] = Some(out);
-    }
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    // The scope joined without panicking: every input was consumed and every
+    // output slot initialized. (`MaybeUninit` never drops its payload, so
+    // dropping `inputs` cannot double-drop the moved-out items.)
+    outputs
+        .0
+        .into_iter()
+        .map(|slot| {
+            // SAFETY: all slots are initialized once the scope has joined.
+            unsafe { slot.into_inner().assume_init() }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn maps_in_order() {
         let out = parallel_map((0..100).collect(), |i, x: i32| (i as i32) + x);
         assert_eq!(out, (0..100).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn maps_in_order_for_large_inputs() {
+        // Many more items than threads: every chunk boundary is exercised.
+        let out = parallel_map((0..10_000u64).collect(), |i, x| (i as u64) * 1_000_000 + x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 1_000_000 + i as u64);
+        }
     }
 
     #[test]
@@ -103,6 +166,26 @@ mod tests {
         let items = vec![NoClone(1), NoClone(2)];
         let out = parallel_map(items, |_, x| x.0 * 10);
         assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn drops_every_input_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let items: Vec<Tracked> = (0..256).map(|_| Tracked).collect();
+        let out = parallel_map(items, |i, t| {
+            drop(t);
+            i
+        });
+        assert_eq!(out.len(), 256);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 256, "each item dropped exactly once");
     }
 
     #[test]

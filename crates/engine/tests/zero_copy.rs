@@ -1,0 +1,133 @@
+//! Clone-accounting tests for the zero-copy partition flow.
+//!
+//! The engine memoizes evaluated partitions as shared `Arc<Vec<T>>`s; the
+//! fast path (PR 2) guarantees operators read straight out of those shared
+//! partitions instead of deep-copying them first. These tests pin that
+//! guarantee with an instrumented `Clone` type: they assert the *exact*
+//! number of value clones an operator performs, so any reintroduced
+//! `p.to_vec()`-style input copy (one extra clone per record) fails loudly.
+//!
+//! Each test uses its own counter type because the test harness runs tests
+//! concurrently in one process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use matryoshka_engine::{ClusterConfig, Engine, Partitioning};
+
+/// Declare a value type whose clones are counted in a dedicated static.
+macro_rules! tracked {
+    ($ty:ident, $counter:ident) => {
+        static $counter: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Debug, PartialEq, Eq, Hash)]
+        struct $ty(u64);
+
+        impl Clone for $ty {
+            fn clone(&self) -> Self {
+                $counter.fetch_add(1, Ordering::Relaxed);
+                $ty(self.0)
+            }
+        }
+    };
+}
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::local_test())
+}
+
+tracked!(JoinVal, JOIN_CLONES);
+
+/// A co-partitioned `join_into` clones each value exactly once — for the
+/// output tuple it lands in — and never to copy the input partitions.
+#[test]
+fn copartitioned_join_clones_only_the_output() {
+    const N: u64 = 1_000;
+    let e = engine();
+    // Unique keys on both sides: exactly one match per left record.
+    let left =
+        e.parallelize((0..N).map(|i| (i, JoinVal(i))).collect::<Vec<_>>(), 8).partition_by_key(8);
+    let right =
+        e.parallelize((0..N).map(|i| (i, i * 2)).collect::<Vec<_>>(), 8).partition_by_key(8);
+    // Force both parents (their own scatters may clone); then measure the
+    // join alone.
+    left.count().unwrap();
+    right.count().unwrap();
+    assert_eq!(left.partitioning(), Partitioning::HashByKey { partitions: 8 });
+    JOIN_CLONES.store(0, Ordering::Relaxed);
+    let joined = left.join_into(8, &right);
+    assert_eq!(joined.count().unwrap(), N);
+    assert_eq!(
+        JOIN_CLONES.load(Ordering::Relaxed),
+        N as usize,
+        "co-partitioned join must clone each left value exactly once (into its output \
+         tuple); any more means an input partition was deep-copied"
+    );
+}
+
+tracked!(ReduceVal, REDUCE_CLONES);
+
+/// A co-partitioned `reduce_by_key_into` clones one value per *distinct key*
+/// (seeding the combine accumulator) — never one per record.
+#[test]
+fn copartitioned_reduce_clones_per_key_not_per_record() {
+    const N: u64 = 2_000;
+    const KEYS: u64 = 7;
+    let e = engine();
+    let base = e
+        .parallelize((0..N).map(|i| (i % KEYS, ReduceVal(1))).collect::<Vec<_>>(), 8)
+        .partition_by_key(4);
+    base.count().unwrap();
+    REDUCE_CLONES.store(0, Ordering::Relaxed);
+    let reduced = base.reduce_by_key_into(4, |a, b| ReduceVal(a.0 + b.0));
+    assert_eq!(reduced.count().unwrap(), KEYS);
+    // Co-partitioning puts all records of a key in one partition, so the
+    // map-side combine seeds exactly one accumulator per key; the reduce
+    // side then owns its records and moves them.
+    assert_eq!(
+        REDUCE_CLONES.load(Ordering::Relaxed),
+        KEYS as usize,
+        "reduce over {KEYS} keys must clone exactly {KEYS} values regardless of the \
+         {N}-record input"
+    );
+}
+
+tracked!(NarrowVal, NARROW_CLONES);
+
+/// `map_values` on the narrow path performs zero per-record deep clones of
+/// the input values: it reads them through the shared partition.
+#[test]
+fn map_values_is_zero_clone_on_values() {
+    const N: u64 = 1_000;
+    let e = engine();
+    let base =
+        e.parallelize((0..N).map(|i| (i, NarrowVal(i))).collect::<Vec<_>>(), 8).partition_by_key(8);
+    base.count().unwrap();
+    NARROW_CLONES.store(0, Ordering::Relaxed);
+    let mapped = base.map_values(|v| v.0 + 1);
+    assert_eq!(mapped.count().unwrap(), N);
+    assert_eq!(
+        NARROW_CLONES.load(Ordering::Relaxed),
+        0,
+        "map_values reads values by reference; zero deep clones"
+    );
+}
+
+tracked!(ScatterVal, SCATTER_CLONES);
+
+/// A shuffle out of shared partitions (`partition_by_key`) clones each
+/// record exactly once — straight into its destination bucket.
+#[test]
+fn shuffle_scatter_clones_each_record_exactly_once() {
+    const N: u64 = 10_000; // above the parallel-scatter threshold
+    let e = engine();
+    let base = e.parallelize((0..N).map(|i| (i, ScatterVal(i))).collect::<Vec<_>>(), 8);
+    base.count().unwrap();
+    SCATTER_CLONES.store(0, Ordering::Relaxed);
+    let shuffled = base.partition_by_key(6);
+    assert_eq!(shuffled.count().unwrap(), N);
+    assert_eq!(
+        SCATTER_CLONES.load(Ordering::Relaxed),
+        N as usize,
+        "scatter must clone once per record (no pre-shuffle deep copy of the input)"
+    );
+}

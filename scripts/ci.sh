@@ -19,4 +19,13 @@ cargo build --release
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== bench smoke (micro harness, tiny sizes)"
+BENCH_SMOKE_OUT="$(mktemp)"
+BENCH_MICRO_OUT="$BENCH_SMOKE_OUT" cargo bench -p matryoshka-bench --bench micro -- --smoke
+grep -q '"median_ms"' "$BENCH_SMOKE_OUT" || {
+  echo "bench smoke did not emit machine-readable records to $BENCH_SMOKE_OUT" >&2
+  exit 1
+}
+rm -f "$BENCH_SMOKE_OUT"
+
 echo "CI gate passed."
