@@ -6,6 +6,10 @@
 //! benchmark runs fast; the simulator decides what the program would cost
 //! on the modeled cluster.
 
+// Every unsafe operation must sit in its own `unsafe` block with a
+// `// SAFETY:` justification, even inside `unsafe fn` bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,57 @@
+//! Closure-capture enumeration: which enclosing bindings does a UDF body
+//! read? This is the single canonical helper; the parsing phase (closure
+//! extraction for `MapWithLiftedUdf`) and the lowering (leaf-UDF capture
+//! environments) both delegate here instead of re-deriving the set from
+//! `free_vars` with ad-hoc filters.
+
+use crate::ast::Expr;
+
+/// The names a UDF body captures from its environment: its free variables
+/// minus its own parameters, in first-use order, deduplicated.
+///
+/// Source names never appear ([`Expr::free_vars`] excludes `Source`
+/// references), so every returned name refers to a `let`, lambda-parameter
+/// or loop-variable binding in some enclosing scope — or is unbound.
+pub fn capture_names(body: &Expr, params: &[&str]) -> Vec<String> {
+    body.free_vars().into_iter().filter(|v| !params.contains(&v.as_str())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Lambda};
+
+    #[test]
+    fn params_are_excluded() {
+        // p => p + q  captures only q
+        let body = Expr::bin(BinOp::Add, Expr::var("p"), Expr::var("q"));
+        assert_eq!(capture_names(&body, &["p"]), vec!["q".to_string()]);
+    }
+
+    #[test]
+    fn inner_lambda_params_do_not_leak() {
+        // p => count(map(xs, y => y + p + z))  captures p? no: p is a param.
+        let body = Expr::Count(Box::new(Expr::Map(
+            Box::new(Expr::Source("xs".into())),
+            Lambda::new(
+                "y",
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Add, Expr::var("y"), Expr::var("p")),
+                    Expr::var("z"),
+                ),
+            ),
+        )));
+        assert_eq!(capture_names(&body, &["p"]), vec!["z".to_string()]);
+    }
+
+    #[test]
+    fn order_is_first_use_and_deduplicated() {
+        let body = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::var("b"), Expr::var("a")),
+            Expr::var("b"),
+        );
+        assert_eq!(capture_names(&body, &[]), vec!["b".to_string(), "a".to_string()]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Filter-pushdown over the IR, driven by the read/write sets of
+//! [`super::rw`]: rewrite `filter(map(xs, m), p)` into
+//! `map(filter(xs, p'), m)` whenever
+//! [`matryoshka_core::optimizer::filter_before_map_safe`] proves it sound,
+//! substituting each output-field projection in `p` through the map's
+//! forwarding table.
+//!
+//! The pass is *opt-in*: the parsing phase does not run it, so default
+//! plans (and the golden simulation timings) are unchanged. Callers that
+//! want the reordering apply [`push_filters_down`] between analysis and
+//! lowering.
+
+use std::sync::Arc;
+
+use crate::ast::{Expr, Lambda, Lambda2};
+
+use super::rw::{field_reads, filter_before_map_safe, map_forwards};
+
+/// One applied rewrite, for logs and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderDecision {
+    /// The map parameter name at the rewrite site (a human-readable anchor;
+    /// the IR has no stable node identities).
+    pub map_param: String,
+    /// `true` when the map was the identity (the predicate was moved
+    /// verbatim); `false` when projections were rewritten through the
+    /// forwarding table.
+    pub identity_map: bool,
+}
+
+/// Push filters below maps wherever the read/write sets prove it safe.
+/// Returns the rewritten expression and one [`ReorderDecision`] per applied
+/// rewrite (bottom-up order).
+pub fn push_filters_down(e: &Expr) -> (Expr, Vec<ReorderDecision>) {
+    let mut decisions = Vec::new();
+    let out = go(e, &mut decisions);
+    (out, decisions)
+}
+
+fn go(e: &Expr, out: &mut Vec<ReorderDecision>) -> Expr {
+    // Rebuild children first (bottom-up), then try the local rewrite.
+    let rebuilt = rebuild(e, out);
+    try_push(rebuilt, out)
+}
+
+fn try_push(e: Expr, out: &mut Vec<ReorderDecision>) -> Expr {
+    // filter(map(xs, m), p)  =>  map(filter(xs, p'), m)
+    let Expr::Filter(input, pred) = e else { return e };
+    // Peel span wrappers off the input to see the map; the rewrite drops
+    // them (the reordered tree is synthetic anyway).
+    let inner = input.unspanned().clone();
+    let Expr::Map(xs, m) = inner else { return Expr::Filter(input, pred) };
+    let pred_reads = field_reads(&pred);
+    let fwd = map_forwards(&m);
+    if !filter_before_map_safe(&pred_reads, &fwd) {
+        return Expr::Filter(Box::new(Expr::Map(xs, m)), pred);
+    }
+    let new_pred = if fwd.identity {
+        pred.clone()
+    } else {
+        let body = substitute_projections(&pred.body, &pred.param, &fwd.forwards);
+        Lambda { param: pred.param.clone(), body: Arc::new(body) }
+    };
+    out.push(ReorderDecision { map_param: m.param.clone(), identity_map: fwd.identity });
+    // The pushed-down filter may expose further rewrites (map chains).
+    let pushed = try_push(Expr::Filter(xs, new_pred), out);
+    Expr::Map(Box::new(pushed), m)
+}
+
+/// Rewrite `param.j` into `param.forwards[j]` throughout a predicate body,
+/// honoring shadowing of `param`. Only called when the safety predicate
+/// holds, so every such projection has a forwarding entry.
+fn substitute_projections(
+    e: &Expr,
+    param: &str,
+    forwards: &std::collections::BTreeMap<usize, usize>,
+) -> Expr {
+    if let Expr::Proj(x, j) = e.unspanned() {
+        if matches!(x.unspanned(), Expr::Var(n) if n == param) {
+            if let Some(i) = forwards.get(j) {
+                return Expr::proj(Expr::var(param), *i);
+            }
+        }
+    }
+    match e {
+        Expr::Spanned(_, inner) => substitute_projections(inner, param, forwards),
+        // A shadowing binder ends the substitution in the shadowed scope.
+        Expr::Let(n, v, b) if n == param => {
+            Expr::Let(n.clone(), Box::new(substitute_projections(v, param, forwards)), b.clone())
+        }
+        Expr::Map(x, l) | Expr::Filter(x, l) | Expr::FlatMapTuple(x, l) if l.param == param => {
+            let x2 = Box::new(substitute_projections(x, param, forwards));
+            match e {
+                Expr::Map(..) => Expr::Map(x2, l.clone()),
+                Expr::Filter(..) => Expr::Filter(x2, l.clone()),
+                _ => Expr::FlatMapTuple(x2, l.clone()),
+            }
+        }
+        _ => rebuild_with(e, &mut |child| substitute_projections(child, param, forwards)),
+    }
+}
+
+/// Rebuild `e` with `f` applied to every direct child expression.
+fn rebuild_with(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
+    let lam = |l: &Lambda, f: &mut dyn FnMut(&Expr) -> Expr| Lambda {
+        param: l.param.clone(),
+        body: Arc::new(f(&l.body)),
+    };
+    let lam2 = |l: &Lambda2, f: &mut dyn FnMut(&Expr) -> Expr| Lambda2 {
+        a: l.a.clone(),
+        b: l.b.clone(),
+        body: Arc::new(f(&l.body)),
+    };
+    match e {
+        Expr::Spanned(sp, inner) => Expr::Spanned(*sp, Box::new(f(inner))),
+        Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => e.clone(),
+        Expr::Tuple(items) => Expr::Tuple(items.iter().map(&mut *f).collect()),
+        Expr::Proj(x, i) => Expr::Proj(Box::new(f(x)), *i),
+        Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(f(a)), Box::new(f(b))),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(f(a))),
+        Expr::Let(n, v, b) => Expr::Let(n.clone(), Box::new(f(v)), Box::new(f(b))),
+        Expr::If(c, t, el) => Expr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(el))),
+        Expr::Loop { init, cond, step, result } => Expr::Loop {
+            init: init.iter().map(|(n, x)| (n.clone(), f(x))).collect(),
+            cond: Box::new(f(cond)),
+            step: step.iter().map(&mut *f).collect(),
+            result: Box::new(f(result)),
+        },
+        Expr::Map(x, l) => Expr::Map(Box::new(f(x)), lam(l, f)),
+        Expr::Filter(x, l) => Expr::Filter(Box::new(f(x)), lam(l, f)),
+        Expr::FlatMapTuple(x, l) => Expr::FlatMapTuple(Box::new(f(x)), lam(l, f)),
+        Expr::GroupByKey(x) => Expr::GroupByKey(Box::new(f(x))),
+        Expr::ReduceByKey(x, l) => Expr::ReduceByKey(Box::new(f(x)), lam2(l, f)),
+        Expr::Join(a, b) => Expr::Join(Box::new(f(a)), Box::new(f(b))),
+        Expr::Distinct(x) => Expr::Distinct(Box::new(f(x))),
+        Expr::Union(a, b) => Expr::Union(Box::new(f(a)), Box::new(f(b))),
+        Expr::Count(x) => Expr::Count(Box::new(f(x))),
+        Expr::Fold(x, z, l) => Expr::Fold(Box::new(f(x)), Box::new(f(z)), lam2(l, f)),
+        Expr::GroupByKeyIntoNestedBag(x) => Expr::GroupByKeyIntoNestedBag(Box::new(f(x))),
+        Expr::MapWithLiftedUdf { input, udf, closures } => Expr::MapWithLiftedUdf {
+            input: Box::new(f(input)),
+            udf: lam(udf, f),
+            closures: closures.clone(),
+        },
+    }
+}
+
+fn rebuild(e: &Expr, out: &mut Vec<ReorderDecision>) -> Expr {
+    rebuild_with(e, &mut |child| go(child, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    // filter(map(xs, x => (x.1, x.0)), p => p.0 > 5)
+    fn swap_then_filter() -> Expr {
+        Expr::Filter(
+            Box::new(Expr::Map(
+                Box::new(Expr::Source("xs".into())),
+                Lambda::new(
+                    "x",
+                    Expr::Tuple(vec![Expr::proj(Expr::var("x"), 1), Expr::proj(Expr::var("x"), 0)]),
+                ),
+            )),
+            Lambda::new("p", Expr::bin(BinOp::Gt, Expr::proj(Expr::var("p"), 0), Expr::long(5))),
+        )
+    }
+
+    #[test]
+    fn pushes_filter_through_forwarding_map() {
+        let (out, decisions) = push_filters_down(&swap_then_filter());
+        assert_eq!(decisions.len(), 1);
+        assert!(!decisions[0].identity_map);
+        // Now a map over a filter, with the projection rewritten 0 -> 1.
+        let Expr::Map(inner, _) = out else { panic!("expected map on top, got {out:?}") };
+        let Expr::Filter(src, pred) = *inner else { panic!("expected filter below") };
+        assert!(matches!(*src, Expr::Source(_)));
+        assert_eq!(
+            pred.body.strip_spans(),
+            Expr::bin(BinOp::Gt, Expr::proj(Expr::var("p"), 1), Expr::long(5))
+        );
+    }
+
+    #[test]
+    fn leaves_unsafe_sites_alone() {
+        // filter(map(xs, x => (x.0 + 1,)), p => p.0 > 5): field 0 is computed.
+        let e = Expr::Filter(
+            Box::new(Expr::Map(
+                Box::new(Expr::Source("xs".into())),
+                Lambda::new(
+                    "x",
+                    Expr::Tuple(vec![Expr::bin(
+                        BinOp::Add,
+                        Expr::proj(Expr::var("x"), 0),
+                        Expr::long(1),
+                    )]),
+                ),
+            )),
+            Lambda::new("p", Expr::bin(BinOp::Gt, Expr::proj(Expr::var("p"), 0), Expr::long(5))),
+        );
+        let (out, decisions) = push_filters_down(&e);
+        assert!(decisions.is_empty());
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn identity_map_moves_predicate_verbatim() {
+        let e = Expr::Filter(
+            Box::new(Expr::Map(
+                Box::new(Expr::Source("xs".into())),
+                Lambda::new("x", Expr::var("x")),
+            )),
+            Lambda::new("p", Expr::bin(BinOp::Gt, Expr::var("p"), Expr::long(5))),
+        );
+        let (out, decisions) = push_filters_down(&e);
+        assert_eq!(decisions.len(), 1);
+        assert!(decisions[0].identity_map);
+        assert!(matches!(out, Expr::Map(..)));
+    }
+
+    #[test]
+    fn reordered_plan_computes_the_same_result() {
+        use crate::lower::{Lowering, RtVal};
+        use crate::value::Value;
+        use matryoshka_core::MatryoshkaConfig;
+        use matryoshka_engine::Engine;
+        use std::collections::HashMap;
+
+        let e = swap_then_filter();
+        let (reordered, decisions) = push_filters_down(&e);
+        assert_eq!(decisions.len(), 1);
+
+        let data: Vec<Value> =
+            (0..20).map(|i| Value::tuple(vec![Value::Long(i), Value::Long(i % 10)])).collect();
+        let run = |prog: &Expr| {
+            let engine = Engine::local();
+            let xs = engine.parallelize(data.clone(), 3);
+            let lowering = Lowering::new(engine, MatryoshkaConfig::optimized());
+            let out = lowering.run(prog, &HashMap::from([("xs".to_string(), xs)])).unwrap();
+            let RtVal::Bag(b) = out else { panic!("expected a bag result") };
+            let mut rows = b.collect().unwrap();
+            rows.sort();
+            rows
+        };
+        assert_eq!(run(&e), run(&reordered));
+    }
+}

@@ -1,0 +1,181 @@
+//! Read/write-set extraction for UDFs, in the style of Hueske et al.'s
+//! black-box-opening dataflow optimization: which fields of its input tuple
+//! a UDF *reads*, and which input fields a map UDF *forwards* verbatim into
+//! its output. The engine-agnostic data model and the safety predicate
+//! ([`filter_before_map_safe`]) live in
+//! [`matryoshka_core::optimizer`]; this module walks IR lambdas to fill it
+//! in, and [`super::reorder`] applies it.
+
+pub use matryoshka_core::optimizer::{filter_before_map_safe, MapForwards, UdfFieldUse};
+
+use crate::ast::{Expr, Lambda};
+
+/// The read set of `l`: the input tuple fields its body projects out of the
+/// parameter, or "the whole input" if the parameter is used any other way.
+///
+/// Conservative by construction: re-binding the parameter name (an inner
+/// lambda, `let`, or loop variable of the same name) shadows it, and any
+/// non-projection use — including passing the parameter to an inner UDF —
+/// degrades to [`UdfFieldUse::whole`].
+pub fn field_reads(l: &Lambda) -> UdfFieldUse {
+    let mut use_ = UdfFieldUse::default();
+    go(&l.body, &l.param, 0, &mut use_);
+    use_
+}
+
+/// `shadow` counts active re-bindings of `param`; reads only count at 0.
+fn go(e: &Expr, param: &str, shadow: u32, out: &mut UdfFieldUse) {
+    // A projection directly on the (unshadowed) parameter is a field read;
+    // don't descend into it, or the bare `Var` underneath would flip
+    // `reads_whole`.
+    if shadow == 0 {
+        if let Expr::Proj(x, i) = e.unspanned() {
+            if matches!(x.unspanned(), Expr::Var(n) if n == param) {
+                out.reads.insert(*i);
+                return;
+            }
+        }
+    }
+    let sh = |binds: bool| if binds { shadow + 1 } else { shadow };
+    match e {
+        Expr::Spanned(_, inner) => go(inner, param, shadow, out),
+        Expr::Var(n) => {
+            if shadow == 0 && n == param {
+                out.reads_whole = true;
+            }
+        }
+        Expr::Const(_) | Expr::Source(_) => {}
+        Expr::Tuple(items) => items.iter().for_each(|x| go(x, param, shadow, out)),
+        Expr::Proj(x, _) | Expr::Un(_, x) => go(x, param, shadow, out),
+        Expr::Bin(_, a, b) | Expr::Join(a, b) | Expr::Union(a, b) => {
+            go(a, param, shadow, out);
+            go(b, param, shadow, out);
+        }
+        Expr::Let(n, v, b) => {
+            go(v, param, shadow, out);
+            go(b, param, sh(n == param), out);
+        }
+        Expr::If(c, t, el) => {
+            go(c, param, shadow, out);
+            go(t, param, shadow, out);
+            go(el, param, shadow, out);
+        }
+        Expr::Loop { init, cond, step, result } => {
+            init.iter().for_each(|(_, x)| go(x, param, shadow, out));
+            let body_shadow = sh(init.iter().any(|(n, _)| n == param));
+            go(cond, param, body_shadow, out);
+            step.iter().for_each(|x| go(x, param, body_shadow, out));
+            go(result, param, body_shadow, out);
+        }
+        Expr::Map(x, l) | Expr::Filter(x, l) | Expr::FlatMapTuple(x, l) => {
+            go(x, param, shadow, out);
+            go(&l.body, param, sh(l.param == param), out);
+        }
+        Expr::GroupByKey(x)
+        | Expr::Distinct(x)
+        | Expr::Count(x)
+        | Expr::GroupByKeyIntoNestedBag(x) => go(x, param, shadow, out),
+        Expr::ReduceByKey(x, l2) => {
+            go(x, param, shadow, out);
+            go(&l2.body, param, sh(l2.a == param || l2.b == param), out);
+        }
+        Expr::Fold(x, z, l2) => {
+            go(x, param, shadow, out);
+            go(z, param, shadow, out);
+            go(&l2.body, param, sh(l2.a == param || l2.b == param), out);
+        }
+        Expr::MapWithLiftedUdf { input, udf, .. } => {
+            go(input, param, shadow, out);
+            go(&udf.body, param, sh(udf.param == param), out);
+        }
+    }
+}
+
+/// The forwarding structure of a map UDF: identity, or a tuple whose
+/// components are verbatim projections of the input.
+pub fn map_forwards(l: &Lambda) -> MapForwards {
+    let mut fwd = MapForwards::default();
+    let body = l.body.unspanned();
+    if matches!(body, Expr::Var(n) if *n == l.param) {
+        fwd.identity = true;
+        return fwd;
+    }
+    if let Expr::Tuple(items) = body {
+        for (j, item) in items.iter().enumerate() {
+            if let Expr::Proj(x, i) = item.unspanned() {
+                if matches!(x.unspanned(), Expr::Var(n) if *n == l.param) {
+                    fwd.forwards.insert(j, *i);
+                }
+            }
+        }
+    }
+    fwd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Lambda};
+
+    #[test]
+    fn projection_reads_are_per_field() {
+        // p => (p.1, p.0 + 1)
+        let l = Lambda::new(
+            "p",
+            Expr::Tuple(vec![
+                Expr::proj(Expr::var("p"), 1),
+                Expr::bin(BinOp::Add, Expr::proj(Expr::var("p"), 0), Expr::long(1)),
+            ]),
+        );
+        let r = field_reads(&l);
+        assert!(!r.reads_whole);
+        assert_eq!(r.reads.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn bare_param_use_reads_whole() {
+        // p => (p, p.0)
+        let l = Lambda::new("p", Expr::Tuple(vec![Expr::var("p"), Expr::proj(Expr::var("p"), 0)]));
+        let r = field_reads(&l);
+        assert!(r.reads_whole);
+        assert_eq!(r.reads.into_iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn shadowing_binder_stops_reads() {
+        // p => let p = 1 in p      — the inner p is a fresh scalar
+        let l = Lambda::new("p", Expr::let_("p", Expr::long(1), Expr::var("p")));
+        let r = field_reads(&l);
+        assert!(!r.reads_whole);
+        assert!(r.reads.is_empty());
+    }
+
+    #[test]
+    fn nested_projection_still_descends() {
+        // p => (p.0).1 — reads field 0 (the inner projection is on a value,
+        // not directly on the parameter).
+        let l = Lambda::new("p", Expr::proj(Expr::proj(Expr::var("p"), 0), 1));
+        let r = field_reads(&l);
+        assert!(!r.reads_whole);
+        assert_eq!(r.reads.into_iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn identity_and_tuple_forwards() {
+        let id = Lambda::new("x", Expr::var("x"));
+        assert!(map_forwards(&id).identity);
+
+        // x => (x.1, x.0 + 1, x.0): forwards 0 <- 1 and 2 <- 0.
+        let l = Lambda::new(
+            "x",
+            Expr::Tuple(vec![
+                Expr::proj(Expr::var("x"), 1),
+                Expr::bin(BinOp::Add, Expr::proj(Expr::var("x"), 0), Expr::long(1)),
+                Expr::proj(Expr::var("x"), 0),
+            ]),
+        );
+        let f = map_forwards(&l);
+        assert!(!f.identity);
+        assert_eq!(f.forwards.into_iter().collect::<Vec<_>>(), vec![(0, 1), (2, 0)]);
+    }
+}

@@ -16,6 +16,25 @@ use std::sync::Arc;
 
 use crate::value::Value;
 
+/// A half-open byte range `[start, end)` into the source text a node was
+/// parsed from. Hand-built ASTs carry no spans; the text front-end
+/// (`crate::syntax`) attaches them so that analysis diagnostics
+/// (`crate::analyze`) can point at source locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the node.
+    pub start: usize,
+    /// Byte offset one past the last byte of the node.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+}
+
 /// Binary scalar operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
@@ -51,7 +70,7 @@ pub enum UnOp {
 }
 
 /// A one-parameter anonymous function (UDF).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lambda {
     /// Parameter name, bound inside `body`.
     pub param: String,
@@ -67,7 +86,7 @@ impl Lambda {
 }
 
 /// A two-parameter anonymous function (for reductions and joins-by-UDF).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lambda2 {
     /// First parameter name.
     pub a: String,
@@ -87,8 +106,13 @@ impl Lambda2 {
 /// Expressions of the nested-parallel language. Scalar- and bag-typed
 /// expressions share one syntax; the parsing phase's shape analysis tells
 /// them apart.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
+    /// A source-location annotation wrapping another expression. Inserted by
+    /// the text front-end ([`crate::syntax`]); transparent to evaluation,
+    /// rewriting and printing, and consumed by the static analyzer
+    /// ([`crate::analyze()`]) to attach byte spans to diagnostics.
+    Spanned(Span, Box<Expr>),
     /// A literal value.
     Const(Value),
     /// A variable reference.
@@ -187,6 +211,79 @@ impl Expr {
         Expr::Proj(Box::new(e), i)
     }
 
+    /// Peel any [`Expr::Spanned`] annotations off the outermost node.
+    pub fn unspanned(&self) -> &Expr {
+        let mut e = self;
+        while let Expr::Spanned(_, inner) = e {
+            e = inner;
+        }
+        e
+    }
+
+    /// The outermost source span, if the node carries one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Expr::Spanned(sp, _) => Some(*sp),
+            _ => None,
+        }
+    }
+
+    /// A copy of the expression with every [`Expr::Spanned`] annotation
+    /// removed (spans carry no semantics; this normalizes parsed programs
+    /// for structural comparison with hand-built ASTs).
+    pub fn strip_spans(&self) -> Expr {
+        fn lam(l: &Lambda) -> Lambda {
+            Lambda { param: l.param.clone(), body: Arc::new(l.body.strip_spans()) }
+        }
+        fn lam2(l: &Lambda2) -> Lambda2 {
+            Lambda2 { a: l.a.clone(), b: l.b.clone(), body: Arc::new(l.body.strip_spans()) }
+        }
+        match self {
+            Expr::Spanned(_, inner) => inner.strip_spans(),
+            Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => self.clone(),
+            Expr::Tuple(items) => Expr::Tuple(items.iter().map(Expr::strip_spans).collect()),
+            Expr::Proj(x, i) => Expr::Proj(Box::new(x.strip_spans()), *i),
+            Expr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(a.strip_spans()), Box::new(b.strip_spans()))
+            }
+            Expr::Un(op, a) => Expr::Un(*op, Box::new(a.strip_spans())),
+            Expr::Let(n, v, b) => {
+                Expr::Let(n.clone(), Box::new(v.strip_spans()), Box::new(b.strip_spans()))
+            }
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(c.strip_spans()),
+                Box::new(t.strip_spans()),
+                Box::new(e.strip_spans()),
+            ),
+            Expr::Loop { init, cond, step, result } => Expr::Loop {
+                init: init.iter().map(|(n, x)| (n.clone(), x.strip_spans())).collect(),
+                cond: Box::new(cond.strip_spans()),
+                step: step.iter().map(Expr::strip_spans).collect(),
+                result: Box::new(result.strip_spans()),
+            },
+            Expr::Map(x, l) => Expr::Map(Box::new(x.strip_spans()), lam(l)),
+            Expr::Filter(x, l) => Expr::Filter(Box::new(x.strip_spans()), lam(l)),
+            Expr::FlatMapTuple(x, l) => Expr::FlatMapTuple(Box::new(x.strip_spans()), lam(l)),
+            Expr::GroupByKey(x) => Expr::GroupByKey(Box::new(x.strip_spans())),
+            Expr::ReduceByKey(x, l) => Expr::ReduceByKey(Box::new(x.strip_spans()), lam2(l)),
+            Expr::Join(a, b) => Expr::Join(Box::new(a.strip_spans()), Box::new(b.strip_spans())),
+            Expr::Distinct(x) => Expr::Distinct(Box::new(x.strip_spans())),
+            Expr::Union(a, b) => Expr::Union(Box::new(a.strip_spans()), Box::new(b.strip_spans())),
+            Expr::Count(x) => Expr::Count(Box::new(x.strip_spans())),
+            Expr::Fold(x, z, l) => {
+                Expr::Fold(Box::new(x.strip_spans()), Box::new(z.strip_spans()), lam2(l))
+            }
+            Expr::GroupByKeyIntoNestedBag(x) => {
+                Expr::GroupByKeyIntoNestedBag(Box::new(x.strip_spans()))
+            }
+            Expr::MapWithLiftedUdf { input, udf, closures } => Expr::MapWithLiftedUdf {
+                input: Box::new(input.strip_spans()),
+                udf: lam(udf),
+                closures: closures.clone(),
+            },
+        }
+    }
+
     /// Does this expression *contain* any bag operation? (Used by the
     /// parsing phase to decide which map UDFs must be lifted: "the
     /// operation's UDF contains bag operations", Sec. 7.)
@@ -215,10 +312,13 @@ impl Expr {
         found
     }
 
-    /// Visit every sub-expression (pre-order).
+    /// Visit every sub-expression (pre-order). [`Expr::Spanned`] wrappers
+    /// are visited like any other node (peel with [`Expr::unspanned`] when
+    /// matching on shapes).
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
+            Expr::Spanned(_, inner) => inner.visit(f),
             Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => {}
             Expr::Tuple(items) => items.iter().for_each(|e| e.visit(f)),
             Expr::Proj(e, _) | Expr::Un(_, e) => e.visit(f),
@@ -270,6 +370,7 @@ impl Expr {
     pub fn free_vars(&self) -> Vec<String> {
         fn go(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
             match e {
+                Expr::Spanned(_, inner) => go(inner, bound, out),
                 Expr::Var(n) => {
                     if !bound.iter().any(|b| b == n) && !out.iter().any(|o| o == n) {
                         out.push(n.clone());

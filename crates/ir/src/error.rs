@@ -16,6 +16,9 @@ pub enum IrError {
     Unsupported(String),
     /// The underlying engine failed (simulated OOM, etc.).
     Engine(matryoshka_engine::EngineError),
+    /// The static analyzer ([`crate::analyze()`]) rejected the program before
+    /// lowering: one or more error-severity `MAT0xx` diagnostics.
+    Analysis(crate::analyze::Diagnostics),
 }
 
 impl fmt::Display for IrError {
@@ -25,6 +28,7 @@ impl fmt::Display for IrError {
             IrError::Unbound(n) => write!(f, "unbound name: {n}"),
             IrError::Unsupported(m) => write!(f, "unsupported program: {m}"),
             IrError::Engine(e) => write!(f, "engine error: {e}"),
+            IrError::Analysis(d) => write!(f, "analysis rejected the program: {d}"),
         }
     }
 }

@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 mod error;
 mod lower;
@@ -58,6 +59,7 @@ pub mod pretty;
 pub mod syntax;
 mod value;
 
+pub use analyze::{analyze, check, Analysis, Diagnostic, Diagnostics, Severity, Ty, UdfSummary};
 pub use error::{IrError, IrResult};
 pub use lower::{apply_bin, apply_un, eval_pure, Lowering, RtVal};
 pub use parse::{parsing_phase, shape_of, Dialect, Shape};

@@ -71,6 +71,7 @@ type PureEnv = HashMap<String, Value>;
 /// remain). Loops and conditionals over scalars are allowed.
 pub fn eval_pure(e: &Expr, env: &PureEnv) -> IrResult<Value> {
     Ok(match e {
+        Expr::Spanned(_, inner) => eval_pure(inner, env)?,
         Expr::Const(v) => v.clone(),
         Expr::Var(n) => env.get(n).cloned().ok_or_else(|| IrError::Unbound(n.clone()))?,
         Expr::Tuple(items) => {
@@ -177,10 +178,7 @@ fn split_captures(
 ) -> IrResult<(PureEnv, Vec<(String, InnerScalar<Value, Value>)>)> {
     let mut pure = PureEnv::new();
     let mut lifted = Vec::new();
-    for name in body.free_vars() {
-        if skip.contains(&name.as_str()) {
-            continue;
-        }
+    for name in crate::analyze::captures::capture_names(body, skip) {
         match lenv.get(&name) {
             Some(LVal::Scalar(s)) => lifted.push((name, s.clone())),
             Some(LVal::Driver(RtVal::Scalar(v))) => {
@@ -313,6 +311,7 @@ impl Lowering {
 
     fn eval(&self, e: &Expr, env: &Env, inputs: &HashMap<String, Bag<Value>>) -> IrResult<RtVal> {
         Ok(match e {
+            Expr::Spanned(_, inner) => self.eval(inner, env, inputs)?,
             Expr::Const(v) => RtVal::Scalar(v.clone()),
             Expr::Var(n) => env.get(n).cloned().ok_or_else(|| IrError::Unbound(n.clone()))?,
             Expr::Source(n) => RtVal::Bag(
@@ -545,6 +544,7 @@ impl Lowering {
         inputs: &HashMap<String, Bag<Value>>,
     ) -> IrResult<LVal> {
         Ok(match e {
+            Expr::Spanned(_, inner) => self.eval_lifted(inner, lenv, ctx, inputs)?,
             // A literal inside a lifted UDF is the lifted-UDF closure case
             // of Sec. 5.2: replicate per tag.
             Expr::Const(v) => LVal::Scalar(ctx.constant(v.clone())),
@@ -930,10 +930,7 @@ impl Lowering {
 /// Capture driver-mode UDF closures: free variables must be scalars.
 fn driver_captures(body: &Expr, skip: &[&str], env: &Env) -> IrResult<(PureEnv, ())> {
     let mut pure = PureEnv::new();
-    for name in body.free_vars() {
-        if skip.contains(&name.as_str()) {
-            continue;
-        }
+    for name in crate::analyze::captures::capture_names(body, skip) {
         match env.get(&name) {
             Some(RtVal::Scalar(v)) => {
                 pure.insert(name, v.clone());

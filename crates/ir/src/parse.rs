@@ -51,6 +51,7 @@ pub enum Shape {
 /// Infer the shape of `e` under `env` (variable shapes).
 pub fn shape_of(e: &Expr, env: &HashMap<String, Shape>) -> IrResult<Shape> {
     Ok(match e {
+        Expr::Spanned(_, inner) => shape_of(inner, env)?,
         Expr::Const(_) | Expr::Bin(..) | Expr::Un(..) | Expr::Count(_) | Expr::Fold(..) => {
             Shape::Scalar
         }
@@ -120,7 +121,12 @@ pub fn shape_of(e: &Expr, env: &HashMap<String, Shape>) -> IrResult<Shape> {
 /// `sources` names the input bags (everything else referenced free is an
 /// error). The result uses only constructs the lowering phase executes
 /// directly.
+///
+/// The static analyzer ([`crate::analyze::check`]) gates the rewrite:
+/// ill-typed programs are rejected here, with `MAT0xx` diagnostics, before
+/// any engine job can launch.
 pub fn parsing_phase(program: &Expr, sources: &[&str], dialect: Dialect) -> IrResult<Expr> {
+    crate::analyze::check(program, sources, dialect)?;
     let mut env: HashMap<String, Shape> = HashMap::new();
     for s in sources {
         env.insert(s.to_string(), Shape::Bag);
@@ -138,6 +144,9 @@ fn rewrite(
     inside_lifted: bool,
 ) -> IrResult<Expr> {
     Ok(match e {
+        Expr::Spanned(sp, inner) => {
+            Expr::Spanned(*sp, Box::new(rewrite(inner, env, dialect, inside_lifted)?))
+        }
         Expr::Const(_) | Expr::Var(_) | Expr::Source(_) => e.clone(),
         Expr::Tuple(items) => Expr::Tuple(
             items
@@ -206,13 +215,7 @@ fn rewrite(
                 let mut env2 = env.clone();
                 env2.insert(udf.param.clone(), Shape::Scalar);
                 let body = rewrite(&udf.body, &env2, dialect, true)?;
-                let closures: Vec<String> =
-                    Lambda { param: udf.param.clone(), body: body.clone().into() }
-                        .body
-                        .free_vars()
-                        .into_iter()
-                        .filter(|n| n != &udf.param)
-                        .collect();
+                let closures = crate::analyze::captures::capture_names(&body, &[&udf.param]);
                 Expr::MapWithLiftedUdf {
                     input: Box::new(rin),
                     udf: Lambda { param: udf.param.clone(), body: body.into() },
@@ -411,8 +414,10 @@ mod tests {
             ),
         );
         assert!(parsing_phase(&prog, &["xs"], Dialect::Matryoshka).is_ok());
+        // The analyzer rejects it before the rewriter runs (MAT009).
         let err = parsing_phase(&prog, &["xs"], Dialect::DiqlLike).unwrap_err();
-        assert!(matches!(err, IrError::Unsupported(_)));
+        assert!(matches!(err, IrError::Analysis(_)), "{err:?}");
+        assert!(err.to_string().contains("control flow at inner nesting levels"), "{err}");
     }
 
     #[test]
@@ -421,8 +426,10 @@ mod tests {
             Box::new(Expr::Source("xs".into())),
             crate::ast::Lambda2::new("a", "b", Expr::Count(Box::new(Expr::Source("ys".into())))),
         );
+        // Statically rejected (MAT006) before any engine job launches.
         let err = parsing_phase(&prog, &["xs", "ys"], Dialect::Matryoshka).unwrap_err();
-        assert!(matches!(err, IrError::Unsupported(_)));
+        assert!(matches!(err, IrError::Analysis(_)), "{err:?}");
+        assert!(err.to_string().contains("aggregation UDFs"), "{err}");
     }
 
     #[test]

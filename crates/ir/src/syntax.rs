@@ -35,7 +35,7 @@
 
 use std::fmt;
 
-use crate::ast::{BinOp, Expr, Lambda, Lambda2, UnOp};
+use crate::ast::{BinOp, Expr, Lambda, Lambda2, Span, UnOp};
 use crate::value::Value;
 
 /// A parse error with a byte offset into the source.
@@ -90,7 +90,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+    fn tokens(mut self) -> Result<Vec<(usize, usize, Tok)>, ParseError> {
         let mut out = Vec::new();
         loop {
             self.skip_ws();
@@ -179,27 +179,47 @@ impl<'a> Lexer<'a> {
                 self.pos += sym.len();
                 Tok::Sym(sym)
             };
-            out.push((start, tok));
+            out.push((start, self.pos, tok));
         }
         Ok(out)
     }
 }
 
 struct Parser {
-    toks: Vec<(usize, Tok)>,
+    toks: Vec<(usize, usize, Tok)>,
     i: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.i).map(|(_, t)| t)
+        self.toks.get(self.i).map(|(_, _, t)| t)
     }
 
     fn at(&self) -> usize {
         self.toks
             .get(self.i)
-            .map(|(p, _)| *p)
-            .unwrap_or_else(|| self.toks.last().map(|(p, _)| *p + 1).unwrap_or(0))
+            .map(|(p, _, _)| *p)
+            .unwrap_or_else(|| self.toks.last().map(|(_, e, _)| *e).unwrap_or(0))
+    }
+
+    /// End offset of the most recently consumed token (the exclusive end of
+    /// whatever was parsed so far).
+    fn prev_end(&self) -> usize {
+        if self.i == 0 {
+            0
+        } else {
+            self.toks.get(self.i - 1).map(|(_, e, _)| *e).unwrap_or(0)
+        }
+    }
+
+    /// Wrap `e` with the byte span from `lo` to the last consumed token,
+    /// unless it is already wrapped with that exact span.
+    fn spanned(&self, lo: usize, e: Expr) -> Expr {
+        let sp = Span::new(lo, self.prev_end());
+        match &e {
+            Expr::Spanned(existing, _) if *existing == sp => e,
+            _ => Expr::Spanned(sp, Box::new(e)),
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -207,7 +227,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        let t = self.toks.get(self.i).map(|(_, _, t)| t.clone());
         self.i += 1;
         t
     }
@@ -244,6 +264,7 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         if self.peek_kw("let") {
             self.eat_kw("let")?;
             let name = self.ident()?;
@@ -251,7 +272,7 @@ impl Parser {
             let value = self.expr()?;
             self.eat_kw("in")?;
             let body = self.expr()?;
-            return Ok(Expr::Let(name, Box::new(value), Box::new(body)));
+            return Ok(self.spanned(lo, Expr::Let(name, Box::new(value), Box::new(body))));
         }
         if self.peek_kw("if") {
             self.eat_kw("if")?;
@@ -260,7 +281,7 @@ impl Parser {
             let t = self.expr()?;
             self.eat_kw("else")?;
             let e = self.expr()?;
-            return Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)));
+            return Ok(self.spanned(lo, Expr::If(Box::new(c), Box::new(t), Box::new(e))));
         }
         if self.peek_kw("loop") {
             self.eat_kw("loop")?;
@@ -297,32 +318,38 @@ impl Parser {
                     step.len()
                 ));
             }
-            return Ok(Expr::Loop { init, cond: Box::new(cond), step, result: Box::new(result) });
+            return Ok(self.spanned(
+                lo,
+                Expr::Loop { init, cond: Box::new(cond), step, result: Box::new(result) },
+            ));
         }
         self.or_expr()
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         let mut lhs = self.and_expr()?;
         while matches!(self.peek(), Some(Tok::Sym("||"))) {
             self.i += 1;
             let rhs = self.and_expr()?;
-            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+            lhs = self.spanned(lo, Expr::bin(BinOp::Or, lhs, rhs));
         }
         Ok(lhs)
     }
 
     fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         let mut lhs = self.cmp_expr()?;
         while matches!(self.peek(), Some(Tok::Sym("&&"))) {
             self.i += 1;
             let rhs = self.cmp_expr()?;
-            lhs = Expr::bin(BinOp::And, lhs, rhs);
+            lhs = self.spanned(lo, Expr::bin(BinOp::And, lhs, rhs));
         }
         Ok(lhs)
     }
 
     fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         let lhs = self.add_expr()?;
         let op = match self.peek() {
             Some(Tok::Sym("==")) => Some(BinOp::Eq),
@@ -333,13 +360,14 @@ impl Parser {
         if let Some(op) = op {
             self.i += 1;
             let rhs = self.add_expr()?;
-            Ok(Expr::bin(op, lhs, rhs))
+            Ok(self.spanned(lo, Expr::bin(op, lhs, rhs)))
         } else {
             Ok(lhs)
         }
     }
 
     fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         let mut lhs = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -349,12 +377,13 @@ impl Parser {
             };
             self.i += 1;
             let rhs = self.mul_expr()?;
-            lhs = Expr::bin(op, lhs, rhs);
+            lhs = self.spanned(lo, Expr::bin(op, lhs, rhs));
         }
         Ok(lhs)
     }
 
     fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         let mut lhs = self.unary_expr()?;
         loop {
             let op = match self.peek() {
@@ -364,31 +393,37 @@ impl Parser {
             };
             self.i += 1;
             let rhs = self.unary_expr()?;
-            lhs = Expr::bin(op, lhs, rhs);
+            lhs = self.spanned(lo, Expr::bin(op, lhs, rhs));
         }
         Ok(lhs)
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         match self.peek() {
             Some(Tok::Sym("-")) => {
                 self.i += 1;
-                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+                let inner = self.unary_expr()?;
+                Ok(self.spanned(lo, Expr::Un(UnOp::Neg, Box::new(inner))))
             }
             Some(Tok::Sym("!")) => {
                 self.i += 1;
-                Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?)))
+                let inner = self.unary_expr()?;
+                Ok(self.spanned(lo, Expr::Un(UnOp::Not, Box::new(inner))))
             }
             _ => self.postfix_expr(),
         }
     }
 
     fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
         let mut e = self.primary()?;
         while matches!(self.peek(), Some(Tok::Sym("."))) {
             self.i += 1;
             match self.bump() {
-                Some(Tok::Int(i)) if i >= 0 => e = Expr::Proj(Box::new(e), i as usize),
+                Some(Tok::Int(i)) if i >= 0 => {
+                    e = self.spanned(lo, Expr::Proj(Box::new(e), i as usize))
+                }
                 other => {
                     return self.err(format!("expected tuple index after `.`, found {other:?}"))
                 }
@@ -416,6 +451,12 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.at();
+        let e = self.primary_inner()?;
+        Ok(self.spanned(lo, e))
+    }
+
+    fn primary_inner(&mut self) -> Result<Expr, ParseError> {
         match self.peek().cloned() {
             Some(Tok::Int(i)) => {
                 self.i += 1;
@@ -445,7 +486,7 @@ impl Parser {
             }
             Some(Tok::Ident(name)) => {
                 // Builtins take call syntax; plain identifiers are variables.
-                let is_call = matches!(self.toks.get(self.i + 1), Some((_, Tok::Sym("("))));
+                let is_call = matches!(self.toks.get(self.i + 1), Some((_, _, Tok::Sym("("))));
                 if !is_call {
                     match name.as_str() {
                         "true" => {
@@ -534,7 +575,7 @@ mod tests {
 
     #[test]
     fn parses_literals_and_arithmetic_with_precedence() {
-        let e = parse_program("1 + 2 * 3").unwrap();
+        let e = parse_program("1 + 2 * 3").unwrap().strip_spans();
         // 1 + (2 * 3)
         match e {
             Expr::Bin(BinOp::Add, _, rhs) => assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _))),
@@ -546,22 +587,23 @@ mod tests {
 
     #[test]
     fn parses_tuples_and_projections() {
-        let e = parse_program("(1, 2, 3).1").unwrap();
+        let e = parse_program("(1, 2, 3).1").unwrap().strip_spans();
         assert!(matches!(e, Expr::Proj(_, 1)));
         // Single parens are grouping, not tuples.
-        assert!(matches!(parse_program("(1)").unwrap(), Expr::Const(_)));
+        assert!(matches!(parse_program("(1)").unwrap().strip_spans(), Expr::Const(_)));
     }
 
     #[test]
     fn parses_let_and_if() {
-        let e = parse_program("let x = 2 in if x > 1 then x else 0").unwrap();
+        let e = parse_program("let x = 2 in if x > 1 then x else 0").unwrap().strip_spans();
         assert!(matches!(e, Expr::Let(..)));
     }
 
     #[test]
     fn parses_loops() {
         let e = parse_program("loop (i = 0, acc = 1) while i < 5 do (i + 1, acc * 2) yield acc")
-            .unwrap();
+            .unwrap()
+            .strip_spans();
         match e {
             Expr::Loop { init, step, .. } => {
                 assert_eq!(init.len(), 2);
@@ -579,7 +621,9 @@ mod tests {
 
     #[test]
     fn parses_bag_operations() {
-        let e = parse_program("count(filter(map(source(xs), x => x + 1), y => y > 2))").unwrap();
+        let e = parse_program("count(filter(map(source(xs), x => x + 1), y => y > 2))")
+            .unwrap()
+            .strip_spans();
         assert!(matches!(e, Expr::Count(_)));
         assert!(parse_program("reduceByKey(source(xs), (a, b) => a + b)").is_ok());
         assert!(parse_program("fold(source(xs), 0, (a, b) => a + b)").is_ok());
@@ -596,7 +640,8 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_skipped() {
-        let e = parse_program("// a comment\nlet x = 1 in // another\n x + 1").unwrap();
+        let e =
+            parse_program("// a comment\nlet x = 1 in // another\n x + 1").unwrap().strip_spans();
         assert!(matches!(e, Expr::Let(..)));
     }
 
@@ -625,7 +670,7 @@ mod tests {
         let parsed =
             crate::parse::parsing_phase(&ast, &["visits"], crate::parse::Dialect::Matryoshka)
                 .unwrap();
-        assert!(matches!(parsed, Expr::MapWithLiftedUdf { .. }));
+        assert!(matches!(parsed.unspanned(), Expr::MapWithLiftedUdf { .. }));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Golden tests for the analyzer's rendered diagnostics.
+//!
+//! Each `tests/fixtures/<name>.mat` holds one deliberately malformed (or
+//! warning-producing) program. The analyzer runs over it and the full
+//! caret-rendered output of [`matryoshka_ir::pretty::render_diagnostics`]
+//! — error codes, byte spans, source lines, caret runs, and the summary
+//! line — is compared **verbatim** against `tests/fixtures/<name>.expected`.
+//!
+//! Fixture files may start with `#`-prefixed directive lines:
+//!
+//! ```text
+//! # sources: xs ys
+//! # dialect: diql
+//! ```
+//!
+//! The program is everything after the directive block (leading blank
+//! lines trimmed); spans in the expected output are relative to that
+//! program text. Defaults: `sources: xs ys visits`, `dialect: matryoshka`.
+//!
+//! To bless new output after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p matryoshka-ir --test golden_diagnostics
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use matryoshka_ir::pretty::render_diagnostics;
+use matryoshka_ir::{analyze, parse_program, Dialect};
+
+struct Fixture {
+    sources: Vec<String>,
+    dialect: Dialect,
+    program: String,
+}
+
+fn load_fixture(path: &Path) -> Fixture {
+    let raw = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let mut sources = vec!["xs".to_string(), "ys".to_string(), "visits".to_string()];
+    let mut dialect = Dialect::Matryoshka;
+    let mut rest = raw.as_str();
+    while let Some(line) = rest.lines().next() {
+        let Some(directive) = line.strip_prefix('#') else { break };
+        rest = &rest[line.len()..];
+        rest = rest.strip_prefix('\n').unwrap_or(rest);
+        let directive = directive.trim();
+        if let Some(names) = directive.strip_prefix("sources:") {
+            sources = names.split_whitespace().map(str::to_string).collect();
+        } else if let Some(d) = directive.strip_prefix("dialect:") {
+            dialect = match d.trim() {
+                "diql" => Dialect::DiqlLike,
+                "matryoshka" => Dialect::Matryoshka,
+                other => panic!("{path:?}: unknown dialect directive `{other}`"),
+            };
+        } else {
+            panic!("{path:?}: unknown directive `#{directive}`");
+        }
+    }
+    Fixture { sources, dialect, program: rest.trim_start_matches('\n').to_string() }
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn malformed_programs_render_stable_diagnostics() {
+    let dir = fixtures_dir();
+    let mut mats: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir:?}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mat"))
+        .collect();
+    mats.sort();
+    assert!(!mats.is_empty(), "no .mat fixtures under {dir:?}");
+
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for mat in &mats {
+        let fx = load_fixture(mat);
+        let ast = parse_program(&fx.program)
+            .unwrap_or_else(|e| panic!("{mat:?}: fixture must parse (analysis, not syntax): {e}"));
+        let srcs: Vec<&str> = fx.sources.iter().map(String::as_str).collect();
+        let analysis = analyze(&ast, &srcs, fx.dialect);
+        assert!(
+            !analysis.diagnostics.is_empty(),
+            "{mat:?}: fixture produced no diagnostics — not a useful golden test"
+        );
+        let rendered = render_diagnostics(&fx.program, &analysis.diagnostics);
+
+        let expected_path = mat.with_extension("expected");
+        if bless {
+            fs::write(&expected_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!("{expected_path:?}: {e} (run with UPDATE_GOLDEN=1 to create)")
+        });
+        if rendered != expected {
+            failures.push(format!(
+                "== {}\n-- expected --\n{expected}\n-- got --\n{rendered}",
+                mat.file_name().unwrap().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden diagnostics drifted (UPDATE_GOLDEN=1 to bless):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The golden corpus stays honest: every stable error code the table
+/// documents as an error has at least one fixture exercising it.
+#[test]
+fn corpus_covers_every_error_code() {
+    let dir = fixtures_dir();
+    let mut seen = std::collections::BTreeSet::new();
+    for entry in fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|x| x == "mat") {
+            let fx = load_fixture(&p);
+            let ast = parse_program(&fx.program).unwrap();
+            let srcs: Vec<&str> = fx.sources.iter().map(String::as_str).collect();
+            for d in analyze(&ast, &srcs, fx.dialect).diagnostics.iter() {
+                seen.insert(d.code);
+            }
+        }
+    }
+    let missing: Vec<&str> = matryoshka_ir::analyze::codes::TABLE
+        .iter()
+        .filter(|(code, is_error, _)| *is_error && !seen.contains(code))
+        .map(|(code, _, _)| *code)
+        .collect();
+    assert!(missing.is_empty(), "error codes without a fixture: {missing:?}");
+}

@@ -1,0 +1,72 @@
+//! The evaluation workloads expressed in the nested-parallel IR's surface
+//! syntax (`matryoshka-ir`), as checkable program texts.
+//!
+//! The task modules themselves run the typed `matryoshka-core` API; these
+//! are the same computations written in the IR dialect, for the static
+//! analyzer and the `matryoshka-check` CLI. CI runs `--check` over every
+//! program here (plus `examples/programs/`), so an analyzer regression
+//! that started rejecting a real workload fails the gate immediately.
+//!
+//! Kept as plain source text so this crate needs no dependency on
+//! `matryoshka-ir`; the root crate's `tests/ir_programs_check.rs` and the
+//! CLI (`matryoshka-check --builtin`) do the actual checking.
+
+/// One IR workload: a name, the program text, and its input bag names.
+#[derive(Debug, Clone, Copy)]
+pub struct IrProgram {
+    /// Short identifier (used by the CLI and in test failure messages).
+    pub name: &'static str,
+    /// The program in the IR surface syntax.
+    pub source: &'static str,
+    /// Names of the driver-side input bags.
+    pub inputs: &'static [&'static str],
+}
+
+/// Per-day visit counts — the Listing 1 warm-up from the README quickstart.
+pub const VISIT_COUNTS: IrProgram = IrProgram {
+    name: "visit_counts",
+    source: "map(groupByKey(source(visits)), g => (g.0, count(g.1)))",
+    inputs: &["visits"],
+};
+
+/// The paper's Listing 1: per-day bounce rate. Two nesting levels; the
+/// inner pipeline re-aggregates each day's visits twice (bounces and
+/// distinct visitors).
+pub const BOUNCE_RATE: IrProgram = IrProgram {
+    name: "bounce_rate",
+    source: "\
+map(groupByKey(source(visits)),
+    g => (g.0,
+          toDouble(count(filter(reduceByKey(map(g.1, ip => (ip, 1)),
+                                            (a, b) => a + b),
+                                kv => kv.1 == 1)))
+          / toDouble(count(distinct(g.1)))))",
+    inputs: &["visits"],
+};
+
+/// Per-group iteration (the PageRank-shaped workload): a lifted `while`
+/// whose trip count depends on each group's data.
+pub const PER_GROUP_LOOP: IrProgram = IrProgram {
+    name: "per_group_loop",
+    source: "\
+map(groupByKey(source(edges)),
+    g => (g.0,
+          (loop (n = count(g.1)) while n > 10 do (n - 1) yield n)))",
+    inputs: &["edges"],
+};
+
+/// The K-means-shaped half-lifted closure: a per-group scalar (`n`)
+/// captured by a leaf map over the group's own bag (runtime
+/// `mapWithClosure`).
+pub const HALF_LIFTED_CLOSURE: IrProgram = IrProgram {
+    name: "half_lifted_closure",
+    source: "\
+map(groupByKey(source(points)),
+    g => (g.0,
+          (let n = count(g.1)
+           in count(filter(g.1, v => v < n)))))",
+    inputs: &["points"],
+};
+
+/// Every IR workload, for exhaustive checking.
+pub const ALL: &[IrProgram] = &[VISIT_COUNTS, BOUNCE_RATE, PER_GROUP_LOOP, HALF_LIFTED_CLOSURE];

@@ -19,6 +19,24 @@ cargo build --release
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== static analyzer over shipped IR programs (matryoshka-check)"
+# Every example program and every built-in task workload must pass the
+# pre-lowering analyzer with no error-severity MAT0xx diagnostics.
+cargo run -q --bin matryoshka-check -- --builtin examples/programs/*.mat
+
+echo "== sanitizers (best effort: miri, then TSan, else skip)"
+# The container has no network, so missing toolchain components (miri,
+# rust-src for -Zbuild-std) cannot be installed on the fly; skip cleanly.
+if cargo miri --version >/dev/null 2>&1 \
+  && cargo miri test -p matryoshka-engine pool 2>/dev/null; then
+  echo "miri: engine pool tests passed"
+elif RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p matryoshka-engine pool \
+    -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" 2>/dev/null; then
+  echo "TSan: engine pool tests passed"
+else
+  echo "sanitizers unavailable in this toolchain (miri/rust-src not installed); skipping"
+fi
+
 echo "== bench smoke (micro harness, tiny sizes)"
 BENCH_SMOKE_OUT="$(mktemp)"
 BENCH_MICRO_OUT="$BENCH_SMOKE_OUT" cargo bench -p matryoshka-bench --bench micro -- --smoke

@@ -1,0 +1,36 @@
+//! Every shipped IR program — the `examples/programs/` corpus and the
+//! tasks crate's built-in IR workloads — must pass the static analyzer
+//! with no error-severity diagnostics. This is the test-suite twin of the
+//! `scripts/ci.sh` analyzer step (`matryoshka-check`).
+
+use matryoshka::ir::{analyze, check, parse_program, Dialect};
+use matryoshka::tasks::ir_programs;
+
+#[test]
+fn builtin_ir_workloads_pass_check() {
+    for p in ir_programs::ALL {
+        let ast = parse_program(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        check(&ast, p.inputs, Dialect::Matryoshka)
+            .unwrap_or_else(|e| panic!("{} rejected by the analyzer: {e}", p.name));
+    }
+}
+
+#[test]
+fn example_program_corpus_passes_check() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/programs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}")) {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "mat") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let ast = parse_program(&src).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let sources = analyze::source_names(&ast);
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        check(&ast, &refs, Dialect::Matryoshka)
+            .unwrap_or_else(|e| panic!("{path:?} rejected by the analyzer: {e}"));
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected a real corpus under {dir:?}, found {checked} programs");
+}
