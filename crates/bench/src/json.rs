@@ -1,0 +1,367 @@
+//! Machine-readable benchmark records: serialize figure [`Row`]s to a JSON
+//! array (the `BENCH_skew.json` artifact) and parse/validate such files
+//! without any external dependency. The parser is a minimal but complete
+//! recursive-descent JSON reader — enough to round-trip what [`rows_to_json`]
+//! emits and to reject truncated or hand-mangled files in CI.
+
+use std::collections::BTreeMap;
+
+use crate::harness::{Outcome, Row};
+
+/// Serialize rows as a JSON array, one object per line, with the same fields
+/// as [`crate::harness::print_csv`].
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let outcome = match r.m.outcome {
+            Outcome::Ok => "ok",
+            Outcome::Oom => "oom",
+            Outcome::Unsupported => "unsupported",
+        };
+        out.push_str(&format!(
+            "  {{\"figure\": {}, \"series\": {}, \"x\": {}, \"outcome\": \"{outcome}\", \
+             \"seconds\": {:.3}, \"jobs\": {}, \"shuffle_bytes\": {}, \"spill_bytes\": {}}}{}\n",
+            quote(&r.figure),
+            quote(&r.series),
+            r.x,
+            r.m.seconds,
+            r.m.stats.jobs,
+            r.m.stats.shuffle_bytes,
+            r.m.stats.spill_bytes,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut q = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => q.push_str("\\\""),
+            '\\' => q.push_str("\\\\"),
+            c if (c as u32) < 0x20 => q.push_str(&format!("\\u{:04x}", c as u32)),
+            c => q.push(c),
+        }
+    }
+    q.push('"');
+    q
+}
+
+/// A parsed JSON value (only what benchmark records need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as f64.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key` if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Errors carry the byte offset.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut p = Parser { b, at: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != b.len() {
+        return Err(format!("trailing garbage at byte {}", p.at));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.at < self.b.len() && self.b[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.at).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.at)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.at])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.at += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.b[self.at..];
+                    let ch_len = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8")?
+                        .chars()
+                        .next()
+                        .map(char::len_utf8)
+                        .unwrap_or(1);
+                    s.push_str(std::str::from_utf8(&rest[..ch_len]).unwrap());
+                    self.at += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?} at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?} at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+/// Validate a `BENCH_skew.json` document: a non-empty array of row objects
+/// each carrying `figure`/`series` strings and a numeric `seconds`, with
+/// both the static and the adaptive Matryoshka series present. Returns the
+/// row count.
+pub fn validate_bench_rows(src: &str) -> Result<usize, String> {
+    let doc = parse(src)?;
+    let rows = match &doc {
+        Json::Arr(rows) if !rows.is_empty() => rows,
+        Json::Arr(_) => return Err("empty benchmark array".into()),
+        _ => return Err("top level is not a JSON array".into()),
+    };
+    let mut has_static = false;
+    let mut has_adaptive = false;
+    for (i, row) in rows.iter().enumerate() {
+        let series = row
+            .get("series")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"series\""))?;
+        row.get("figure")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"figure\""))?;
+        let secs = row
+            .get("seconds")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("row {i}: missing numeric \"seconds\""))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("row {i}: bad seconds {secs}"));
+        }
+        has_static |= series == "matryoshka";
+        has_adaptive |= series == "matryoshka-adaptive";
+    }
+    if !has_static || !has_adaptive {
+        return Err("missing matryoshka and/or matryoshka-adaptive series".into());
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Measurement;
+    use matryoshka_engine::StatsSnapshot;
+
+    fn row(series: &str, x: u64, seconds: f64) -> Row {
+        Row {
+            figure: "fig7/pagerank-skew-sweep".into(),
+            series: series.into(),
+            x,
+            m: Measurement { outcome: Outcome::Ok, seconds, stats: StatsSnapshot::default() },
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_and_validate() {
+        let rows = vec![row("matryoshka", 100, 12.5), row("matryoshka-adaptive", 100, 7.25)];
+        let json = rows_to_json(&rows);
+        assert_eq!(validate_bench_rows(&json).unwrap(), 2);
+        let doc = parse(&json).unwrap();
+        let Json::Arr(items) = &doc else { panic!("not an array") };
+        assert_eq!(items[1].get("series").unwrap().as_str().unwrap(), "matryoshka-adaptive");
+        assert_eq!(items[0].get("seconds").unwrap().as_num().unwrap(), 12.5);
+    }
+
+    #[test]
+    fn validator_rejects_mangled_documents() {
+        assert!(validate_bench_rows("[").is_err(), "truncated");
+        assert!(validate_bench_rows("{}").is_err(), "not an array");
+        assert!(validate_bench_rows("[]").is_err(), "empty");
+        assert!(
+            validate_bench_rows(r#"[{"figure": "f", "series": "matryoshka", "seconds": 1.0}]"#)
+                .is_err(),
+            "adaptive series missing"
+        );
+        let both = r#"[
+            {"figure": "f", "series": "matryoshka", "seconds": 1.0},
+            {"figure": "f", "series": "matryoshka-adaptive", "seconds": 0.5}
+        ]"#;
+        assert_eq!(validate_bench_rows(both).unwrap(), 2);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e1, "x\"\nA"], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(-25.0), Json::Str("x\"\nA".into()),])
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(parse("[1, 2,,]").is_err());
+        assert!(parse("[1] junk").is_err());
+    }
+}

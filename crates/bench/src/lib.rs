@@ -14,7 +14,9 @@
 
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod profile;
 
 pub use harness::{print_csv, print_rows, run_case, Measurement, Outcome, Row};
+pub use json::{rows_to_json, validate_bench_rows};
 pub use profile::Profile;

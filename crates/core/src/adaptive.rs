@@ -1,0 +1,422 @@
+//! Adaptive execution: a feedback-driven re-optimizer at stage boundaries.
+//!
+//! The static optimizer ([`crate::optimizer`]) picks physical plans from
+//! *estimates*: InnerScalar sizes known structurally at lowering time
+//! (Sec. 8.1) and modeled record weights. This module closes the loop with
+//! what the engine actually *observed*: every shuffle records exact
+//! per-reduce-partition record/byte counts
+//! ([`matryoshka_engine::MapOutputStats`]), and the [`AdaptivePlanner`]
+//! consumes those at the next stage boundary to re-decide three things:
+//!
+//! 1. **Partition coalescing** — merge small post-shuffle partitions until
+//!    each holds roughly [`AdaptiveConfig::target_partition_bytes`], instead
+//!    of scheduling the static partition count's worth of near-empty tasks.
+//! 2. **Join switching** — re-decide the tag-join algorithm (broadcast vs.
+//!    repartition) from observed scalar sizes rather than the
+//!    [`crate::LiftingContext`] estimate; inside `lifted_while` this runs
+//!    once per iteration, so the decision tracks the shrinking live-tag set.
+//! 3. **Skew mitigation** — when a recent shuffle's largest partition
+//!    exceeds [`AdaptiveConfig::skew_threshold_milli`] times the mean, salt
+//!    the hot side's key with a small deterministic suffix and replicate the
+//!    light side, then strip the salt in a cheap narrow op.
+//!
+//! Every re-decision is appended to the engine's lowering-decision log under
+//! the sites `adaptive_coalesce`, `adaptive_tag_join`, and
+//! `adaptive_skew_salt`. With [`AdaptiveConfig::enabled`] false (the
+//! default) nothing here runs: plans, decision logs, and simulated times are
+//! bit-identical to the static optimizer's.
+
+use matryoshka_engine::{Engine, MapOutputSummary};
+
+/// How far back in the engine's bounded map-output history the planner
+/// looks when scanning for a skewed shuffle of a given operator. Old
+/// shuffles (earlier loop iterations, other subplans) age out so a one-off
+/// skewed stage does not salt every later one.
+const SKEW_LOOKBACK: usize = 8;
+
+/// Knobs of the adaptive re-optimizer. Carried inside
+/// [`crate::MatryoshkaConfig::adaptive`]; everything is inert unless
+/// [`AdaptiveConfig::enabled`] is set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Master switch. Off by default: the static plans, decision log, and
+    /// simulated times are unchanged.
+    pub enabled: bool,
+    /// Re-derive post-shuffle partition counts from observed bytes.
+    pub coalesce: bool,
+    /// Re-decide tag-join algorithms from observed scalar sizes.
+    pub switch_joins: bool,
+    /// Salt skewed shuffles (tag joins and lifted `reduceByKey`).
+    pub salt_skew: bool,
+    /// Coalescing target: observed bytes each post-shuffle partition should
+    /// hold.
+    pub target_partition_bytes: u64,
+    /// Shuffles whose max/mean partition ratio (in thousandths; `1000` =
+    /// perfectly balanced) reaches this are treated as skewed.
+    pub skew_threshold_milli: u64,
+    /// How many ways a skewed key is split. Values below 2 cannot split
+    /// anything.
+    pub salt_factor: u32,
+    /// Floor for coalesced partition counts; `0` means "one per core"
+    /// (derived from the engine's cluster at decision time).
+    pub min_partitions: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            coalesce: true,
+            switch_joins: true,
+            salt_skew: true,
+            target_partition_bytes: 64 << 20,
+            skew_threshold_milli: 4_000,
+            salt_factor: 8,
+            min_partitions: 0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// The default thresholds with the master switch on.
+    pub fn enabled() -> Self {
+        AdaptiveConfig { enabled: true, ..AdaptiveConfig::default() }
+    }
+
+    /// Sanity-check the thresholds. Returns one human-readable warning per
+    /// nonsensical setting (the `matryoshka-check` CLI surfaces these as
+    /// MAT092 warnings); an empty result means the config is coherent.
+    /// Warnings are only produced when the master switch is on — a disabled
+    /// config is inert no matter what its thresholds say.
+    pub fn validate(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if !self.enabled {
+            return warnings;
+        }
+        if !self.coalesce && !self.switch_joins && !self.salt_skew {
+            warnings.push(
+                "adaptive execution is enabled but every re-optimization \
+                 (coalesce, switch_joins, salt_skew) is disabled: it will observe \
+                 statistics and change nothing"
+                    .to_string(),
+            );
+        }
+        if self.coalesce && self.target_partition_bytes == 0 {
+            warnings.push(
+                "target_partition_bytes is 0: coalescing would demand infinitely \
+                 many partitions and never merge anything"
+                    .to_string(),
+            );
+        }
+        if self.salt_skew && self.salt_factor < 2 {
+            warnings.push(format!(
+                "salt_factor {} cannot split a hot key: salting needs at least 2 salts",
+                self.salt_factor
+            ));
+        }
+        if self.salt_skew && self.skew_threshold_milli <= 1_000 {
+            warnings.push(format!(
+                "skew_threshold_milli {} flags perfectly balanced shuffles as skewed \
+                 (1000 = max equals mean): every shuffle would be salted",
+                self.skew_threshold_milli
+            ));
+        }
+        warnings
+    }
+}
+
+/// The stage-boundary re-optimizer: a thin, cheap view over one engine's
+/// observed map-output history and one [`AdaptiveConfig`]. Construct it at
+/// each decision site (it holds no state of its own).
+pub struct AdaptivePlanner<'a> {
+    engine: &'a Engine,
+    cfg: &'a AdaptiveConfig,
+}
+
+impl<'a> AdaptivePlanner<'a> {
+    /// A planner reading `engine`'s observed statistics under `cfg`.
+    pub fn new(engine: &'a Engine, cfg: &'a AdaptiveConfig) -> Self {
+        AdaptivePlanner { engine, cfg }
+    }
+
+    /// The configuration this planner decides under.
+    pub fn config(&self) -> &AdaptiveConfig {
+        self.cfg
+    }
+
+    /// Adaptive partition coalescing: given the static plan's partition
+    /// count and the bytes observed for the data about to shuffle (from the
+    /// producing bag if materialized, else the engine's most recent map
+    /// output), return a count that targets
+    /// [`AdaptiveConfig::target_partition_bytes`] per partition — never
+    /// *more* partitions than the static plan, never fewer than the floor.
+    /// Logs to the decision log (site `adaptive_coalesce`) when it changes
+    /// the plan.
+    pub fn coalesced_partitions(
+        &self,
+        site: &str,
+        static_partitions: usize,
+        observed_bytes: Option<u64>,
+    ) -> usize {
+        if !self.cfg.enabled || !self.cfg.coalesce {
+            return static_partitions;
+        }
+        let observed = observed_bytes.or_else(|| self.last_output().map(|s| s.total_bytes));
+        let Some(bytes) = observed else {
+            return static_partitions;
+        };
+        let floor = if self.cfg.min_partitions == 0 {
+            self.engine.total_cores()
+        } else {
+            self.cfg.min_partitions
+        };
+        let by_bytes = bytes.div_ceil(self.cfg.target_partition_bytes.max(1)) as usize;
+        let p = by_bytes.max(floor).clamp(1, static_partitions);
+        if p < static_partitions {
+            self.engine.record_decision(
+                "adaptive_coalesce",
+                p.to_string(),
+                static_partitions as u64,
+                bytes,
+                format!(
+                    "{site}: observed {bytes} bytes / {} per partition, floor {floor} \
+                     (static plan: {static_partitions})",
+                    self.cfg.target_partition_bytes
+                ),
+            );
+        }
+        p
+    }
+
+    /// The most recent shuffle the engine observed, if any.
+    pub fn last_output(&self) -> Option<MapOutputSummary> {
+        self.engine.last_map_output()
+    }
+
+    /// The most skewed among the last `SKEW_LOOKBACK` observed shuffles of
+    /// `operator`, if any reached the configured threshold **and** its hot
+    /// partition is material (at least [`AdaptiveConfig::target_partition_bytes`]).
+    /// The byte floor matters: a shuffle of a handful of records over many
+    /// partitions shows a huge max/mean ratio out of pure placement noise,
+    /// but splitting a kilobyte-sized partition buys nothing and the salt's
+    /// replication is pure overhead.
+    pub fn skewed_output(&self, operator: &str) -> Option<MapOutputSummary> {
+        let history = self.engine.map_output_history();
+        history
+            .iter()
+            .rev()
+            .take(SKEW_LOOKBACK)
+            .filter(|s| s.operator == operator)
+            .filter(|s| s.skew_ratio_milli >= self.cfg.skew_threshold_milli)
+            .filter(|s| s.max_bytes >= self.cfg.target_partition_bytes)
+            .max_by_key(|s| s.skew_ratio_milli)
+            .copied()
+    }
+
+    /// Skew mitigation decision for the next shuffle of `operator`: the salt
+    /// factor to split hot keys with, or `None` when salting is off, the
+    /// factor cannot split (< 2), or no recent shuffle of that operator was
+    /// skewed. Logs the decision (site `adaptive_skew_salt`) when it fires.
+    pub fn salt_factor_for(&self, operator: &'static str) -> Option<u32> {
+        self.salt_factor_gated(operator, None)
+    }
+
+    /// [`Self::salt_factor_for`] with a cost gate for salted *joins*: salting
+    /// a join replicates the light side once per salt value, so pass that
+    /// side's total bytes and the salt is skipped (with a `keep` decision in
+    /// the log) when the replication would shuffle more than the hot
+    /// partition it splits. Salted aggregations replicate nothing — they pass
+    /// `None`.
+    pub fn salt_factor_gated(
+        &self,
+        operator: &'static str,
+        replicated_side_bytes: Option<u64>,
+    ) -> Option<u32> {
+        if !self.cfg.enabled || !self.cfg.salt_skew || self.cfg.salt_factor < 2 {
+            return None;
+        }
+        let skewed = self.skewed_output(operator)?;
+        if let Some(rb) = replicated_side_bytes {
+            let replication = rb.saturating_mul(self.cfg.salt_factor as u64);
+            if replication > skewed.max_bytes {
+                self.engine.record_decision(
+                    "adaptive_skew_salt",
+                    "keep",
+                    skewed.total_records,
+                    skewed.max_bytes,
+                    format!(
+                        "{operator}: skew {}.{:03}x observed, but replicating the light side \
+                         x{} ({replication} bytes) would outweigh the {} -byte hot partition",
+                        skewed.skew_ratio_milli / 1000,
+                        skewed.skew_ratio_milli % 1000,
+                        self.cfg.salt_factor,
+                        skewed.max_bytes,
+                    ),
+                );
+                return None;
+            }
+        }
+        self.engine.record_decision(
+            "adaptive_skew_salt",
+            format!("salt x{}", self.cfg.salt_factor),
+            skewed.total_records,
+            skewed.max_bytes,
+            format!(
+                "{operator}: observed skew {}.{:03}x >= threshold {}.{:03}x \
+                 (max partition {} bytes of {} total)",
+                skewed.skew_ratio_milli / 1000,
+                skewed.skew_ratio_milli % 1000,
+                self.cfg.skew_threshold_milli / 1000,
+                self.cfg.skew_threshold_milli % 1000,
+                skewed.max_bytes,
+                skewed.total_bytes,
+            ),
+        );
+        Some(self.cfg.salt_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matryoshka_engine::{ClusterConfig, MapOutputStats};
+
+    fn engine() -> Engine {
+        Engine::new(ClusterConfig::local_test()) // 2 machines x 4 cores
+    }
+
+    /// Feed the engine an observed shuffle without running one.
+    fn observe(e: &Engine, operator: &'static str, records: &[u64], record_bytes: f64) {
+        let b = e.parallelize(vec![0u8], 1);
+        // A real (tiny) shuffle first so history plumbing is the real path…
+        b.map(|x| (*x, 1u64)).reduce_by_key(|a, b| a + b).count().unwrap();
+        // …then the synthetic observation under test.
+        e.record_map_output(&MapOutputStats::from_partition_records(
+            operator,
+            records.to_vec(),
+            record_bytes,
+        ));
+    }
+
+    #[test]
+    fn disabled_config_never_changes_the_plan() {
+        let e = engine();
+        observe(&e, "join", &[1_000, 1, 1, 1], 1000.0);
+        let cfg = AdaptiveConfig::default();
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        assert_eq!(planner.coalesced_partitions("x", 1200, Some(1)), 1200);
+        assert_eq!(planner.salt_factor_for("join"), None);
+        assert!(e.decisions().is_empty(), "disabled adaptivity must not log decisions");
+    }
+
+    #[test]
+    fn coalescing_targets_bytes_with_core_floor() {
+        let e = engine(); // 8 cores
+        let cfg =
+            AdaptiveConfig { enabled: true, target_partition_bytes: 100, ..Default::default() };
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        // 950 bytes / 100 per partition = 10 partitions.
+        assert_eq!(planner.coalesced_partitions("site", 1200, Some(950)), 10);
+        // Tiny data still gets one partition per core.
+        assert_eq!(planner.coalesced_partitions("site", 1200, Some(1)), 8);
+        // Never more partitions than the static plan.
+        assert_eq!(planner.coalesced_partitions("site", 4, Some(u64::MAX / 2)), 4);
+        let log = e.decisions();
+        assert!(!log.is_empty());
+        assert_eq!(log[0].site, "adaptive_coalesce");
+        assert_eq!(log[0].choice, "10");
+    }
+
+    #[test]
+    fn coalescing_falls_back_to_engine_history() {
+        let e = engine();
+        observe(&e, "reduce_by_key", &[10, 10, 10, 10], 10.0); // 400 bytes total
+        let cfg = AdaptiveConfig {
+            enabled: true,
+            target_partition_bytes: 100,
+            min_partitions: 2,
+            ..Default::default()
+        };
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        assert_eq!(planner.coalesced_partitions("site", 1200, None), 4);
+    }
+
+    #[test]
+    fn salting_fires_only_on_observed_skew_of_the_same_operator() {
+        let e = engine();
+        observe(&e, "join", &[1_000, 1, 1, 1, 1, 1, 1, 1], 8.0); // ~8x skew
+        let cfg = AdaptiveConfig { target_partition_bytes: 4_000, ..AdaptiveConfig::enabled() };
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        assert_eq!(planner.salt_factor_for("join"), Some(8));
+        assert_eq!(planner.salt_factor_for("co_group"), None, "different operator");
+        let log = e.decisions();
+        let salt = log.iter().find(|d| d.site == "adaptive_skew_salt").unwrap();
+        assert!(salt.detail.contains("join"));
+        assert!(salt.detail.contains("threshold"));
+    }
+
+    #[test]
+    fn balanced_shuffles_are_not_salted() {
+        let e = engine();
+        observe(&e, "join", &[10, 10, 10, 10], 8.0);
+        let cfg = AdaptiveConfig { target_partition_bytes: 1, ..AdaptiveConfig::enabled() };
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        assert_eq!(planner.salt_factor_for("join"), None);
+    }
+
+    #[test]
+    fn join_salting_skips_when_replication_outweighs_the_hot_partition() {
+        let e = engine();
+        observe(&e, "join", &[1_000, 1, 1, 1, 1, 1, 1, 1], 8.0); // hot partition 8000 bytes
+        let cfg = AdaptiveConfig { target_partition_bytes: 4_000, ..AdaptiveConfig::enabled() };
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        // Light side of 500 bytes: x8 replication (4000) fits under the hot
+        // partition -> salt. A 2000-byte side replicates to 16000 -> keep.
+        assert_eq!(planner.salt_factor_gated("join", Some(500)), Some(8));
+        assert_eq!(planner.salt_factor_gated("join", Some(2_000)), None);
+        let log = e.decisions();
+        assert!(log.iter().any(|d| d.site == "adaptive_skew_salt" && d.choice == "keep"));
+    }
+
+    #[test]
+    fn immaterial_hot_partitions_are_not_salted() {
+        // A handful of records over many partitions: the max/mean ratio is
+        // huge from placement noise alone, but the hot partition is tiny in
+        // bytes, so salting must not fire under the default 64 MiB target.
+        let e = engine();
+        observe(&e, "join", &[10, 0, 0, 0, 0, 0, 0, 0], 8.0); // 8x skew, 80 bytes hot
+        let cfg = AdaptiveConfig::enabled();
+        let planner = AdaptivePlanner::new(&e, &cfg);
+        assert_eq!(planner.salt_factor_for("join"), None);
+        assert!(e.decisions().iter().all(|d| d.site != "adaptive_skew_salt"));
+    }
+
+    #[test]
+    fn validate_catches_nonsensical_thresholds() {
+        assert!(AdaptiveConfig::default().validate().is_empty(), "default (disabled) is fine");
+        assert!(AdaptiveConfig::enabled().validate().is_empty(), "enabled defaults are fine");
+        let silly = AdaptiveConfig {
+            enabled: true,
+            target_partition_bytes: 0,
+            salt_factor: 1,
+            skew_threshold_milli: 500,
+            ..Default::default()
+        };
+        let warnings = silly.validate();
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings.iter().any(|w| w.contains("target_partition_bytes")));
+        assert!(warnings.iter().any(|w| w.contains("salt_factor")));
+        assert!(warnings.iter().any(|w| w.contains("skew_threshold_milli")));
+        let inert = AdaptiveConfig {
+            enabled: true,
+            coalesce: false,
+            switch_joins: false,
+            salt_skew: false,
+            ..Default::default()
+        };
+        assert_eq!(inert.validate().len(), 1);
+        // Disabled configs never warn, whatever the thresholds.
+        let off = AdaptiveConfig { enabled: false, salt_factor: 0, ..Default::default() };
+        assert!(off.validate().is_empty());
+    }
+}

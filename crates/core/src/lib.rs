@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 mod closures;
 mod context;
 mod control_flow;
@@ -60,6 +61,7 @@ pub mod optimizer;
 mod scalar;
 mod splitting;
 
+pub use adaptive::{AdaptiveConfig, AdaptivePlanner};
 pub use context::LiftingContext;
 pub use control_flow::{lifted_if, lifted_while, LiftedData};
 pub use inner_bag::{CoPartitioned, InnerBag};

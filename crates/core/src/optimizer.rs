@@ -9,6 +9,8 @@
 
 use matryoshka_engine::{Engine, JoinAlgorithm};
 
+use crate::adaptive::AdaptiveConfig;
+
 /// Strategy for joins between InnerBags and InnerScalars on tags (Sec. 8.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinChoice {
@@ -50,6 +52,10 @@ pub struct MatryoshkaConfig {
     /// Derive partition counts from InnerScalar sizes (Sec. 8.1). When
     /// false, every lifted operator uses the engine's default parallelism.
     pub partition_tuning: bool,
+    /// Feedback-driven re-optimization from observed map-output statistics
+    /// (see [`crate::adaptive`]). Off by default: static plans, decision
+    /// logs, and simulated times are unchanged.
+    pub adaptive: AdaptiveConfig,
 }
 
 impl MatryoshkaConfig {
@@ -59,7 +65,14 @@ impl MatryoshkaConfig {
             tag_join: JoinChoice::Auto,
             cross: CrossChoice::Auto,
             partition_tuning: true,
+            adaptive: AdaptiveConfig::default(),
         }
+    }
+
+    /// The full optimizer plus the adaptive re-optimizer (default adaptive
+    /// thresholds).
+    pub fn adaptive() -> Self {
+        MatryoshkaConfig { adaptive: AdaptiveConfig::enabled(), ..MatryoshkaConfig::optimized() }
     }
 }
 

@@ -36,6 +36,7 @@ pub enum Partitioning {
 use std::sync::{Arc, OnceLock};
 
 use crate::error::Result;
+use crate::map_output::MapOutputStats;
 use crate::types::Data;
 use crate::Engine;
 
@@ -60,6 +61,10 @@ pub(crate) struct Node<T> {
     partitioning: Partitioning,
     compute: Box<dyn Fn() -> Result<Parts<T>> + Send + Sync>,
     cache: OnceLock<Result<Parts<T>>>,
+    /// Per-reduce-partition map-output statistics, filled by wide operators
+    /// when their shuffle scatters on first evaluation. Shared with the
+    /// compute closure (which runs without access to the node).
+    map_output: Arc<OnceLock<MapOutputStats>>,
 }
 
 /// A lazy, partitioned, immutable distributed collection (Spark RDD
@@ -100,6 +105,29 @@ impl<T: Data> Bag<T> {
         partitioning: Partitioning,
         compute: impl Fn() -> Result<Parts<T>> + Send + Sync + 'static,
     ) -> Bag<T> {
+        Bag::new_shuffled(
+            engine,
+            name,
+            record_bytes,
+            partitions,
+            partitioning,
+            Arc::new(OnceLock::new()),
+            compute,
+        )
+    }
+
+    /// Constructor used by wide operators: `map_output` is the shared slot
+    /// the operator's compute closure fills with the shuffle's per-partition
+    /// statistics when it scatters.
+    pub(crate) fn new_shuffled(
+        engine: Engine,
+        name: &'static str,
+        record_bytes: f64,
+        partitions: usize,
+        partitioning: Partitioning,
+        map_output: Arc<OnceLock<MapOutputStats>>,
+        compute: impl Fn() -> Result<Parts<T>> + Send + Sync + 'static,
+    ) -> Bag<T> {
         Bag {
             node: Arc::new(Node {
                 engine,
@@ -109,6 +137,7 @@ impl<T: Data> Bag<T> {
                 partitioning,
                 compute: Box::new(compute),
                 cache: OnceLock::new(),
+                map_output,
             }),
         }
     }
@@ -208,6 +237,14 @@ impl<T: Data> Bag<T> {
             Some(Ok(parts)) => Some(parts.iter().map(|p| p.len() as u64).sum()),
             _ => None,
         }
+    }
+
+    /// Exact per-reduce-partition statistics of the shuffle that produced
+    /// this bag, available once the bag has materialized. `None` for
+    /// narrow operators, co-partitioned (shuffle-free) paths, and
+    /// unevaluated bags.
+    pub fn map_output_stats(&self) -> Option<MapOutputStats> {
+        self.node.map_output.get().cloned()
     }
 }
 

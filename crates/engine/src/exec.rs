@@ -104,6 +104,13 @@ impl Engine {
                     if attempt >= faults.max_attempts {
                         return Err(EngineError::TaskFailed { stage: stage_id, attempts: attempt });
                     }
+                    self.core.stats.add_task_retry();
+                    self.record_event(|| EngineEvent::TaskRetry {
+                        stage: stage_id,
+                        task: i as u64,
+                        attempt,
+                        at: start,
+                    });
                     // Re-run: the attempt's work is wasted and re-done.
                     *cost = *cost + *cost + launch;
                 }
@@ -123,6 +130,31 @@ impl Engine {
             busy: effective.iter().copied().sum(),
         });
         Ok(())
+    }
+
+    /// Record one shuffle's map-output statistics: pure bookkeeping (no
+    /// simulated time, no simulated memory). Updates the partition-size
+    /// high-water marks, appends a summary to the engine's bounded
+    /// map-output history, and emits a `PartitionStats` trace event.
+    ///
+    /// Wide operators call this on every shuffle; it is public so layers
+    /// above the engine (re-optimizers, tests) can inject observations for
+    /// shuffles they simulate themselves.
+    pub fn record_map_output(&self, stats: &crate::MapOutputStats) {
+        let summary = crate::MapOutputSummary::of(stats);
+        self.core.stats.add_partition_peaks(summary.max_bytes, summary.skew_ratio_milli);
+        self.push_map_output_summary(summary);
+        self.record_event(|| EngineEvent::PartitionStats {
+            operator: summary.operator,
+            partitions: summary.partitions,
+            records: summary.total_records,
+            bytes: summary.total_bytes,
+            p50_bytes: summary.p50_bytes,
+            p99_bytes: summary.p99_bytes,
+            max_bytes: summary.max_bytes,
+            skew_ratio_milli: summary.skew_ratio_milli,
+            at: self.sim_time(),
+        });
     }
 
     /// Charge a shuffle of `records` records of `bytes` each: map-side
@@ -272,6 +304,24 @@ mod tests {
         };
         assert!(with_faults > baseline, "retries must cost simulated time");
         assert_eq!(with_faults, run(), "fault injection is deterministic");
+    }
+
+    #[test]
+    fn retries_are_counted_and_traced() {
+        let mut cfg = ClusterConfig::local_test();
+        cfg.faults.task_failure_rate = 0.3;
+        cfg.trace_events = true;
+        let e = Engine::new(cfg);
+        let b = e.generate(10_000, 8, |i| (i % 97, 1u64));
+        b.reduce_by_key(|a, b| a + b).count().unwrap();
+        let retried = e.stats().tasks_retried;
+        assert!(retried > 0, "a 30% failure rate must produce retries");
+        let events = e.events();
+        let retry_events =
+            events.iter().filter(|ev| matches!(ev, crate::EngineEvent::TaskRetry { .. })).count()
+                as u64;
+        assert_eq!(retry_events, retried, "every counted retry must be traced");
+        assert_eq!(e.trace_summary().tasks_retried, retried);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod config;
 mod error;
 mod exec;
 pub mod fx;
+pub mod map_output;
 pub mod partitioner;
 pub mod pool;
 pub mod sim;
@@ -50,6 +51,7 @@ pub use config::FaultConfig;
 pub use config::{ClusterConfig, CostModel, GB, KB, MB};
 pub use error::{EngineError, Result};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use map_output::{MapOutputStats, MapOutputSummary};
 pub use sim::{SimTime, StatsSnapshot};
 pub use trace::{Decision, EngineEvent, TraceSummary};
 pub use types::{Data, Key};
@@ -89,7 +91,12 @@ pub(crate) struct EngineCore {
     decisions: Mutex<Vec<Decision>>,
     current_op: Mutex<Vec<&'static str>>,
     job_counter: AtomicU64,
+    map_outputs: Mutex<Vec<MapOutputSummary>>,
 }
+
+/// Entries kept in the engine's map-output history: enough for re-optimizers
+/// spanning a lifted loop iteration, bounded so long runs stay O(1).
+const MAP_OUTPUT_HISTORY: usize = 64;
 
 /// Handle to a simulated cluster. Cheap to clone; all clones share the same
 /// simulated clock and statistics.
@@ -112,6 +119,7 @@ impl Engine {
                 decisions: Mutex::new(Vec::new()),
                 current_op: Mutex::new(Vec::new()),
                 job_counter: AtomicU64::new(0),
+                map_outputs: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -226,6 +234,27 @@ impl Engine {
             at: self.sim_time(),
         };
         self.core.decisions.lock().expect("decision lock poisoned").push(d);
+    }
+
+    /// The most recent map-output summaries (newest last, bounded history):
+    /// one entry per shuffle executed, recorded by the wide operators as
+    /// they scatter. Re-optimizers read these at stage boundaries when the
+    /// next stage's inputs have not materialized yet.
+    pub fn map_output_history(&self) -> Vec<MapOutputSummary> {
+        self.core.map_outputs.lock().expect("map-output lock poisoned").clone()
+    }
+
+    /// The most recent map-output summary, if any shuffle ran yet.
+    pub fn last_map_output(&self) -> Option<MapOutputSummary> {
+        self.core.map_outputs.lock().expect("map-output lock poisoned").last().copied()
+    }
+
+    pub(crate) fn push_map_output_summary(&self, summary: MapOutputSummary) {
+        let mut h = self.core.map_outputs.lock().expect("map-output lock poisoned");
+        if h.len() >= MAP_OUTPUT_HISTORY {
+            h.remove(0);
+        }
+        h.push(summary);
     }
 
     /// Aggregate the collected events into a [`TraceSummary`]; its fields

@@ -1,0 +1,172 @@
+//! Exact map-output statistics of one shuffle.
+//!
+//! Every wide operator that scatters records into reduce-side partitions
+//! records, per reduce partition, how many records and modeled bytes landed
+//! there. The counts are exact and deterministic (they come from the real
+//! hash placement, not sampling), so a re-optimizer consuming them at a
+//! stage boundary makes reproducible decisions. Collection is pure
+//! bookkeeping: it charges no simulated time and no simulated memory.
+
+/// Per-reduce-partition record/byte counts of one shuffle's map output,
+/// plus derived summary statistics (percentiles and skew ratio).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapOutputStats {
+    /// Operator that produced the shuffle (e.g. `"join"`, `"reduce_by_key"`).
+    pub operator: &'static str,
+    /// Records landing in each reduce partition.
+    pub partition_records: Vec<u64>,
+    /// Modeled bytes landing in each reduce partition.
+    pub partition_bytes: Vec<u64>,
+}
+
+impl MapOutputStats {
+    /// Build stats from the scattered partitions' record counts and the
+    /// modeled per-record size.
+    pub fn from_partition_records(
+        operator: &'static str,
+        records: Vec<u64>,
+        record_bytes: f64,
+    ) -> Self {
+        let bytes = records.iter().map(|&n| (n as f64 * record_bytes) as u64).collect();
+        MapOutputStats { operator, partition_records: records, partition_bytes: bytes }
+    }
+
+    /// Number of reduce partitions.
+    pub fn partitions(&self) -> usize {
+        self.partition_bytes.len()
+    }
+
+    /// Total records across all partitions.
+    pub fn total_records(&self) -> u64 {
+        self.partition_records.iter().sum()
+    }
+
+    /// Total modeled bytes across all partitions.
+    pub fn total_bytes(&self) -> u64 {
+        self.partition_bytes.iter().sum()
+    }
+
+    /// Largest partition, in bytes.
+    pub fn max_bytes(&self) -> u64 {
+        self.partition_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Median partition size in bytes (lower median for even counts).
+    pub fn p50_bytes(&self) -> u64 {
+        self.percentile_bytes(50)
+    }
+
+    /// 99th-percentile partition size in bytes.
+    pub fn p99_bytes(&self) -> u64 {
+        self.percentile_bytes(99)
+    }
+
+    /// `pct`-th percentile of partition bytes (nearest-rank over the sorted
+    /// sizes; 0 for an empty shuffle).
+    pub fn percentile_bytes(&self, pct: u64) -> u64 {
+        if self.partition_bytes.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.partition_bytes.clone();
+        sorted.sort_unstable();
+        let rank = (pct.min(100) as usize * sorted.len()).div_ceil(100);
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Skew ratio: largest partition over the mean partition size, in
+    /// thousandths (`1000` = perfectly balanced). 0 for an empty shuffle.
+    pub fn skew_ratio_milli(&self) -> u64 {
+        let total = self.total_bytes();
+        if total == 0 || self.partition_bytes.is_empty() {
+            return 0;
+        }
+        let mean = total as f64 / self.partition_bytes.len() as f64;
+        ((self.max_bytes() as f64 / mean) * 1000.0) as u64
+    }
+}
+
+/// A compact, copyable digest of one shuffle's [`MapOutputStats`]: what the
+/// engine keeps in its bounded map-output history for re-optimizers that run
+/// before the next stage's bags materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOutputSummary {
+    /// Operator that produced the shuffle.
+    pub operator: &'static str,
+    /// Number of reduce partitions.
+    pub partitions: u64,
+    /// Total records shuffled.
+    pub total_records: u64,
+    /// Total modeled bytes shuffled.
+    pub total_bytes: u64,
+    /// Median partition size in bytes.
+    pub p50_bytes: u64,
+    /// 99th-percentile partition size in bytes.
+    pub p99_bytes: u64,
+    /// Largest partition size in bytes.
+    pub max_bytes: u64,
+    /// Skew ratio (max/mean) in thousandths.
+    pub skew_ratio_milli: u64,
+}
+
+impl MapOutputSummary {
+    /// Summarize full per-partition stats.
+    pub fn of(stats: &MapOutputStats) -> Self {
+        MapOutputSummary {
+            operator: stats.operator,
+            partitions: stats.partitions() as u64,
+            total_records: stats.total_records(),
+            total_bytes: stats.total_bytes(),
+            p50_bytes: stats.p50_bytes(),
+            p99_bytes: stats.p99_bytes(),
+            max_bytes: stats.max_bytes(),
+            skew_ratio_milli: stats.skew_ratio_milli(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(records: &[u64]) -> MapOutputStats {
+        MapOutputStats::from_partition_records("test", records.to_vec(), 10.0)
+    }
+
+    #[test]
+    fn totals_and_max_are_exact() {
+        let s = stats(&[1, 2, 3, 10]);
+        assert_eq!(s.partitions(), 4);
+        assert_eq!(s.total_records(), 16);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.max_bytes(), 100);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = stats(&[1, 2, 3, 4]);
+        assert_eq!(s.p50_bytes(), 20);
+        assert_eq!(s.p99_bytes(), 40);
+        assert_eq!(s.percentile_bytes(100), 40);
+        assert_eq!(stats(&[]).p50_bytes(), 0);
+    }
+
+    #[test]
+    fn skew_ratio_is_max_over_mean() {
+        // mean = 4, max = 10 -> 2.5x -> 2500 milli.
+        assert_eq!(stats(&[1, 2, 3, 10]).skew_ratio_milli(), 2_500);
+        assert_eq!(stats(&[5, 5, 5, 5]).skew_ratio_milli(), 1_000, "balanced is 1.000x");
+        assert_eq!(stats(&[0, 0]).skew_ratio_milli(), 0, "empty shuffle has no skew");
+    }
+
+    #[test]
+    fn summary_matches_full_stats() {
+        let s = stats(&[1, 2, 3, 10]);
+        let d = MapOutputSummary::of(&s);
+        assert_eq!(d.partitions, 4);
+        assert_eq!(d.total_records, 16);
+        assert_eq!(d.total_bytes, 160);
+        assert_eq!(d.p50_bytes, 20);
+        assert_eq!(d.max_bytes, 100);
+        assert_eq!(d.skew_ratio_milli, 2_500);
+    }
+}

@@ -17,6 +17,9 @@ pub struct Stats {
     spill_bytes: AtomicU64,
     broadcast_bytes: AtomicU64,
     peak_memory_bytes: AtomicU64,
+    tasks_retried: AtomicU64,
+    peak_partition_bytes: AtomicU64,
+    peak_partition_skew_milli: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -40,6 +43,14 @@ pub struct StatsSnapshot {
     /// memory on the heaviest worker (a maximum, not an accumulating
     /// counter).
     pub peak_memory_bytes: u64,
+    /// Task attempts re-run after a simulated fault (`FaultConfig`).
+    pub tasks_retried: u64,
+    /// High-water mark of a single post-shuffle partition's bytes (a
+    /// maximum, like `peak_memory_bytes`).
+    pub peak_partition_bytes: u64,
+    /// High-water mark of the per-shuffle partition skew ratio
+    /// (max partition bytes over mean partition bytes), in thousandths.
+    pub peak_partition_skew_milli: u64,
 }
 
 impl StatsSnapshot {
@@ -58,6 +69,9 @@ impl StatsSnapshot {
             spill_bytes: self.spill_bytes - earlier.spill_bytes,
             broadcast_bytes: self.broadcast_bytes - earlier.broadcast_bytes,
             peak_memory_bytes: self.peak_memory_bytes,
+            tasks_retried: self.tasks_retried - earlier.tasks_retried,
+            peak_partition_bytes: self.peak_partition_bytes,
+            peak_partition_skew_milli: self.peak_partition_skew_milli,
         }
     }
 }
@@ -92,6 +106,16 @@ impl Stats {
     pub fn add_peak_memory(&self, n: u64) {
         self.peak_memory_bytes.fetch_max(n, Ordering::Relaxed);
     }
+    /// Count one re-run task attempt (a fault-injection retry).
+    pub fn add_task_retry(&self) {
+        self.tasks_retried.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Raise the partition-size and partition-skew high-water marks from one
+    /// shuffle's map-output summary.
+    pub fn add_partition_peaks(&self, max_bytes: u64, skew_milli: u64) {
+        self.peak_partition_bytes.fetch_max(max_bytes, Ordering::Relaxed);
+        self.peak_partition_skew_milli.fetch_max(skew_milli, Ordering::Relaxed);
+    }
 
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -104,6 +128,9 @@ impl Stats {
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
             peak_memory_bytes: self.peak_memory_bytes.load(Ordering::Relaxed),
+            tasks_retried: self.tasks_retried.load(Ordering::Relaxed),
+            peak_partition_bytes: self.peak_partition_bytes.load(Ordering::Relaxed),
+            peak_partition_skew_milli: self.peak_partition_skew_milli.load(Ordering::Relaxed),
         }
     }
 }
@@ -125,6 +152,9 @@ mod tests {
         s.add_broadcast_bytes(3);
         s.add_peak_memory(500);
         s.add_peak_memory(200);
+        s.add_task_retry();
+        s.add_partition_peaks(900, 1_500);
+        s.add_partition_peaks(600, 2_500);
         let snap = s.snapshot();
         assert_eq!(snap.jobs, 2);
         assert_eq!(snap.stages, 2);
@@ -134,6 +164,9 @@ mod tests {
         assert_eq!(snap.spill_bytes, 7);
         assert_eq!(snap.broadcast_bytes, 3);
         assert_eq!(snap.peak_memory_bytes, 500, "peak is a max, not a sum");
+        assert_eq!(snap.tasks_retried, 1);
+        assert_eq!(snap.peak_partition_bytes, 900, "partition peak is a max");
+        assert_eq!(snap.peak_partition_skew_milli, 2_500, "skew peak is a max");
     }
 
     #[test]

@@ -137,6 +137,39 @@ pub enum EngineEvent {
         /// Simulated time of the check.
         at: SimTime,
     },
+    /// A task attempt failed under the fault model and was re-run.
+    TaskRetry {
+        /// Stage whose task failed.
+        stage: u64,
+        /// Index of the failing task within the stage.
+        task: u64,
+        /// Attempt number that failed (1 = the first run failed once).
+        attempt: u32,
+        /// Simulated start time of the stage being retried.
+        at: SimTime,
+    },
+    /// Map-output partition-size distribution of one shuffle (per-wide-stage
+    /// histogram digest; see `MapOutputStats`).
+    PartitionStats {
+        /// Operator that shuffled.
+        operator: &'static str,
+        /// Number of reduce-side partitions.
+        partitions: u64,
+        /// Total records scattered.
+        records: u64,
+        /// Total modeled bytes scattered.
+        bytes: u64,
+        /// Median partition size in bytes.
+        p50_bytes: u64,
+        /// 99th-percentile partition size in bytes.
+        p99_bytes: u64,
+        /// Largest partition size in bytes.
+        max_bytes: u64,
+        /// Skew ratio (max/mean partition bytes) in thousandths.
+        skew_ratio_milli: u64,
+        /// Simulated time of the scatter.
+        at: SimTime,
+    },
 }
 
 /// One entry of the lowering-decision log: a physical choice the runtime
@@ -181,6 +214,12 @@ pub struct TraceSummary {
     pub collected_records: u64,
     /// Maximum [`EngineEvent::MemoryPeak`] seen.
     pub peak_memory_bytes: u64,
+    /// Task attempts re-run after simulated faults
+    /// ([`EngineEvent::TaskRetry`] count).
+    pub tasks_retried: u64,
+    /// Maximum single-partition bytes across all
+    /// [`EngineEvent::PartitionStats`] events.
+    pub peak_partition_bytes: u64,
 }
 
 impl TraceSummary {
@@ -210,6 +249,10 @@ impl TraceSummary {
                 EngineEvent::Collect { records, .. } => s.collected_records += records,
                 EngineEvent::MemoryPeak { peak_bytes, .. } => {
                     s.peak_memory_bytes = s.peak_memory_bytes.max(*peak_bytes)
+                }
+                EngineEvent::TaskRetry { .. } => s.tasks_retried += 1,
+                EngineEvent::PartitionStats { max_bytes, .. } => {
+                    s.peak_partition_bytes = s.peak_partition_bytes.max(*max_bytes)
                 }
             }
         }
@@ -380,6 +423,35 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
                     micros(*at)
                 );
             }
+            EngineEvent::TaskRetry { stage, task, attempt, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"task_retry\",\"stage\":{stage},\"task\":{task},\
+                     \"attempt\":{attempt},\"at_us\":{:.3}",
+                    micros(*at)
+                );
+            }
+            EngineEvent::PartitionStats {
+                operator,
+                partitions,
+                records,
+                bytes,
+                p50_bytes,
+                p99_bytes,
+                max_bytes,
+                skew_ratio_milli,
+                at,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"partition_stats\",\"operator\":\"{}\",\"partitions\":{partitions},\
+                     \"records\":{records},\"bytes\":{bytes},\"p50_bytes\":{p50_bytes},\
+                     \"p99_bytes\":{p99_bytes},\"max_bytes\":{max_bytes},\
+                     \"skew_ratio_milli\":{skew_ratio_milli},\"at_us\":{:.3}",
+                    esc(operator),
+                    micros(*at)
+                );
+            }
         }
         out.push('}');
         if i + 1 < events.len() {
@@ -541,6 +613,37 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                     esc(operator)
                 );
             }
+            EngineEvent::TaskRetry { stage, task, attempt, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"task retry: stage {stage} task {task}\",\"cat\":\"retry\",\
+                     \"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":{TID_STAGES},\"s\":\"t\",\
+                     \"args\":{{\"stage\":{stage},\"task\":{task},\"attempt\":{attempt}}}}},",
+                    micros(*at)
+                );
+            }
+            EngineEvent::PartitionStats {
+                operator,
+                partitions,
+                records,
+                bytes,
+                p50_bytes,
+                p99_bytes,
+                max_bytes,
+                skew_ratio_milli,
+                at,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"partitions: {}\",\"cat\":\"partition_stats\",\"ph\":\"i\",\
+                     \"ts\":{:.3},\"pid\":1,\"tid\":{TID_SHUFFLE},\"s\":\"t\",\
+                     \"args\":{{\"partitions\":{partitions},\"records\":{records},\
+                     \"bytes\":{bytes},\"p50_bytes\":{p50_bytes},\"p99_bytes\":{p99_bytes},\
+                     \"max_bytes\":{max_bytes},\"skew_ratio_milli\":{skew_ratio_milli}}}}},",
+                    esc(operator),
+                    micros(*at)
+                );
+            }
         }
     }
     for d in decisions {
@@ -615,6 +718,18 @@ mod tests {
             EngineEvent::Spill { operator: "group_by_key", bytes: 100, start: t(5), end: t(6) },
             EngineEvent::Collect { records: 5, bytes: 40, start: t(6), end: t(7) },
             EngineEvent::MemoryPeak { operator: "group_by_key", peak_bytes: 4096, at: t(6) },
+            EngineEvent::TaskRetry { stage: 1, task: 2, attempt: 1, at: t(3) },
+            EngineEvent::PartitionStats {
+                operator: "reduce_by_key",
+                partitions: 4,
+                records: 10,
+                bytes: 80,
+                p50_bytes: 16,
+                p99_bytes: 40,
+                max_bytes: 40,
+                skew_ratio_milli: 2_000,
+                at: t(3),
+            },
             EngineEvent::JobEnd { job: 0, at: t(7), ok: true },
         ]
     }
@@ -631,6 +746,8 @@ mod tests {
         assert_eq!(s.broadcast_bytes, 64);
         assert_eq!(s.collected_records, 5);
         assert_eq!(s.peak_memory_bytes, 4096);
+        assert_eq!(s.tasks_retried, 1);
+        assert_eq!(s.peak_partition_bytes, 40);
     }
 
     #[test]
@@ -668,6 +785,9 @@ mod tests {
             "\"tag_join\"",
             "\"broadcast\"",
             "\"stages\":2",
+            "\"task_retry\"",
+            "\"partition_stats\"",
+            "\"skew_ratio_milli\":2000",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -683,6 +803,8 @@ mod tests {
         assert!(chrome.contains("\"ph\":\"C\""), "needs the memory counter");
         assert!(chrome.contains("thread_name"));
         assert!(chrome.contains("job 0: count"));
+        assert!(chrome.contains("task retry: stage 1 task 2"), "retries must be visible");
+        assert!(chrome.contains("partitions: reduce_by_key"));
     }
 
     #[test]

@@ -100,6 +100,9 @@ fn golden_kmeans() -> Golden {
             spill_bytes: 0,
             broadcast_bytes: 0,
             peak_memory_bytes: 1_152,
+            tasks_retried: 0,
+            peak_partition_bytes: 256,
+            peak_partition_skew_milli: 4_000,
         },
     }
 }
@@ -116,6 +119,9 @@ fn golden_copartitioned_join_loop() -> Golden {
             spill_bytes: 0,
             broadcast_bytes: 0,
             peak_memory_bytes: 395_136,
+            tasks_retried: 0,
+            peak_partition_bytes: 4_368,
+            peak_partition_skew_milli: 1_092,
         },
     }
 }
@@ -132,6 +138,9 @@ fn golden_distinct() -> Golden {
             spill_bytes: 0,
             broadcast_bytes: 0,
             peak_memory_bytes: 122_832,
+            tasks_retried: 0,
+            peak_partition_bytes: 13_896,
+            peak_partition_skew_milli: 1_042,
         },
     }
 }
@@ -148,6 +157,9 @@ fn golden_shuffle_heavy() -> Golden {
             spill_bytes: 0,
             broadcast_bytes: 0,
             peak_memory_bytes: 138_384,
+            tasks_retried: 0,
+            peak_partition_bytes: 12_368,
+            peak_partition_skew_milli: 1_237,
         },
     }
 }

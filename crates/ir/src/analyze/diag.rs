@@ -74,6 +74,10 @@ pub mod codes {
     pub const UNUSED_BINDING: &str = "MAT090";
     /// A binding shadows an enclosing binding of the same name (warning).
     pub const SHADOWED_BINDING: &str = "MAT091";
+    /// An adaptive-execution configuration with nonsensical thresholds
+    /// (warning): the plan still runs, but the re-optimizer is inert or
+    /// over-eager. Emitted by `matryoshka-check --adaptive-config`.
+    pub const ADAPTIVE_CONFIG: &str = "MAT092";
 
     /// The full code table: `(code, severity-is-error, summary)`. Kept in
     /// one place so the docs (`docs/ANALYSIS.md`) and the golden tests can
@@ -95,6 +99,7 @@ pub mod codes {
         (PROJ_OUT_OF_BOUNDS, true, "tuple projection index out of bounds"),
         (UNUSED_BINDING, false, "unused let binding"),
         (SHADOWED_BINDING, false, "binding shadows an enclosing binding"),
+        (ADAPTIVE_CONFIG, false, "nonsensical adaptive-execution configuration"),
     ];
 }
 

@@ -24,6 +24,16 @@ echo "== static analyzer over shipped IR programs (matryoshka-check)"
 # pre-lowering analyzer with no error-severity MAT0xx diagnostics.
 cargo run -q --bin matryoshka-check -- --builtin examples/programs/*.mat
 
+echo "== adaptive-config validation (matryoshka-check --adaptive-config)"
+# The enabled defaults must validate cleanly; a nonsensical config must emit
+# MAT092 warnings (still exit 0: warnings never gate).
+cargo run -q --bin matryoshka-check -- --adaptive-config default
+cargo run -q --bin matryoshka-check -- --adaptive-config \
+  'salt_factor=1,target_partition_bytes=0' 2>&1 | grep -q 'MAT092' || {
+  echo "expected MAT092 warnings for a nonsensical adaptive config" >&2
+  exit 1
+}
+
 echo "== sanitizers (best effort: miri, then TSan, else skip)"
 # The container has no network, so missing toolchain components (miri,
 # rust-src for -Zbuild-std) cannot be installed on the fly; skip cleanly.
@@ -45,5 +55,13 @@ grep -q '"median_ms"' "$BENCH_SMOKE_OUT" || {
   exit 1
 }
 rm -f "$BENCH_SMOKE_OUT"
+
+echo "== fig7 skew bench smoke (adaptive sweep) + BENCH_skew.json parse check"
+SKEW_SMOKE_OUT="$(mktemp)"
+BENCH_SKEW_OUT="$SKEW_SMOKE_OUT" cargo run -q --release -p matryoshka-bench --bin fig7_skew -- --smoke
+cargo run -q --release -p matryoshka-bench --bin fig7_skew -- --validate "$SKEW_SMOKE_OUT"
+rm -f "$SKEW_SMOKE_OUT"
+# The committed artifact must stay parseable and keep both series.
+cargo run -q --release -p matryoshka-bench --bin fig7_skew -- --validate BENCH_skew.json
 
 echo "CI gate passed."

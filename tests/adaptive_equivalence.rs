@@ -1,0 +1,312 @@
+//! Adaptive execution must be semantically invisible: for every paper
+//! workload, under uniform and Zipf-skewed inputs, the feedback-driven
+//! re-optimizer (`docs/ADAPTIVE.md`) computes the same answers as the fully
+//! static plan — only the physical plan (partition counts, join algorithms,
+//! salting) may differ. Inputs are drawn from seeded SplitMix64 streams so
+//! failures are reproducible.
+//!
+//! Two golden fixtures additionally pin the re-optimizer's *behavior* on a
+//! skewed input: the exact sequence of adaptive decisions plus the simulated
+//! runtime, and a case where reduce-side skew salting actually fires. Any
+//! change to the decision rules shows up as a conscious diff here.
+
+use matryoshka::core::{AdaptiveConfig, MatryoshkaConfig};
+use matryoshka::datagen::*;
+use matryoshka::engine::{ClusterConfig, Engine};
+use matryoshka::tasks::seq::{KmeansParams, PageRankParams};
+use matryoshka::tasks::{avg_distances, bounce_rate, kmeans, pagerank};
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::local_test())
+}
+
+/// Deterministic 64-bit generator (SplitMix64), as in the engine's property
+/// tests.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+const SEEDS: u64 = 6;
+
+const DISTS: [KeyDist; 2] = [KeyDist::Uniform, KeyDist::Zipf(1.2)];
+
+#[test]
+fn bounce_rate_adaptive_equals_static_under_uniform_and_zipf() {
+    for seed in 0..SEEDS {
+        for dist in DISTS {
+            let mut g = Gen::new(seed);
+            let visits = 2_000 + g.below(6_000);
+            let groups = 8 + g.below(40) as u32;
+            let log = visit_log(&VisitSpec {
+                visits,
+                groups,
+                visitors_per_group: (visits / groups as u64 / 3).max(4),
+                bounce_fraction: 0.3,
+                key_dist: dist,
+                seed: 100 + seed,
+            });
+            let run = |cfg: MatryoshkaConfig| {
+                let e = engine();
+                let b = e.parallelize(log.clone(), 8);
+                bounce_rate::matryoshka(&e, &b, cfg).unwrap()
+            };
+            let stat = run(MatryoshkaConfig::optimized());
+            let adap = run(MatryoshkaConfig::adaptive());
+            // Bounce rates are ratios of exact integer counts: any plan
+            // difference that changed a count would change the bits.
+            assert_eq!(stat, adap, "seed {seed} {dist:?}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_adaptive_equals_static_under_uniform_and_zipf() {
+    // A tiny epsilon pins the iteration count, so static and adaptive runs
+    // perform the same number of lifted iterations and can only differ by
+    // floating-point reassociation from different partitionings.
+    let params = PageRankParams { damping: 0.85, epsilon: 1e-12, max_iterations: 8 };
+    for seed in 0..SEEDS {
+        for dist in DISTS {
+            let mut g = Gen::new(seed ^ 0x51);
+            let groups = 4 + g.below(28) as u32;
+            let edges = grouped_edges(&GroupedGraphSpec {
+                total_edges: 2_000 + g.below(4_000),
+                groups,
+                vertices_per_group: 4 + g.below(8) as u32,
+                key_dist: dist,
+                seed: 200 + seed,
+            });
+            let run = |cfg: MatryoshkaConfig| {
+                let e = engine();
+                let b = e.parallelize(edges.clone(), 6);
+                pagerank::matryoshka(&e, &b, &params, cfg, 0.0).unwrap()
+            };
+            let stat = run(MatryoshkaConfig::optimized());
+            let adap = run(MatryoshkaConfig::adaptive());
+            assert_eq!(stat.len(), adap.len(), "seed {seed} {dist:?}");
+            for ((g1, (v1, r1)), (g2, (v2, r2))) in stat.iter().zip(&adap) {
+                assert_eq!((g1, v1), (g2, v2), "seed {seed} {dist:?}");
+                assert!(
+                    (r1 - r2).abs() < 1e-6,
+                    "seed {seed} {dist:?} group {g1} vertex {v1}: {r1} vs {r2}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kmeans_adaptive_equals_static_for_both_variants() {
+    let params = KmeansParams::default();
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xC3);
+        let k = 3 + g.below(3) as usize;
+        let spec = KmeansSpec {
+            points: 600 + g.below(900),
+            dim: 2 + g.below(2) as usize,
+            true_clusters: k,
+            k,
+            spread: 0.04,
+            seed: 300 + seed,
+        };
+        let points = point_cloud(&spec);
+        let configs = initial_centroid_configs(&spec, 3);
+
+        // Shared-points variant.
+        let run = |cfg: MatryoshkaConfig| {
+            let e = engine();
+            let cb = e.parallelize(configs.clone(), 2);
+            let pb = e.parallelize(points.clone(), 5);
+            kmeans::matryoshka(&e, &cb, &pb, &params, cfg).unwrap()
+        };
+        let stat = run(MatryoshkaConfig::optimized());
+        let adap = run(MatryoshkaConfig::adaptive());
+        for ((i1, (_, c1)), (i2, (_, c2))) in stat.iter().zip(&adap) {
+            assert_eq!(i1, i2, "seed {seed}");
+            assert!((c1 - c2).abs() / c1.max(1e-9) < 1e-6, "seed {seed}: {c1} vs {c2}");
+        }
+
+        // Grouped-samples variant with a skewed group assignment (three
+        // quarters of the samples land in group 0).
+        let samples: Vec<(u32, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (if i % 4 == 0 { (i % 24 / 4) as u32 } else { 0 }, p.clone()))
+            .collect();
+        let run_g = |cfg: MatryoshkaConfig| {
+            let e = engine();
+            let cb = e.parallelize(configs.clone(), 2);
+            let sb = e.parallelize(samples.clone(), 5);
+            kmeans::matryoshka_grouped(&e, &cb, &sb, &params, cfg).unwrap()
+        };
+        let stat_g = run_g(MatryoshkaConfig::optimized());
+        let adap_g = run_g(MatryoshkaConfig::adaptive());
+        for ((i1, (_, c1)), (i2, (_, c2))) in stat_g.iter().zip(&adap_g) {
+            assert_eq!(i1, i2, "seed {seed} (grouped)");
+            assert!((c1 - c2).abs() / c1.max(1e-9) < 1e-6, "seed {seed} (grouped): {c1} vs {c2}");
+        }
+    }
+}
+
+#[test]
+fn avg_distances_adaptive_equals_static() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::new(seed ^ 0xE7);
+        let graph = component_graph(&ComponentGraphSpec {
+            components: 3 + g.below(5) as u32,
+            vertices_per_component: 8 + g.below(10) as u32,
+            extra_edges_per_component: 4 + g.below(8) as u32,
+            seed: 400 + seed,
+        });
+        let run = |cfg: MatryoshkaConfig| {
+            let e = engine();
+            let b = e.parallelize(graph.clone(), 6);
+            avg_distances::matryoshka(&e, &b, cfg, 64).unwrap()
+        };
+        let stat = run(MatryoshkaConfig::optimized());
+        let adap = run(MatryoshkaConfig::adaptive());
+        assert_eq!(stat.len(), adap.len(), "seed {seed}");
+        for ((c1, d1), (c2, d2)) in stat.iter().zip(&adap) {
+            assert_eq!(c1, c2, "seed {seed}");
+            assert!((d1 - d2).abs() < 1e-9, "seed {seed} component {c1}: {d1} vs {d2}");
+        }
+    }
+}
+
+/// The Fig. 7 setting at test scale: Zipf-1.5 group sizes, ~2.5 MB edge
+/// records (20 GB total) and 8 MiB per-topic scalars, so the per-tag scalar
+/// relation (64 x 8 MiB = 512 MiB) is over the paper cluster's broadcast
+/// cap and the static plan would repartition-join the hot tag onto one task.
+fn skewed_fixture() -> (Vec<(u32, (u64, u64))>, f64, f64, PageRankParams) {
+    let edges = grouped_edges(&GroupedGraphSpec {
+        total_edges: 8_192,
+        groups: 64,
+        vertices_per_group: 12,
+        key_dist: KeyDist::Zipf(1.5),
+        seed: 7,
+    });
+    let record_bytes = 20.0 * (1u64 << 30) as f64 / 8_192.0;
+    let scalar_bytes = (8 << 20) as f64;
+    let params = PageRankParams { damping: 0.85, epsilon: 1e-12, max_iterations: 4 };
+    (edges, record_bytes, scalar_bytes, params)
+}
+
+/// Golden fixture: the exact adaptive decision sequence and the simulated
+/// runtime on the skewed input are pinned. A change here means the
+/// re-optimizer behaves differently — update the expectations deliberately
+/// and record why in the commit.
+#[test]
+fn golden_adaptive_decision_sequence_and_sim_time_on_skewed_input() {
+    let (edges, record_bytes, scalar_bytes, params) = skewed_fixture();
+
+    let e = Engine::new(ClusterConfig::paper_small_cluster());
+    let bag = e.parallelize_with_bytes(edges.clone(), 96, record_bytes);
+    let adap = pagerank::matryoshka(&e, &bag, &params, MatryoshkaConfig::adaptive(), scalar_bytes)
+        .unwrap();
+
+    // The answer still matches the static plan.
+    let e2 = Engine::new(ClusterConfig::paper_small_cluster());
+    let bag2 = e2.parallelize_with_bytes(edges, 96, record_bytes);
+    let stat =
+        pagerank::matryoshka(&e2, &bag2, &params, MatryoshkaConfig::optimized(), scalar_bytes)
+            .unwrap();
+    assert_eq!(stat.len(), adap.len());
+    for ((g1, (v1, r1)), (g2, (v2, r2))) in stat.iter().zip(&adap) {
+        assert_eq!((g1, v1), (g2, v2));
+        assert!((r1 - r2).abs() < 1e-6, "group {g1} vertex {v1}: {r1} vs {r2}");
+    }
+
+    let seq: Vec<(String, String)> = e
+        .decisions()
+        .iter()
+        .filter(|d| d.site.starts_with("adaptive_"))
+        .map(|d| (d.site.to_string(), d.choice.clone()))
+        .collect();
+    let join = ("adaptive_tag_join", "repartition");
+    let keep = ("adaptive_skew_salt", "keep");
+    let coalesce = ("adaptive_coalesce", "400");
+    let mut expect: Vec<(&str, &str)> = Vec::new();
+    // Setup: degree computation's tag join, then coalescing the grouping
+    // and co-partitioning shuffles (1200 partitions observed down to 400),
+    // and the initial-ranks joins — each fat scalar repartitions (512 MiB
+    // is over the broadcast cap) and each salting check declines ("keep":
+    // replicating the 8 MiB-record scalar side would outweigh the hot
+    // partition).
+    expect.push(join);
+    expect.extend([coalesce, coalesce, coalesce]);
+    expect.extend([join, join, join]);
+    expect.extend([keep, join, keep]);
+    // Remaining lifted iterations (the first one's joins are part of the
+    // setup block above): one coalesced reduce_by_key, then four tag joins
+    // (contributions, dangling mass, rank update, convergence check), each
+    // re-decided from observed sizes and each declining to salt.
+    for _ in 0..3 {
+        expect.push(coalesce);
+        for _ in 0..4 {
+            expect.extend([join, keep]);
+        }
+    }
+    assert_eq!(
+        seq,
+        expect.iter().map(|(s, c)| (s.to_string(), c.to_string())).collect::<Vec<_>>(),
+        "adaptive decision sequence changed"
+    );
+
+    assert_eq!(e.sim_time().as_nanos(), 243_119_284_236, "adaptive simulated runtime changed");
+}
+
+/// Reduce-side skew salting actually firing: with the byte and skew gates
+/// lowered to test scale (a cluster operator tuning `target_partition_bytes`
+/// for a small cluster would do the same), the Zipf hot group's post-combine
+/// partials trip the salting rule — the decision log shows `salt x8` — and
+/// the salted aggregation still computes the static plan's answer.
+#[test]
+fn adaptive_salting_fires_on_hot_reduce_partitions_and_preserves_results() {
+    let (edges, record_bytes, scalar_bytes, params) = skewed_fixture();
+    let adaptive = AdaptiveConfig {
+        target_partition_bytes: 64 * 1024,
+        skew_threshold_milli: 1_500,
+        ..AdaptiveConfig::enabled()
+    };
+    let cfg = MatryoshkaConfig { adaptive, ..MatryoshkaConfig::optimized() };
+
+    let e = Engine::new(ClusterConfig::paper_small_cluster());
+    let bag = e.parallelize_with_bytes(edges.clone(), 96, record_bytes);
+    let adap = pagerank::matryoshka(&e, &bag, &params, cfg, scalar_bytes).unwrap();
+
+    let salts: Vec<String> = e
+        .decisions()
+        .iter()
+        .filter(|d| d.site == "adaptive_skew_salt")
+        .map(|d| d.choice.clone())
+        .collect();
+    assert!(
+        salts.iter().any(|c| c == "salt x8"),
+        "expected reduce-side salting to fire on the hot partition; got {salts:?}"
+    );
+
+    let e2 = Engine::new(ClusterConfig::paper_small_cluster());
+    let bag2 = e2.parallelize_with_bytes(edges, 96, record_bytes);
+    let stat =
+        pagerank::matryoshka(&e2, &bag2, &params, MatryoshkaConfig::optimized(), scalar_bytes)
+            .unwrap();
+    assert_eq!(stat.len(), adap.len());
+    for ((g1, (v1, r1)), (g2, (v2, r2))) in stat.iter().zip(&adap) {
+        assert_eq!((g1, v1), (g2, v2));
+        assert!((r1 - r2).abs() < 1e-6, "group {g1} vertex {v1}: {r1} vs {r2}");
+    }
+}

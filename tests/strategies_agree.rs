@@ -207,7 +207,7 @@ fn forced_optimizer_choices_never_change_results() {
         for cross in
             [CrossChoice::Auto, CrossChoice::ForceBroadcastScalar, CrossChoice::ForceBroadcastBag]
         {
-            let cfg = MatryoshkaConfig { tag_join: join, cross, partition_tuning: true };
+            let cfg = MatryoshkaConfig { tag_join: join, cross, ..MatryoshkaConfig::optimized() };
             let e = engine();
             let cb = e.parallelize(configs.clone(), 1);
             let pb = e.parallelize(points.clone(), 4);
