@@ -20,7 +20,8 @@ pub fn rows_to_json(rows: &[Row]) -> String {
         };
         out.push_str(&format!(
             "  {{\"figure\": {}, \"series\": {}, \"x\": {}, \"outcome\": \"{outcome}\", \
-             \"seconds\": {:.3}, \"jobs\": {}, \"shuffle_bytes\": {}, \"spill_bytes\": {}}}{}\n",
+             \"seconds\": {:.3}, \"jobs\": {}, \"shuffle_bytes\": {}, \"spill_bytes\": {}, \
+             \"partitions_lost\": {}, \"recompute_ms\": {:.3}, \"checkpoint_bytes\": {}}}{}\n",
             quote(&r.figure),
             quote(&r.series),
             r.x,
@@ -28,6 +29,9 @@ pub fn rows_to_json(rows: &[Row]) -> String {
             r.m.stats.jobs,
             r.m.stats.shuffle_bytes,
             r.m.stats.spill_bytes,
+            r.m.stats.partitions_lost,
+            r.m.stats.recompute_nanos as f64 / 1e6,
+            r.m.stats.checkpoint_bytes,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -310,6 +314,65 @@ pub fn validate_bench_rows(src: &str) -> Result<usize, String> {
     Ok(rows.len())
 }
 
+/// Validate a `BENCH_recovery.json` document (see `figures::recovery`): a
+/// non-empty array of row objects with `figure`/`series` strings, a numeric
+/// `seconds`, and numeric `partitions_lost`/`recompute_ms`/`checkpoint_bytes`
+/// recovery counters — including the fault-free `loss-0` baseline series, at
+/// least one lossy series, and at least one row that actually lost
+/// partitions (otherwise the sweep measured nothing). Returns the row count.
+pub fn validate_recovery_rows(src: &str) -> Result<usize, String> {
+    let doc = parse(src)?;
+    let rows = match &doc {
+        Json::Arr(rows) if !rows.is_empty() => rows,
+        Json::Arr(_) => return Err("empty benchmark array".into()),
+        _ => return Err("top level is not a JSON array".into()),
+    };
+    let mut has_baseline = false;
+    let mut has_lossy = false;
+    let mut any_lost = false;
+    for (i, row) in rows.iter().enumerate() {
+        let series = row
+            .get("series")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"series\""))?;
+        row.get("figure")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"figure\""))?;
+        let secs = row
+            .get("seconds")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("row {i}: missing numeric \"seconds\""))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("row {i}: bad seconds {secs}"));
+        }
+        for key in ["partitions_lost", "recompute_ms", "checkpoint_bytes"] {
+            row.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("row {i}: missing numeric \"{key}\""))?;
+        }
+        let lost = row.get("partitions_lost").and_then(Json::as_num).unwrap_or(0.0);
+        if series == "loss-0" {
+            has_baseline = true;
+            if lost > 0.0 {
+                return Err(format!("row {i}: loss-0 baseline lost {lost} partitions"));
+            }
+        } else if series.starts_with("loss-") {
+            has_lossy = true;
+            any_lost |= lost > 0.0;
+        }
+    }
+    if !has_baseline {
+        return Err("missing the loss-0 baseline series".into());
+    }
+    if !has_lossy {
+        return Err("missing a lossy series (loss-<permille> with permille > 0)".into());
+    }
+    if !any_lost {
+        return Err("no row lost any partitions; the sweep measured nothing".into());
+    }
+    Ok(rows.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +414,37 @@ mod tests {
             {"figure": "f", "series": "matryoshka-adaptive", "seconds": 0.5}
         ]"#;
         assert_eq!(validate_bench_rows(both).unwrap(), 2);
+    }
+
+    #[test]
+    fn recovery_validator_checks_series_and_counters() {
+        let lossy_row = |series: &str, lost: u64| {
+            let stats = StatsSnapshot {
+                partitions_lost: lost,
+                recompute_nanos: lost * 1_000_000,
+                ..Default::default()
+            };
+            Row {
+                figure: "recovery/loss-x-checkpoint".into(),
+                series: series.into(),
+                x: 0,
+                m: Measurement { outcome: Outcome::Ok, seconds: 1.0, stats },
+            }
+        };
+        let good = rows_to_json(&[lossy_row("loss-0", 0), lossy_row("loss-30", 4)]);
+        assert_eq!(validate_recovery_rows(&good).unwrap(), 2);
+        // A skew artifact is not a recovery artifact: right shape, wrong series.
+        let skew = rows_to_json(&[lossy_row("matryoshka", 0), lossy_row("matryoshka-adaptive", 0)]);
+        assert!(validate_recovery_rows(&skew).is_err(), "missing loss series must fail");
+        let no_losses = rows_to_json(&[lossy_row("loss-0", 0), lossy_row("loss-30", 0)]);
+        assert!(validate_recovery_rows(&no_losses).is_err(), "a sweep with no losses must fail");
+        let lossy_baseline = rows_to_json(&[lossy_row("loss-0", 2), lossy_row("loss-30", 4)]);
+        assert!(validate_recovery_rows(&lossy_baseline).is_err(), "lossy baseline must fail");
+        assert!(
+            validate_recovery_rows(r#"[{"figure": "f", "series": "loss-0", "seconds": 1.0}]"#)
+                .is_err(),
+            "recovery counters must be present"
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub trait LiftedData<T: Key>: Clone {
     /// The same data under a different context (used to restore the full
     /// context on loop exit).
     fn with_ctx(&self, ctx: &LiftingContext<T>) -> Self;
+    /// Checkpoint the underlying flat representation to simulated replicated
+    /// storage ([`Bag::checkpoint`](matryoshka_engine::Bag::checkpoint)),
+    /// truncating lineage for the machine-loss fault model. Records and
+    /// partitioning are unchanged.
+    fn checkpoint(&self) -> Self;
 }
 
 impl<T: Key, S: Data> LiftedData<T> for InnerScalar<T, S> {
@@ -61,6 +66,10 @@ impl<T: Key, S: Data> LiftedData<T> for InnerScalar<T, S> {
 
     fn with_ctx(&self, ctx: &LiftingContext<T>) -> Self {
         InnerScalar::from_repr(self.repr().clone(), ctx.clone())
+    }
+
+    fn checkpoint(&self) -> Self {
+        InnerScalar::from_repr(self.repr().checkpoint(), self.ctx().clone())
     }
 }
 
@@ -90,6 +99,10 @@ impl<T: Key, E: Data> LiftedData<T> for InnerBag<T, E> {
     fn with_ctx(&self, ctx: &LiftingContext<T>) -> Self {
         self.with_ctx(ctx.clone())
     }
+
+    fn checkpoint(&self) -> Self {
+        InnerBag::from_repr(self.repr().checkpoint(), InnerBag::ctx(self).clone())
+    }
 }
 
 impl<T: Key, A: LiftedData<T>, B: LiftedData<T>> LiftedData<T> for (A, B) {
@@ -109,6 +122,9 @@ impl<T: Key, A: LiftedData<T>, B: LiftedData<T>> LiftedData<T> for (A, B) {
     }
     fn with_ctx(&self, ctx: &LiftingContext<T>) -> Self {
         (self.0.with_ctx(ctx), self.1.with_ctx(ctx))
+    }
+    fn checkpoint(&self) -> Self {
+        (self.0.checkpoint(), self.1.checkpoint())
     }
 }
 
@@ -134,6 +150,9 @@ impl<T: Key, A: LiftedData<T>, B: LiftedData<T>, C: LiftedData<T>> LiftedData<T>
     fn with_ctx(&self, ctx: &LiftingContext<T>) -> Self {
         (self.0.with_ctx(ctx), self.1.with_ctx(ctx), self.2.with_ctx(ctx))
     }
+    fn checkpoint(&self) -> Self {
+        (self.0.checkpoint(), self.1.checkpoint(), self.2.checkpoint())
+    }
 }
 
 /// A lifted do-while loop (paper Listing 4).
@@ -151,6 +170,12 @@ impl<T: Key, A: LiftedData<T>, B: LiftedData<T>, C: LiftedData<T>> LiftedData<T>
 /// `max_iterations`, when given, force-finishes all remaining tags after
 /// that many iterations (a safety net the paper's programs express as part
 /// of their exit conditions).
+///
+/// When [`MatryoshkaConfig::checkpoint_interval`](crate::MatryoshkaConfig)
+/// is non-zero, the surviving loop state is checkpointed every that many
+/// iterations ([`Bag::checkpoint`](matryoshka_engine::Bag::checkpoint)),
+/// bounding how much lineage a simulated machine loss has to replay at the
+/// price of a modeled checkpoint write (see `docs/FAULTS.md`).
 pub fn lifted_while<T: Key, S: LiftedData<T>>(
     init: &S,
     body: impl Fn(&S) -> Result<(S, InnerScalar<T, bool>)>,
@@ -194,6 +219,17 @@ pub fn lifted_while<T: Key, S: LiftedData<T>>(
             }
         }
         body_in = body_out.filter_by_cond(&cond, true, &cont_ctx);
+        let interval = full_ctx.config().checkpoint_interval;
+        if interval > 0 && iterations.is_multiple_of(interval) {
+            full_ctx.engine().record_decision(
+                "checkpoint",
+                "lifted_while",
+                n_cont,
+                0,
+                format!("iteration {iterations}: checkpoint loop state, {n_cont} live tags"),
+            );
+            body_in = body_in.checkpoint();
+        }
     }
     Ok(result.expect("do-while body runs at least once").with_ctx(&full_ctx))
 }
@@ -320,6 +356,42 @@ mod tests {
         .unwrap();
         // Tag 0 iterates twice (acc 20), tag 1 once (acc 10).
         assert_eq!(sorted(out.1.collect().unwrap()), vec![(0, 20), (1, 10)]);
+    }
+
+    #[test]
+    fn periodic_checkpointing_preserves_results_and_writes_bytes() {
+        let run = |interval: usize| {
+            let e = Engine::local();
+            let mut cfg = MatryoshkaConfig::optimized();
+            cfg.checkpoint_interval = interval;
+            let tags: Vec<u64> = (0..4).collect();
+            let n = tags.len() as u64;
+            let c = LiftingContext::new(e.clone(), e.parallelize(tags, 2), n, cfg);
+            let init = InnerScalar::from_repr(
+                e.parallelize(vec![(0u64, 6i64), (1, 5), (2, 4), (3, 1)], 2),
+                c,
+            );
+            let out = lifted_while(
+                &init,
+                |s: &InnerScalar<u64, i64>| {
+                    let next = s.map(|x| x - 1);
+                    let cond = next.map(|x| *x > 0);
+                    Ok((next, cond))
+                },
+                None,
+            )
+            .unwrap();
+            (sorted(out.collect().unwrap()), e.stats(), e.decisions())
+        };
+        let (plain, plain_stats, _) = run(0);
+        let (ckpt, ckpt_stats, decisions) = run(2);
+        assert_eq!(plain, ckpt, "checkpointing must not change loop results");
+        assert_eq!(plain_stats.checkpoint_bytes, 0);
+        assert!(ckpt_stats.checkpoint_bytes > 0, "interval=2 must write checkpoints");
+        assert!(
+            decisions.iter().any(|d| d.site == "checkpoint"),
+            "checkpoints must be visible in the decision log"
+        );
     }
 
     #[test]

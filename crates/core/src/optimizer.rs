@@ -56,6 +56,12 @@ pub struct MatryoshkaConfig {
     /// (see [`crate::adaptive`]). Off by default: static plans, decision
     /// logs, and simulated times are unchanged.
     pub adaptive: AdaptiveConfig,
+    /// Checkpoint the loop state of [`lifted_while`](crate::lifted_while)
+    /// every this many iterations, truncating lineage for the engine's
+    /// machine-loss fault model (see `docs/FAULTS.md`). `0` (the default)
+    /// disables periodic checkpointing: plans, decision logs, and simulated
+    /// times are unchanged.
+    pub checkpoint_interval: usize,
 }
 
 impl MatryoshkaConfig {
@@ -66,6 +72,7 @@ impl MatryoshkaConfig {
             cross: CrossChoice::Auto,
             partition_tuning: true,
             adaptive: AdaptiveConfig::default(),
+            checkpoint_interval: 0,
         }
     }
 

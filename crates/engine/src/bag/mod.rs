@@ -212,6 +212,36 @@ impl<T: Data> Bag<T> {
         )
     }
 
+    /// Checkpoint this bag to simulated replicated storage, truncating
+    /// lineage for the machine-loss fault model (see `docs/FAULTS.md`).
+    ///
+    /// The records are untouched (zero-copy: partitions are shared with the
+    /// parent) and the partitioning is preserved, but on first evaluation the
+    /// engine charges writing the bag's modeled bytes to checkpoint storage
+    /// and clears the recovery ledger — a machine lost after this point only
+    /// replays lineage built *after* the checkpoint. With faults disabled the
+    /// write cost is still charged (like Spark's `checkpoint()`), so only add
+    /// checkpoints when the fault model is in play or the overhead is the
+    /// thing being measured.
+    pub fn checkpoint(&self) -> Bag<T> {
+        let parent = self.clone();
+        let engine = self.engine().clone();
+        let bytes = self.record_bytes();
+        Bag::new_with_partitioning(
+            self.engine().clone(),
+            "checkpoint",
+            bytes,
+            self.num_partitions(),
+            self.partitioning(),
+            move || {
+                let parts = parent.eval()?;
+                let records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+                engine.charge_checkpoint("checkpoint", (records as f64 * bytes) as u64);
+                Ok(parts)
+            },
+        )
+    }
+
     /// Default modeled record size for `T`.
     pub(crate) fn default_record_bytes() -> f64 {
         (std::mem::size_of::<T>() as f64).max(8.0)

@@ -78,8 +78,10 @@ impl Default for CostModel {
 
 /// Fault-injection model: simulated task failures with retries (Spark
 /// retries a failed task up to `spark.task.maxFailures` times before failing
-/// the job). Failures are deterministic per (seed, stage, task, attempt),
-/// so experiments are reproducible.
+/// the job) and simulated whole-machine losses recovered by lineage replay
+/// (see `docs/FAULTS.md`). Failures are deterministic per
+/// (seed, stage, task, attempt) — and machine losses per
+/// (seed, stage, machine, attempt) — so experiments are reproducible.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
     /// Probability that any given task attempt fails.
@@ -88,11 +90,26 @@ pub struct FaultConfig {
     pub max_attempts: u32,
     /// Determinism seed.
     pub seed: u64,
+    /// Probability that any given machine is lost at any given stage
+    /// boundary. A lost machine invalidates the materialized partitions
+    /// placed on it; the engine replays their lineage on the surviving
+    /// cluster, charging the recomputation to the simulated clock.
+    pub machine_loss_rate: f64,
+    /// Consecutive losses of the same machine tolerated at one stage
+    /// boundary before the job fails with
+    /// [`EngineError::RecoveryFailed`](crate::EngineError::RecoveryFailed).
+    pub max_recovery_attempts: u32,
 }
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { task_failure_rate: 0.0, max_attempts: 4, seed: 0 }
+        FaultConfig {
+            task_failure_rate: 0.0,
+            max_attempts: 4,
+            seed: 0,
+            machine_loss_rate: 0.0,
+            max_recovery_attempts: 3,
+        }
     }
 }
 

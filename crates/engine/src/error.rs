@@ -32,6 +32,18 @@ pub enum EngineError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// Lineage recovery exhausted its budget: the same machine was lost
+    /// `attempts` consecutive times at one stage boundary
+    /// (`FaultConfig::max_recovery_attempts`), so the job fails instead of
+    /// replaying lineage forever.
+    RecoveryFailed {
+        /// Stage boundary at which recovery kept failing.
+        stage: u64,
+        /// Machine that kept being lost.
+        machine: u64,
+        /// Consecutive losses before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -47,6 +59,11 @@ impl fmt::Display for EngineError {
             EngineError::TaskFailed { stage, attempts } => {
                 write!(f, "simulated task failure in stage {stage} after {attempts} attempts")
             }
+            EngineError::RecoveryFailed { stage, machine, attempts } => write!(
+                f,
+                "lineage recovery failed at stage {stage}: machine {machine} lost \
+                 {attempts} consecutive times"
+            ),
         }
     }
 }

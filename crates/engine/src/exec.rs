@@ -13,7 +13,7 @@
 //! operator it was charged for.
 
 use crate::error::{EngineError, Result};
-use crate::partitioner::stable_hash;
+use crate::partitioner::{partition_for, stable_hash};
 use crate::sim::{check_stage_memory, lpt_makespan, SimTime};
 use crate::trace::EngineEvent;
 use crate::Engine;
@@ -129,7 +129,105 @@ impl Engine {
             end: self.sim_time(),
             busy: effective.iter().copied().sum(),
         });
+        // Machine-loss model (docs/FAULTS.md): only stage-starting charges
+        // reach this, and only when enabled — default runs take no lock and
+        // stay bit-identical.
+        if task_overhead && faults.machine_loss_rate > 0.0 {
+            self.machine_loss_boundary(stage_id, effective)?;
+        }
         Ok(())
+    }
+
+    /// Simulate whole-machine losses at a stage boundary. The just-executed
+    /// stage's output partitions are placed on machines with the same stable
+    /// placement the partitioner uses; each machine is then lost with
+    /// probability `machine_loss_rate`, deterministically per
+    /// (seed, stage, machine, attempt). A loss invalidates every materialized
+    /// partition resident on that machine since the last checkpoint, and the
+    /// engine charges replaying their lineage on the surviving machines.
+    /// `max_recovery_attempts` consecutive losses of one machine fail the job
+    /// with [`EngineError::RecoveryFailed`].
+    fn machine_loss_boundary(&self, stage: u64, task_costs: &[SimTime]) -> Result<()> {
+        let machines = self.config().machines.max(1);
+        let faults = &self.config().faults;
+        let threshold = (faults.machine_loss_rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        let c = &self.config().costs;
+        let surviving_cores =
+            (self.config().total_cores() - self.config().cores_per_machine).max(1) as u64;
+        let mut ledger = self.core.recovery.lock().expect("recovery lock poisoned");
+        ledger.ensure_machines(machines);
+        // Record this stage's outputs into the lineage ledger: partition i of
+        // the stage lives on the machine the stable placement assigns it.
+        for (i, cost) in task_costs.iter().enumerate() {
+            let m = partition_for(&(i as u64), machines);
+            ledger.cost[m] += *cost;
+            ledger.partitions[m] += 1;
+        }
+        for m in 0..machines {
+            let mut attempt = 0u32;
+            while stable_hash(&("machine_loss", faults.seed, stage, m as u64, attempt)) <= threshold
+            {
+                attempt += 1;
+                let lost_parts = ledger.partitions[m];
+                let lost_cost = ledger.cost[m];
+                self.core.stats.add_partitions_lost(lost_parts);
+                let at = self.sim_time();
+                self.record_event(|| EngineEvent::MachineLost {
+                    machine: m as u64,
+                    stage,
+                    partitions_lost: lost_parts,
+                    at,
+                });
+                if attempt >= faults.max_recovery_attempts {
+                    return Err(EngineError::RecoveryFailed {
+                        stage,
+                        machine: m as u64,
+                        attempts: attempt,
+                    });
+                }
+                if lost_parts > 0 {
+                    // Replay lineage for the lost partitions on the survivors:
+                    // the recorded compute spread over the remaining cores,
+                    // plus rescheduling/relaunching one task per partition.
+                    let replay = SimTime::from_nanos(lost_cost.as_nanos() / surviving_cores)
+                        + (c.task_schedule + c.task_launch) * lost_parts;
+                    let start = self.sim_time();
+                    self.core.clock.advance(replay);
+                    self.core.stats.add_recompute_nanos(replay.as_nanos());
+                    self.record_event(|| EngineEvent::PartitionRecomputed {
+                        machine: m as u64,
+                        stage,
+                        partitions: lost_parts,
+                        start,
+                        end: self.sim_time(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge writing `bytes` of checkpoint data to replicated storage (one
+    /// local disk write across the cluster plus one remote replica over the
+    /// network), then truncate lineage: the recovery ledger is cleared, so
+    /// later machine losses replay only work done after this point.
+    pub(crate) fn charge_checkpoint(&self, operator: &'static str, bytes: u64) {
+        let c = &self.config().costs;
+        let start = self.sim_time();
+        let disk = SimTime::from_secs_f64(
+            bytes as f64 / (c.disk_bandwidth * self.config().machines.max(1) as u64) as f64,
+        );
+        let net = SimTime::from_secs_f64(bytes as f64 / self.config().aggregate_bandwidth() as f64);
+        self.core.clock.advance(disk + net);
+        self.core.stats.add_checkpoint_bytes(bytes);
+        self.record_event(|| EngineEvent::Checkpoint {
+            operator,
+            bytes,
+            start,
+            end: self.sim_time(),
+        });
+        let mut ledger = self.core.recovery.lock().expect("recovery lock poisoned");
+        ledger.clear();
     }
 
     /// Record one shuffle's map-output statistics: pure bookkeeping (no

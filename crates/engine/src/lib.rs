@@ -92,6 +92,35 @@ pub(crate) struct EngineCore {
     current_op: Mutex<Vec<&'static str>>,
     job_counter: AtomicU64,
     map_outputs: Mutex<Vec<MapOutputSummary>>,
+    recovery: Mutex<RecoveryLedger>,
+}
+
+/// Per-machine lineage-replay bookkeeping for the machine-loss fault model
+/// (see `docs/FAULTS.md`). Each executed stage records, per machine, the
+/// aggregate compute cost and count of the partitions placed there since the
+/// last checkpoint; losing a machine replays that cost on the survivors.
+/// `Bag::checkpoint` clears the ledger — that is what "truncating lineage"
+/// means in the simulation.
+#[derive(Debug, Default)]
+pub(crate) struct RecoveryLedger {
+    /// Aggregate recompute cost of partitions resident on each machine.
+    pub cost: Vec<SimTime>,
+    /// Number of materialized partitions resident on each machine.
+    pub partitions: Vec<u64>,
+}
+
+impl RecoveryLedger {
+    pub(crate) fn ensure_machines(&mut self, machines: usize) {
+        if self.cost.len() < machines {
+            self.cost.resize(machines, SimTime::ZERO);
+            self.partitions.resize(machines, 0);
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.cost.iter_mut().for_each(|c| *c = SimTime::ZERO);
+        self.partitions.iter_mut().for_each(|p| *p = 0);
+    }
 }
 
 /// Entries kept in the engine's map-output history: enough for re-optimizers
@@ -120,6 +149,7 @@ impl Engine {
                 current_op: Mutex::new(Vec::new()),
                 job_counter: AtomicU64::new(0),
                 map_outputs: Mutex::new(Vec::new()),
+                recovery: Mutex::new(RecoveryLedger::default()),
             }),
         }
     }

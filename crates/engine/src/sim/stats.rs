@@ -20,6 +20,9 @@ pub struct Stats {
     tasks_retried: AtomicU64,
     peak_partition_bytes: AtomicU64,
     peak_partition_skew_milli: AtomicU64,
+    partitions_lost: AtomicU64,
+    recompute_nanos: AtomicU64,
+    checkpoint_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -51,6 +54,15 @@ pub struct StatsSnapshot {
     /// High-water mark of the per-shuffle partition skew ratio
     /// (max partition bytes over mean partition bytes), in thousandths.
     pub peak_partition_skew_milli: u64,
+    /// Materialized partitions invalidated by simulated machine losses
+    /// (`FaultConfig::machine_loss_rate`).
+    pub partitions_lost: u64,
+    /// Simulated nanoseconds spent replaying lineage to recompute lost
+    /// partitions (already included in the simulated clock).
+    pub recompute_nanos: u64,
+    /// Modeled bytes written to replicated checkpoint storage by
+    /// `Bag::checkpoint` (lineage truncation).
+    pub checkpoint_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -72,6 +84,9 @@ impl StatsSnapshot {
             tasks_retried: self.tasks_retried - earlier.tasks_retried,
             peak_partition_bytes: self.peak_partition_bytes,
             peak_partition_skew_milli: self.peak_partition_skew_milli,
+            partitions_lost: self.partitions_lost - earlier.partitions_lost,
+            recompute_nanos: self.recompute_nanos - earlier.recompute_nanos,
+            checkpoint_bytes: self.checkpoint_bytes - earlier.checkpoint_bytes,
         }
     }
 }
@@ -116,6 +131,18 @@ impl Stats {
         self.peak_partition_bytes.fetch_max(max_bytes, Ordering::Relaxed);
         self.peak_partition_skew_milli.fetch_max(skew_milli, Ordering::Relaxed);
     }
+    /// Count partitions invalidated by a simulated machine loss.
+    pub fn add_partitions_lost(&self, n: u64) {
+        self.partitions_lost.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Count simulated time spent replaying lineage after a machine loss.
+    pub fn add_recompute_nanos(&self, n: u64) {
+        self.recompute_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Count bytes written to replicated checkpoint storage.
+    pub fn add_checkpoint_bytes(&self, n: u64) {
+        self.checkpoint_bytes.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -131,6 +158,9 @@ impl Stats {
             tasks_retried: self.tasks_retried.load(Ordering::Relaxed),
             peak_partition_bytes: self.peak_partition_bytes.load(Ordering::Relaxed),
             peak_partition_skew_milli: self.peak_partition_skew_milli.load(Ordering::Relaxed),
+            partitions_lost: self.partitions_lost.load(Ordering::Relaxed),
+            recompute_nanos: self.recompute_nanos.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,6 +185,9 @@ mod tests {
         s.add_task_retry();
         s.add_partition_peaks(900, 1_500);
         s.add_partition_peaks(600, 2_500);
+        s.add_partitions_lost(4);
+        s.add_recompute_nanos(1_000);
+        s.add_checkpoint_bytes(256);
         let snap = s.snapshot();
         assert_eq!(snap.jobs, 2);
         assert_eq!(snap.stages, 2);
@@ -167,6 +200,9 @@ mod tests {
         assert_eq!(snap.tasks_retried, 1);
         assert_eq!(snap.peak_partition_bytes, 900, "partition peak is a max");
         assert_eq!(snap.peak_partition_skew_milli, 2_500, "skew peak is a max");
+        assert_eq!(snap.partitions_lost, 4);
+        assert_eq!(snap.recompute_nanos, 1_000);
+        assert_eq!(snap.checkpoint_bytes, 256);
     }
 
     #[test]

@@ -148,6 +148,46 @@ pub enum EngineEvent {
         /// Simulated start time of the stage being retried.
         at: SimTime,
     },
+    /// A simulated machine was lost at a stage boundary, invalidating the
+    /// materialized partitions placed on it (`FaultConfig::machine_loss_rate`;
+    /// see `docs/FAULTS.md`).
+    MachineLost {
+        /// Index of the lost machine.
+        machine: u64,
+        /// Stage boundary at which the loss was detected.
+        stage: u64,
+        /// Materialized partitions invalidated by the loss.
+        partitions_lost: u64,
+        /// Simulated time of the loss.
+        at: SimTime,
+    },
+    /// Lineage replay recomputed the partitions lost with a machine, on the
+    /// surviving cluster. One event per recovery (aggregated over the lost
+    /// partitions, not one per partition).
+    PartitionRecomputed {
+        /// Machine whose partitions were recomputed.
+        machine: u64,
+        /// Stage boundary that triggered the recovery.
+        stage: u64,
+        /// Partitions recomputed.
+        partitions: u64,
+        /// Simulated start of the replay.
+        start: SimTime,
+        /// Simulated end of the replay.
+        end: SimTime,
+    },
+    /// A bag was checkpointed to replicated storage, truncating its lineage
+    /// for the fault model (`Bag::checkpoint`).
+    Checkpoint {
+        /// Operator that checkpointed.
+        operator: &'static str,
+        /// Modeled bytes written (records x record_bytes).
+        bytes: u64,
+        /// Simulated start of the write.
+        start: SimTime,
+        /// Simulated end of the write.
+        end: SimTime,
+    },
     /// Map-output partition-size distribution of one shuffle (per-wide-stage
     /// histogram digest; see `MapOutputStats`).
     PartitionStats {
@@ -220,6 +260,15 @@ pub struct TraceSummary {
     /// Maximum single-partition bytes across all
     /// [`EngineEvent::PartitionStats`] events.
     pub peak_partition_bytes: u64,
+    /// Partitions invalidated by machine losses
+    /// ([`EngineEvent::MachineLost`] sums).
+    pub partitions_lost: u64,
+    /// Partitions recomputed by lineage replay
+    /// ([`EngineEvent::PartitionRecomputed`] sums).
+    pub partitions_recomputed: u64,
+    /// Bytes written to checkpoint storage ([`EngineEvent::Checkpoint`]
+    /// sums).
+    pub checkpoint_bytes: u64,
 }
 
 impl TraceSummary {
@@ -254,6 +303,13 @@ impl TraceSummary {
                 EngineEvent::PartitionStats { max_bytes, .. } => {
                     s.peak_partition_bytes = s.peak_partition_bytes.max(*max_bytes)
                 }
+                EngineEvent::MachineLost { partitions_lost, .. } => {
+                    s.partitions_lost += partitions_lost
+                }
+                EngineEvent::PartitionRecomputed { partitions, .. } => {
+                    s.partitions_recomputed += partitions
+                }
+                EngineEvent::Checkpoint { bytes, .. } => s.checkpoint_bytes += bytes,
             }
         }
         s
@@ -345,7 +401,8 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
     let _ = write!(
         out,
         "\"jobs\":{},\"jobs_failed\":{},\"stages\":{},\"tasks\":{},\"shuffle_bytes\":{},\
-         \"spill_bytes\":{},\"broadcast_bytes\":{},\"collected_records\":{},\"peak_memory_bytes\":{}",
+         \"spill_bytes\":{},\"broadcast_bytes\":{},\"collected_records\":{},\"peak_memory_bytes\":{},\
+         \"partitions_lost\":{},\"partitions_recomputed\":{},\"checkpoint_bytes\":{}",
         summary.jobs,
         summary.jobs_failed,
         summary.stages,
@@ -354,7 +411,10 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
         summary.spill_bytes,
         summary.broadcast_bytes,
         summary.collected_records,
-        summary.peak_memory_bytes
+        summary.peak_memory_bytes,
+        summary.partitions_lost,
+        summary.partitions_recomputed,
+        summary.checkpoint_bytes
     );
     out.push_str("},\n  \"events\": [\n");
     for (i, ev) in events.iter().enumerate() {
@@ -430,6 +490,30 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
                      \"attempt\":{attempt},\"at_us\":{:.3}",
                     micros(*at)
                 );
+            }
+            EngineEvent::MachineLost { machine, stage, partitions_lost, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"machine_lost\",\"machine\":{machine},\"stage\":{stage},\
+                     \"partitions_lost\":{partitions_lost},\"at_us\":{:.3}",
+                    micros(*at)
+                );
+            }
+            EngineEvent::PartitionRecomputed { machine, stage, partitions, start, end } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"partition_recomputed\",\"machine\":{machine},\"stage\":{stage},\
+                     \"partitions\":{partitions},"
+                );
+                span(&mut out, *start, *end);
+            }
+            EngineEvent::Checkpoint { operator, bytes, start, end } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"checkpoint\",\"operator\":\"{}\",\"bytes\":{bytes},",
+                    esc(operator)
+                );
+                span(&mut out, *start, *end);
             }
             EngineEvent::PartitionStats {
                 operator,
@@ -622,6 +706,38 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                     micros(*at)
                 );
             }
+            EngineEvent::MachineLost { machine, stage, partitions_lost, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"machine {machine} lost at stage {stage}\",\"cat\":\"fault\",\
+                     \"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":{TID_STAGES},\"s\":\"t\",\
+                     \"args\":{{\"machine\":{machine},\"stage\":{stage},\
+                     \"partitions_lost\":{partitions_lost}}}}},",
+                    micros(*at)
+                );
+            }
+            EngineEvent::PartitionRecomputed { machine, stage, partitions, start, end } => {
+                complete(
+                    &mut out,
+                    format!("lineage replay: machine {machine} [{partitions} partitions]"),
+                    "recovery",
+                    TID_STAGES,
+                    *start,
+                    *end,
+                    format!("\"machine\":{machine},\"stage\":{stage},\"partitions\":{partitions}"),
+                );
+            }
+            EngineEvent::Checkpoint { operator, bytes, start, end } => {
+                complete(
+                    &mut out,
+                    format!("checkpoint: {operator}"),
+                    "checkpoint",
+                    TID_IO,
+                    *start,
+                    *end,
+                    format!("\"bytes\":{bytes}"),
+                );
+            }
             EngineEvent::PartitionStats {
                 operator,
                 partitions,
@@ -719,6 +835,15 @@ mod tests {
             EngineEvent::Collect { records: 5, bytes: 40, start: t(6), end: t(7) },
             EngineEvent::MemoryPeak { operator: "group_by_key", peak_bytes: 4096, at: t(6) },
             EngineEvent::TaskRetry { stage: 1, task: 2, attempt: 1, at: t(3) },
+            EngineEvent::MachineLost { machine: 1, stage: 1, partitions_lost: 2, at: t(4) },
+            EngineEvent::PartitionRecomputed {
+                machine: 1,
+                stage: 1,
+                partitions: 2,
+                start: t(4),
+                end: t(5),
+            },
+            EngineEvent::Checkpoint { operator: "checkpoint", bytes: 512, start: t(5), end: t(6) },
             EngineEvent::PartitionStats {
                 operator: "reduce_by_key",
                 partitions: 4,
@@ -748,6 +873,9 @@ mod tests {
         assert_eq!(s.peak_memory_bytes, 4096);
         assert_eq!(s.tasks_retried, 1);
         assert_eq!(s.peak_partition_bytes, 40);
+        assert_eq!(s.partitions_lost, 2);
+        assert_eq!(s.partitions_recomputed, 2);
+        assert_eq!(s.checkpoint_bytes, 512);
     }
 
     #[test]
@@ -788,6 +916,10 @@ mod tests {
             "\"task_retry\"",
             "\"partition_stats\"",
             "\"skew_ratio_milli\":2000",
+            "\"machine_lost\"",
+            "\"partition_recomputed\"",
+            "\"checkpoint\"",
+            "\"checkpoint_bytes\":512",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -805,6 +937,9 @@ mod tests {
         assert!(chrome.contains("job 0: count"));
         assert!(chrome.contains("task retry: stage 1 task 2"), "retries must be visible");
         assert!(chrome.contains("partitions: reduce_by_key"));
+        assert!(chrome.contains("machine 1 lost at stage 1"), "losses must be visible");
+        assert!(chrome.contains("lineage replay: machine 1"));
+        assert!(chrome.contains("checkpoint: checkpoint"));
     }
 
     #[test]

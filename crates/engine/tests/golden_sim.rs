@@ -103,6 +103,9 @@ fn golden_kmeans() -> Golden {
             tasks_retried: 0,
             peak_partition_bytes: 256,
             peak_partition_skew_milli: 4_000,
+            partitions_lost: 0,
+            recompute_nanos: 0,
+            checkpoint_bytes: 0,
         },
     }
 }
@@ -122,6 +125,9 @@ fn golden_copartitioned_join_loop() -> Golden {
             tasks_retried: 0,
             peak_partition_bytes: 4_368,
             peak_partition_skew_milli: 1_092,
+            partitions_lost: 0,
+            recompute_nanos: 0,
+            checkpoint_bytes: 0,
         },
     }
 }
@@ -141,6 +147,9 @@ fn golden_distinct() -> Golden {
             tasks_retried: 0,
             peak_partition_bytes: 13_896,
             peak_partition_skew_milli: 1_042,
+            partitions_lost: 0,
+            recompute_nanos: 0,
+            checkpoint_bytes: 0,
         },
     }
 }
@@ -160,6 +169,9 @@ fn golden_shuffle_heavy() -> Golden {
             tasks_retried: 0,
             peak_partition_bytes: 12_368,
             peak_partition_skew_milli: 1_237,
+            partitions_lost: 0,
+            recompute_nanos: 0,
+            checkpoint_bytes: 0,
         },
     }
 }

@@ -295,6 +295,17 @@ impl LiftedData<Value> for LState {
                 .collect(),
         )
     }
+    fn checkpoint(&self) -> Self {
+        LState(
+            self.0
+                .iter()
+                .map(|it| match it {
+                    LStateItem::S(s) => LStateItem::S(LiftedData::checkpoint(s)),
+                    LStateItem::B(b) => LStateItem::B(LiftedData::checkpoint(b)),
+                })
+                .collect(),
+        )
+    }
 }
 
 impl Lowering {

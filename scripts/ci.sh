@@ -64,4 +64,16 @@ rm -f "$SKEW_SMOKE_OUT"
 # The committed artifact must stay parseable and keep both series.
 cargo run -q --release -p matryoshka-bench --bin fig7_skew -- --validate BENCH_skew.json
 
+echo "== recovery sweep smoke (fault model) + BENCH_recovery.json parse check"
+# Fast loss/checkpoint gate (asserts losses occur and checkpoints shrink
+# replay — see docs/FAULTS.md), then parse-check the committed artifact.
+cargo run -q --release -p matryoshka-bench --bin recovery_sweep -- --smoke
+cargo run -q --release -p matryoshka-bench --bin recovery_sweep -- --validate BENCH_recovery.json
+
+echo "== docs link/anchor + mat-example check (tests/docs.rs)"
+# Explicit rerun of the docs gate (also part of the workspace test run):
+# every relative Markdown link/anchor must resolve and every fenced
+# \`\`\`mat block must pass the static analyzer.
+cargo test -q --test docs
+
 echo "CI gate passed."

@@ -1,0 +1,206 @@
+//! Docs that can't rot. Two gates over the repository's Markdown
+//! (`*.md` at the root plus `docs/*.md`), run as part of the normal test
+//! suite and of `scripts/ci.sh`:
+//!
+//! 1. **Link checking**: every relative `[text](target)` link must point at
+//!    a file that exists, and every `#fragment` (same-file or cross-file)
+//!    must match a real heading under GitHub's anchor-slug rules.
+//! 2. **Example checking**: every fenced ```mat code block is parsed and
+//!    run through the static analyzer (`docs/ANALYSIS.md`), exactly like
+//!    the `examples/programs/` corpus — documentation snippets are programs
+//!    and must keep passing `matryoshka-check`.
+//!
+//! Both are std-only, like everything else in the workspace.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use matryoshka::ir::{analyze, check, parse_program, Dialect};
+
+/// The documentation surface under test: root Markdown + `docs/`.
+fn markdown_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}")) {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|x| x == "md") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 8, "expected the repo's documentation set, found {out:?}");
+    out
+}
+
+/// Lines of `src` with fenced code blocks blanked out (fences toggle on
+/// lines whose trimmed form starts with ```), so link and heading scanning
+/// never fires inside examples.
+fn prose_lines(src: &str) -> Vec<&str> {
+    let mut in_fence = false;
+    src.lines()
+        .map(|line| {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                ""
+            } else if in_fence {
+                ""
+            } else {
+                line
+            }
+        })
+        .collect()
+}
+
+/// GitHub's heading-anchor slug: lowercase; keep letters, digits, `_` and
+/// `-`; spaces become `-`; everything else is dropped.
+fn github_slug(heading: &str) -> String {
+    let mut slug = String::new();
+    for ch in heading.trim().chars() {
+        if ch.is_alphanumeric() || ch == '_' || ch == '-' {
+            slug.extend(ch.to_lowercase());
+        } else if ch == ' ' {
+            slug.push('-');
+        }
+    }
+    slug
+}
+
+/// The anchor set of one Markdown file: every ATX heading's slug, with
+/// GitHub's `-1`, `-2`, ... suffixes for duplicates.
+fn anchors_of(src: &str) -> Vec<String> {
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    let mut out = Vec::new();
+    for line in prose_lines(src) {
+        let trimmed = line.trim_start();
+        let hashes = trimmed.bytes().take_while(|&b| b == b'#').count();
+        if !(1..=6).contains(&hashes) || !trimmed[hashes..].starts_with(' ') {
+            continue;
+        }
+        // Strip inline-code backticks so `engine.trace_json()` slugs the
+        // way GitHub renders it (formatting marks carry no slug weight).
+        let text: String = trimmed[hashes..].replace('`', "");
+        let slug = github_slug(&text);
+        let n = seen.entry(slug.clone()).or_insert(0);
+        out.push(if *n == 0 { slug } else { format!("{slug}-{n}") });
+        *n += 1;
+    }
+    out
+}
+
+/// Every inline `[text](target)` link in `src`, in order. Images
+/// (`![alt](target)`) count too — their targets must exist just the same.
+fn links_of(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in prose_lines(src) {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                // Find the matching `](` then the closing `)`.
+                if let Some(close) = line[i..].find("](") {
+                    let start = i + close + 2;
+                    if let Some(end) = line[start..].find(')') {
+                        out.push(line[start..start + end].to_string());
+                        i = start + end + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn markdown_links_and_anchors_resolve() {
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    for file in markdown_files() {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let dir = file.parent().unwrap();
+        for link in links_of(&src) {
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+            {
+                continue; // external; not this checker's job
+            }
+            checked += 1;
+            let (path_part, anchor) = match link.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (link.as_str(), None),
+            };
+            let (target_src, target_name) = if path_part.is_empty() {
+                (src.clone(), file.clone())
+            } else {
+                let target = dir.join(path_part);
+                if !target.exists() {
+                    failures.push(format!("{}: broken link `{link}`", file.display()));
+                    continue;
+                }
+                if anchor.is_none() {
+                    continue;
+                }
+                (std::fs::read_to_string(&target).unwrap(), target)
+            };
+            if let Some(anchor) = anchor {
+                if !anchors_of(&target_src).iter().any(|a| a == anchor) {
+                    failures.push(format!(
+                        "{}: link `{link}`: no heading in {} slugs to `#{anchor}`",
+                        file.display(),
+                        target_name.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    assert!(checked >= 10, "expected a linked documentation set, checked only {checked} links");
+}
+
+/// Every fenced ```mat block in `src`, in order.
+fn mat_blocks(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        match current.as_mut() {
+            None if trimmed == "```mat" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if trimmed.starts_with("```") {
+                    out.push(current.take().unwrap());
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn documented_mat_examples_pass_the_analyzer() {
+    let mut total = 0;
+    for file in markdown_files() {
+        let src = std::fs::read_to_string(&file).unwrap();
+        for (i, block) in mat_blocks(&src).iter().enumerate() {
+            total += 1;
+            let ast = parse_program(block)
+                .unwrap_or_else(|e| panic!("{}: mat block #{i}: {e}", file.display()));
+            let sources = analyze::source_names(&ast);
+            let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+            check(&ast, &refs, Dialect::Matryoshka).unwrap_or_else(|e| {
+                panic!("{}: mat block #{i} rejected by the analyzer: {e}", file.display())
+            });
+        }
+    }
+    assert!(
+        total >= 2,
+        "expected documented mat examples (docs/FAULTS.md has them), found {total}"
+    );
+}
