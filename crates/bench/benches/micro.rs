@@ -158,6 +158,29 @@ fn bench_copartitioned_loop(h: &mut Harness) {
     });
 }
 
+/// The workload narrow-stage fusion targets: a six-op shuffle-free chain
+/// over a materialized base, measured with fusion on and off (the ablation
+/// EXPERIMENTS.md reports). The chain is bound before the action so it is
+/// exclusively owned at eval time and actually fuses.
+fn bench_narrow_chain(h: &mut Harness) {
+    let n = h.size(1_000_000, 10_000);
+    for (label, fuse) in [("narrow_chain/fused", true), ("narrow_chain/unfused", false)] {
+        let e = Engine::new(ClusterConfig { fuse_narrow: fuse, ..ClusterConfig::local_test() });
+        let base = e.generate(n, 8, |i| i);
+        base.count().unwrap(); // materialize once; measure the chain alone
+        h.bench(label, n, || {
+            let tail = base
+                .map(|&x| x.wrapping_mul(0x9E37_79B9))
+                .filter(|&x| x % 5 != 0)
+                .map(|&x| x >> 3)
+                .filter(|&x| x % 3 != 0)
+                .map(|&x| x ^ 0xFF)
+                .flat_map(|&x| if x % 2 == 0 { Some(x) } else { None });
+            tail.count().unwrap()
+        });
+    }
+}
+
 fn bench_lifted_vs_flat(h: &mut Harness) {
     let n = h.size(50_000, 2_000);
     let visits: Vec<(u32, u64)> = (0..n).map(|i| ((i % 64) as u32, i % 1000)).collect();
@@ -229,6 +252,7 @@ fn main() {
     let mut h = Harness::new(smoke);
     bench_engine_ops(&mut h);
     bench_copartitioned_loop(&mut h);
+    bench_narrow_chain(&mut h);
     bench_lifted_vs_flat(&mut h);
     bench_lifted_loop(&mut h);
     bench_nesting(&mut h);

@@ -1,0 +1,390 @@
+//! Narrow-chain operator fusion: single-pass pipelined execution of
+//! shuffle-free lineage.
+//!
+//! Every fusible narrow operator (`map`, `filter`, `flat_map`, `map_indexed`,
+//! `zip_with_unique_id`, `sample`, `map_values`, and `key_by` via `map`)
+//! carries a [`FuseHook`]: a recipe for assembling the *maximal run* of
+//! narrow ancestors ending at that operator into one composed batch-transducer
+//! chain. When such an operator evaluates and the assembled chain has two or
+//! more stages, the whole run executes as **one** `parallel_map_range` pass per
+//! partition: one pool dispatch total, and per partition each operator is a
+//! single dynamic call whose body is the operator's own *monomorphized* tight
+//! loop over the whole [`Batch`]. Mid-chain batches are owned `Vec`s handed
+//! from stage to stage, so `into_iter().collect()` reuses the allocation in
+//! place where layouts allow, record clones are elided (ownership moves),
+//! and none of the elided middles ever becomes a cached partition set
+//! (`Arc<Vec<Arc<Vec<_>>>>`) in the lineage.
+//!
+//! # Sim-transparency invariant
+//!
+//! Fusion changes *wall-clock* execution only. The fused pass tallies each
+//! operator's per-partition input/output record counts ([`OpTally`]) while it
+//! runs and then replays **exactly** the `charge_compute` calls the unfused
+//! chain would have issued: same source-first order, same per-partition
+//! counts (via each operator's [`ChargeRule`]), same record sizes, same
+//! `current_operator` attribution. Simulated time, `StatsSnapshot` counters
+//! (other than the fusion counters themselves), `Stage` trace events and
+//! fault-model draws are bit-identical with fusion on or off (`golden_sim`
+//! and the `fusion` property tests pin this).
+//!
+//! # Fusion barriers
+//!
+//! A fusible operator materializes its parent (starting a fresh chain there)
+//! instead of fusing through it when the parent is:
+//!
+//! - a **wide** operator, a source, `checkpoint`, `coalesce`, `union`,
+//!   `with_record_bytes` or `map_with_work` (none carry a fuse hook —
+//!   `map_with_work` because its memory accounting must observe real
+//!   per-partition outputs);
+//! - already **materialized** (its memoized partitions are reused as-is);
+//! - **multi-consumer**: any other live handle to the parent (a user
+//!   binding, a second downstream operator, or a still-live temporary of the
+//!   enclosing statement) keeps the shared prefix materialized. That handle
+//!   could evaluate the parent later and must find it cached exactly as an
+//!   unfused run would have left it; fusing through it would make the later
+//!   evaluation re-charge the prefix and diverge from the unfused schedule.
+//!
+//! Exclusivity is detected by `Arc` strong count: a fusible child holds
+//! exactly two references to its parent (one in its assemble hook, one in
+//! its compute closure), so a count of 2 proves no other handle exists.
+//!
+//! # Iteration stability
+//!
+//! Composite names like `fused(map|filter)` are `&'static str` (the rest of
+//! the trace plumbing stores static operator names). They are interned in a
+//! global leak-once table keyed by the composite string, so a `lifted_while`
+//! loop that rebuilds the same narrow chain every iteration allocates the
+//! name once for the chain *shape* — per-iteration cost stays O(chain
+//! length) closure allocations with zero leaked memory after the first
+//! iteration.
+
+use std::cell::Cell;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::{to_parts, Bag, Partitioning, Parts};
+use crate::error::Result;
+use crate::pool::parallel_map_range;
+use crate::trace::EngineEvent;
+use crate::types::Data;
+use crate::Engine;
+
+/// Per-operator record counts observed by the fused pass in one partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct OpTally {
+    /// Records the operator consumed.
+    pub input: u64,
+    /// Records the operator emitted.
+    pub output: u64,
+}
+
+/// Which tally an operator's unfused `charge_compute` call would have used
+/// as its per-partition count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChargeRule {
+    /// Charged on emitted records (`map`, `map_indexed`, `map_values`,
+    /// `zip_with_unique_id`).
+    Output,
+    /// Charged on consumed records (`filter`, `sample`).
+    Input,
+    /// Charged on `max(input, output)` (`flat_map`: expansion is priced by
+    /// what it produces).
+    MaxSide,
+}
+
+impl ChargeRule {
+    fn count(self, t: OpTally) -> usize {
+        (match self {
+            ChargeRule::Output => t.output,
+            ChargeRule::Input => t.input,
+            ChargeRule::MaxSide => t.input.max(t.output),
+        }) as usize
+    }
+}
+
+/// Static description of one operator inside an assembled chain — everything
+/// the charge replay needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedOpMeta {
+    /// The operator's own name (`map`, `filter`, ...).
+    pub name: &'static str,
+    /// The `record_bytes` its unfused `charge_compute` call would pass.
+    pub bytes: f64,
+    /// Which tally its unfused per-partition counts correspond to.
+    pub charge: ChargeRule,
+}
+
+/// One operator's whole-partition input inside a fused chain: borrowed from
+/// the materialized base partition at the chain head, owned (handed off by
+/// the upstream stage) everywhere else. Operators that re-emit their input
+/// (`filter`, `sample`, `zip_with_unique_id`, `map_values`' keys) clone in
+/// the `Shared` head position — exactly the clone the unfused operator
+/// performs — and consume the `Owned` vector by value mid-chain, eliding the
+/// per-stage clones the unfused pipeline pays and letting
+/// `into_iter().collect()` reuse the allocation in place.
+pub(crate) enum Batch<'a, T> {
+    /// Borrowed view of the head's materialized input partition.
+    Shared(&'a [T]),
+    /// Produced (and owned) by the upstream fused operator.
+    Owned(Vec<T>),
+}
+
+impl<T> Batch<'_, T> {
+    /// Borrow the records (for operators whose UDF takes `&T` and produces
+    /// owned output, where the two ownership cases collapse).
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Batch::Shared(s) => s,
+            Batch::Owned(v) => v,
+        }
+    }
+}
+
+/// One operator's batch transducer step: receives the partition index and
+/// the operator's entire per-partition input stream (so `enumerate`
+/// positions inside the step equal the unfused per-partition offsets that
+/// `map_indexed`/`zip_with_unique_id`/`sample` observe), and returns the
+/// operator's output batch. One dynamic call per operator per partition; the
+/// loop inside is the operator's own monomorphized code.
+pub(crate) type Step<I, O> = Arc<dyn Fn(usize, Batch<'_, I>) -> Vec<O> + Send + Sync>;
+
+/// Drives one partition of an assembled chain: threads the base partition
+/// through the composed steps, crediting each operator's [`OpTally`] cell
+/// with its batch sizes.
+type DriveFn<T> = Box<dyn Fn(usize, &[Cell<OpTally>]) -> Vec<T> + Send + Sync>;
+
+/// A maximal narrow run, assembled at evaluation time: the per-operator
+/// metadata (source-first) and a per-partition driver over the materialized
+/// base input.
+pub(crate) struct Assembled<T> {
+    /// Chain operators, source-first; the evaluating tail is last.
+    pub metas: Vec<FusedOpMeta>,
+    /// Actual partition count of the materialized base input.
+    pub partitions: usize,
+    /// Per-partition driver.
+    pub drive: DriveFn<T>,
+}
+
+/// The fusion recipe carried by every fusible node: assembles the maximal
+/// chain ending at that node, plus the slot its composite name lands in when
+/// the node executes fused.
+pub(crate) struct FuseHook<T> {
+    /// Assemble the maximal chain ending at this operator.
+    pub assemble: Arc<dyn Fn() -> Result<Assembled<T>> + Send + Sync>,
+    /// Composite name (`fused(map|filter)`), set by the fused executor;
+    /// shared with the node so `op_name()` and the execution trace report
+    /// provenance after evaluation.
+    pub fused_name: Arc<OnceLock<&'static str>>,
+}
+
+/// Credit one operator's tally with a processed batch.
+#[inline]
+fn add_tally(t: &Cell<OpTally>, input: usize, output: usize) {
+    let v = t.get();
+    t.set(OpTally { input: v.input + input as u64, output: v.output + output as u64 });
+}
+
+/// Construct a fusible narrow operator.
+///
+/// `step` is the operator's per-record transducer (used when the operator
+/// runs inside a fused chain); `unfused` is its classic whole-partition
+/// compute, kept monomorphized and byte-for-byte identical to the pre-fusion
+/// implementation so the `fuse_narrow = false` A/B baseline pays no dynamic
+/// dispatch. The chain-length-1 case also falls through to `unfused`.
+pub(crate) fn fusible<P: Data, T: Data>(
+    parent: &Bag<P>,
+    name: &'static str,
+    record_bytes: f64,
+    partitioning: Partitioning,
+    charge: ChargeRule,
+    step: Step<P, T>,
+    unfused: impl Fn(&Bag<P>) -> Result<Parts<T>> + Send + Sync + 'static,
+) -> Bag<T> {
+    let engine = parent.engine().clone();
+    let partitions = parent.num_partitions();
+    let fused_name: Arc<OnceLock<&'static str>> = Arc::new(OnceLock::new());
+
+    let assemble: Arc<dyn Fn() -> Result<Assembled<T>> + Send + Sync> = {
+        let parent = parent.clone();
+        let step = Arc::clone(&step);
+        Arc::new(move || {
+            let meta = FusedOpMeta { name, bytes: record_bytes, charge };
+            if let Some(hook) = parent.fuse_through() {
+                // Exclusive fusible parent: extend its chain with this step.
+                let assembled = (hook.assemble)()?;
+                let k = assembled.metas.len();
+                let mut metas = assembled.metas;
+                metas.push(meta);
+                let upstream = assembled.drive;
+                let step = Arc::clone(&step);
+                let drive: DriveFn<T> = Box::new(move |pi, tallies| {
+                    let input = upstream(pi, tallies);
+                    let consumed = input.len();
+                    let out = step(pi, Batch::Owned(input));
+                    add_tally(&tallies[k], consumed, out.len());
+                    out
+                });
+                Ok(Assembled { metas, partitions: assembled.partitions, drive })
+            } else {
+                // Barrier: materialize the parent (memoized and charged
+                // exactly as the unfused chain would) and start a fresh
+                // chain reading its shared partitions by reference.
+                let parts = parent.eval()?;
+                let base_partitions = parts.len();
+                let step = Arc::clone(&step);
+                let drive: DriveFn<T> = Box::new(move |pi, tallies| {
+                    let input = parts[pi].as_slice();
+                    let out = step(pi, Batch::Shared(input));
+                    add_tally(&tallies[0], input.len(), out.len());
+                    out
+                });
+                Ok(Assembled { metas: vec![meta], partitions: base_partitions, drive })
+            }
+        })
+    };
+
+    let compute = {
+        let engine = engine.clone();
+        let assemble = Arc::clone(&assemble);
+        let fused_name = Arc::clone(&fused_name);
+        let parent = parent.clone();
+        move || {
+            // Fusing is only worth entering when the parent itself joins the
+            // chain; a chain of length 1 runs the classic monomorphized
+            // whole-partition pass.
+            if engine.config().fuse_narrow && parent.fuse_through().is_some() {
+                let assembled = assemble()?;
+                debug_assert!(assembled.metas.len() >= 2, "fuse-through implies a chain");
+                return run_fused(&engine, assembled, &fused_name);
+            }
+            unfused(&parent)
+        }
+    };
+
+    Bag::new_fusible(
+        engine,
+        name,
+        record_bytes,
+        partitions,
+        partitioning,
+        FuseHook { assemble, fused_name },
+        compute,
+    )
+}
+
+/// Execute an assembled chain: one pool dispatch over the base partitions,
+/// then the sim-transparent charge replay, fusion counters, `StageFused`
+/// trace event, and decision-log entry.
+fn run_fused<T: Data>(
+    engine: &Engine,
+    assembled: Assembled<T>,
+    fused_name: &OnceLock<&'static str>,
+) -> Result<Parts<T>> {
+    let Assembled { metas, partitions, drive } = assembled;
+    let ops = metas.len();
+    let per_part: Vec<(Vec<T>, Vec<OpTally>)> = parallel_map_range(partitions, |pi| {
+        let tallies: Vec<Cell<OpTally>> = (0..ops).map(|_| Cell::new(OpTally::default())).collect();
+        let out = drive(pi, &tallies);
+        (out, tallies.into_iter().map(Cell::into_inner).collect())
+    });
+    // Charge replay: the exact sequence the unfused chain would have issued,
+    // source-first, attributed to each operator's own name.
+    for (j, meta) in metas.iter().enumerate() {
+        let counts: Vec<usize> =
+            per_part.iter().map(|(_, tallies)| meta.charge.count(tallies[j])).collect();
+        engine.push_current_op(meta.name);
+        let charged = engine.charge_compute(&counts, meta.bytes, false);
+        engine.pop_current_op();
+        charged?;
+    }
+    let composite = *fused_name.get_or_init(|| intern_fused_name(&metas));
+    let elided = (ops - 1) as u64;
+    engine.core.stats.add_stage_fused(elided);
+    let at = engine.sim_time();
+    engine.record_event(|| EngineEvent::StageFused {
+        ops: composite,
+        ops_fused: ops as u64,
+        intermediates_elided: elided,
+        partitions: partitions as u64,
+        at,
+    });
+    let records: u64 = per_part.iter().map(|(out, _)| out.len() as u64).sum();
+    engine.record_decision(
+        "narrow_fusion",
+        composite.to_string(),
+        records,
+        0,
+        format!("{ops} narrow ops in one pass over {partitions} partitions; {elided} intermediate materializations elided"),
+    );
+    Ok(to_parts(per_part.into_iter().map(|(out, _)| out).collect()))
+}
+
+/// Leak-once interner for composite chain names (see the module docs on
+/// iteration stability). The table is tiny — one entry per distinct chain
+/// shape ever fused in the process — so a linear scan beats hashing.
+static FUSED_NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+fn intern_fused_name(metas: &[FusedOpMeta]) -> &'static str {
+    let mut label = String::with_capacity(8 + metas.len() * 10);
+    label.push_str("fused(");
+    for (i, meta) in metas.iter().enumerate() {
+        if i > 0 {
+            label.push('|');
+        }
+        label.push_str(meta.name);
+    }
+    label.push(')');
+    let mut names = FUSED_NAMES.lock().expect("fused-name interner lock poisoned");
+    if let Some(existing) = names.iter().find(|n| ***n == *label) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(label.into_boxed_str());
+    names.push(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &'static str) -> FusedOpMeta {
+        FusedOpMeta { name, bytes: 8.0, charge: ChargeRule::Output }
+    }
+
+    #[test]
+    fn fuse_interner_returns_one_allocation_per_shape() {
+        let a = intern_fused_name(&[meta("map"), meta("filter")]);
+        let b = intern_fused_name(&[meta("map"), meta("filter")]);
+        assert_eq!(a, "fused(map|filter)");
+        assert_eq!(a.as_ptr(), b.as_ptr(), "same shape must reuse the leaked name");
+        let c = intern_fused_name(&[meta("map"), meta("filter"), meta("flat_map")]);
+        assert_eq!(c, "fused(map|filter|flat_map)");
+        assert_ne!(a.as_ptr(), c.as_ptr());
+    }
+
+    #[test]
+    fn fuse_charge_rules_pick_the_unfused_count() {
+        let t = OpTally { input: 10, output: 4 };
+        assert_eq!(ChargeRule::Output.count(t), 4);
+        assert_eq!(ChargeRule::Input.count(t), 10);
+        assert_eq!(ChargeRule::MaxSide.count(t), 10);
+        let expanding = OpTally { input: 3, output: 9 };
+        assert_eq!(ChargeRule::MaxSide.count(expanding), 9);
+    }
+
+    #[test]
+    fn fuse_batch_exposes_both_ownership_cases() {
+        let v = vec![1u32, 2, 3];
+        let shared: Batch<'_, u32> = Batch::Shared(&v);
+        assert_eq!(shared.as_slice(), &[1, 2, 3]);
+        let owned: Batch<'_, u32> = Batch::Owned(v.clone());
+        assert_eq!(owned.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn fuse_tallies_accumulate_batch_sizes() {
+        let cell = Cell::new(OpTally::default());
+        add_tally(&cell, 10, 4);
+        add_tally(&cell, 5, 5);
+        assert_eq!(cell.get(), OpTally { input: 15, output: 9 });
+    }
+}

@@ -8,6 +8,7 @@
 //! history and simulated costs are charged exactly once per operator.
 
 mod actions;
+mod fuse;
 mod ops_misc;
 mod ops_narrow;
 mod ops_wide;
@@ -65,6 +66,12 @@ pub(crate) struct Node<T> {
     /// when their shuffle scatters on first evaluation. Shared with the
     /// compute closure (which runs without access to the node).
     map_output: Arc<OnceLock<MapOutputStats>>,
+    /// Fusion recipe, present on fusible narrow operators only: lets a
+    /// downstream narrow operator extend this node's transducer chain
+    /// instead of materializing it (see `bag/fuse.rs`). `None` marks a
+    /// fusion barrier (sources, wide ops, `checkpoint`, `map_with_work`,
+    /// ...).
+    fuse: Option<fuse::FuseHook<T>>,
 }
 
 /// A lazy, partitioned, immutable distributed collection (Spark RDD
@@ -138,7 +145,51 @@ impl<T: Data> Bag<T> {
                 compute: Box::new(compute),
                 cache: OnceLock::new(),
                 map_output,
+                fuse: None,
             }),
+        }
+    }
+
+    /// Constructor used by fusible narrow operators (see `bag/fuse.rs`):
+    /// like [`Bag::new_with_partitioning`] but carrying the fusion recipe a
+    /// downstream narrow operator uses to extend this node's chain.
+    pub(crate) fn new_fusible(
+        engine: Engine,
+        name: &'static str,
+        record_bytes: f64,
+        partitions: usize,
+        partitioning: Partitioning,
+        fuse: fuse::FuseHook<T>,
+        compute: impl Fn() -> Result<Parts<T>> + Send + Sync + 'static,
+    ) -> Bag<T> {
+        Bag {
+            node: Arc::new(Node {
+                engine,
+                name,
+                record_bytes,
+                partitions: partitions.max(1),
+                partitioning,
+                compute: Box::new(compute),
+                cache: OnceLock::new(),
+                map_output: Arc::new(OnceLock::new()),
+                fuse: Some(fuse),
+            }),
+        }
+    }
+
+    /// The fusion recipe of this bag, if a downstream narrow operator may
+    /// extend its chain: requires a fusible, not-yet-materialized node with
+    /// no other live handle. The strong count of 2 is exactly the two
+    /// references a fusible child holds (assemble hook + compute closure);
+    /// any third handle — a user binding, a second consumer, a still-live
+    /// temporary of the enclosing statement — keeps the shared prefix
+    /// materialized so a later evaluation finds it cached exactly as an
+    /// unfused run would have left it.
+    pub(crate) fn fuse_through(&self) -> Option<&fuse::FuseHook<T>> {
+        if self.node.cache.get().is_none() && Arc::strong_count(&self.node) == 2 {
+            self.node.fuse.as_ref()
+        } else {
+            None
         }
     }
 
@@ -163,7 +214,9 @@ impl<T: Data> Bag<T> {
                     Err(_) => (0, false),
                 };
                 self.node.engine.record_trace(crate::TraceEvent {
-                    op: self.node.name,
+                    // A tail that executed as a fused chain reports its
+                    // composite provenance (`fused(map|filter)`).
+                    op: self.op_name(),
                     partitions: self.node.partitions,
                     record_bytes: self.node.record_bytes,
                     records,
@@ -180,9 +233,16 @@ impl<T: Data> Bag<T> {
         &self.node.engine
     }
 
-    /// Operator name of the defining node (diagnostics).
+    /// Operator name of the defining node (diagnostics). After a bag has
+    /// evaluated as the tail of a fused narrow chain
+    /// ([`ClusterConfig::fuse_narrow`](crate::ClusterConfig::fuse_narrow)),
+    /// this reports the composite provenance, e.g. `fused(map|filter)`.
     pub fn op_name(&self) -> &'static str {
-        self.node.name
+        self.node
+            .fuse
+            .as_ref()
+            .and_then(|hook| hook.fused_name.get().copied())
+            .unwrap_or(self.node.name)
     }
 
     /// Statically known partition count.

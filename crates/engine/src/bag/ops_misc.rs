@@ -6,7 +6,10 @@
 //! in `matryoshka-core` (per-tag statistics, set differences in BFS-style
 //! loops) have natural implementations over them.
 
-use super::{to_parts, Bag};
+use std::sync::Arc;
+
+use super::fuse::{fusible, Batch, ChargeRule, Step};
+use super::{to_parts, Bag, Partitioning};
 use crate::fx::{fx_set_with_capacity, FxHashSet};
 use crate::partitioner::{scatter_shared_by_key, stable_hash};
 use crate::pool::parallel_map;
@@ -18,22 +21,37 @@ impl<T: Data> Bag<T> {
     /// `fraction`, decided by a stable per-record hash of `(seed, index)` so
     /// the sample is reproducible across runs and engines.
     pub fn sample(&self, fraction: f64, seed: u64) -> Bag<T> {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
         let threshold = (fraction.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
-        Bag::new(engine.clone(), "sample", bytes, self.num_partitions(), move || {
-            let input = parent.eval()?;
-            let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
-            let out: Vec<Vec<T>> = parallel_map(input.to_vec(), |pi, p: std::sync::Arc<Vec<T>>| {
-                p.iter()
+        let step: Step<T, T> = Arc::new(move |pi, batch: Batch<'_, T>| {
+            let keep = move |i: usize| stable_hash(&(seed, pi as u64, i as u64)) <= threshold;
+            match batch {
+                Batch::Shared(xs) => xs
+                    .iter()
                     .enumerate()
-                    .filter(|(i, _)| stable_hash(&(seed, pi as u64, *i as u64)) <= threshold)
+                    .filter(|(i, _)| keep(*i))
                     .map(|(_, x)| x.clone())
-                    .collect()
-            });
-            engine.charge_compute(&in_counts, bytes, false)?;
-            Ok(to_parts(out))
+                    .collect(),
+                Batch::Owned(xs) => {
+                    xs.into_iter().enumerate().filter(|(i, _)| keep(*i)).map(|(_, x)| x).collect()
+                }
+            }
+        });
+        fusible(self, "sample", bytes, Partitioning::Arbitrary, ChargeRule::Input, step, {
+            move |parent: &Bag<T>| {
+                let input = parent.eval()?;
+                let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+                let out: Vec<Vec<T>> = parallel_map(input.to_vec(), |pi, p: Arc<Vec<T>>| {
+                    p.iter()
+                        .enumerate()
+                        .filter(|(i, _)| stable_hash(&(seed, pi as u64, *i as u64)) <= threshold)
+                        .map(|(_, x)| x.clone())
+                        .collect()
+                });
+                engine.charge_compute(&in_counts, bytes, false)?;
+                Ok(to_parts(out))
+            }
         })
     }
 
@@ -195,26 +213,30 @@ impl<K: Key, V: Data> Bag<(K, V)> {
     /// bag's hash partitioning (a narrow op that keeps co-partitioned joins
     /// co-partitioned, like Spark `mapValues`).
     pub fn map_values<W: Data>(&self, f: impl Fn(&V) -> W + Send + Sync + 'static) -> Bag<(K, W)> {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
-        Bag::new_with_partitioning(
-            engine.clone(),
-            "map_values",
-            bytes,
-            self.num_partitions(),
-            self.partitioning(),
-            move || {
+        let f = Arc::new(f);
+        let step: Step<(K, V), (K, W)> = {
+            let f = Arc::clone(&f);
+            // Keys clone only at the chain head (what the unfused pass pays)
+            // and move for free mid-chain.
+            Arc::new(move |_, batch: Batch<'_, (K, V)>| match batch {
+                Batch::Shared(xs) => xs.iter().map(|(k, v)| (k.clone(), f(v))).collect(),
+                Batch::Owned(xs) => xs.into_iter().map(|(k, v)| (k, f(&v))).collect(),
+            })
+        };
+        fusible(self, "map_values", bytes, self.partitioning(), ChargeRule::Output, step, {
+            move |parent: &Bag<(K, V)>| {
                 let input = parent.eval()?;
                 let out: Vec<Vec<(K, W)>> =
-                    parallel_map(input.to_vec(), |_, p: std::sync::Arc<Vec<(K, V)>>| {
+                    parallel_map(input.to_vec(), |_, p: Arc<Vec<(K, V)>>| {
                         p.iter().map(|(k, v)| (k.clone(), f(v))).collect()
                     });
                 let counts: Vec<usize> = out.iter().map(Vec::len).collect();
                 engine.charge_compute(&counts, bytes, false)?;
                 Ok(to_parts(out))
-            },
-        )
+            }
+        })
     }
 
     /// Spark `combineByKey`/`aggregateByKey`: per-key aggregation with a

@@ -2,7 +2,8 @@
 
 use std::sync::Arc;
 
-use super::{to_parts, Bag};
+use super::fuse::{fusible, Batch, ChargeRule, Step};
+use super::{to_parts, Bag, Partitioning};
 use crate::pool::parallel_map;
 use crate::types::Data;
 
@@ -25,16 +26,22 @@ pub struct WorkEstimate {
 impl<T: Data> Bag<T> {
     /// Element-wise transformation.
     pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Bag<U> {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
-        Bag::new(engine.clone(), "map", bytes, self.num_partitions(), move || {
-            let input = parent.eval()?;
-            let out: Vec<Vec<U>> =
-                parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| p.iter().map(&f).collect());
-            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
-            engine.charge_compute(&counts, bytes, false)?;
-            Ok(to_parts(out))
+        let f = Arc::new(f);
+        let step: Step<T, U> = {
+            let f = Arc::clone(&f);
+            Arc::new(move |_, batch: Batch<'_, T>| batch.as_slice().iter().map(&*f).collect())
+        };
+        fusible(self, "map", bytes, Partitioning::Arbitrary, ChargeRule::Output, step, {
+            move |parent: &Bag<T>| {
+                let input = parent.eval()?;
+                let out: Vec<Vec<U>> =
+                    parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| p.iter().map(&*f).collect());
+                let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+                engine.charge_compute(&counts, bytes, false)?;
+                Ok(to_parts(out))
+            }
         })
     }
 
@@ -46,17 +53,25 @@ impl<T: Data> Bag<T> {
         &self,
         f: impl Fn(usize, usize, &T) -> U + Send + Sync + 'static,
     ) -> Bag<U> {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
-        Bag::new(engine.clone(), "map_indexed", bytes, self.num_partitions(), move || {
-            let input = parent.eval()?;
-            let out: Vec<Vec<U>> = parallel_map(input.to_vec(), |pi, p: Arc<Vec<T>>| {
-                p.iter().enumerate().map(|(i, x)| f(pi, i, x)).collect()
-            });
-            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
-            engine.charge_compute(&counts, bytes, false)?;
-            Ok(to_parts(out))
+        let f = Arc::new(f);
+        let step: Step<T, U> = {
+            let f = Arc::clone(&f);
+            Arc::new(move |pi, batch: Batch<'_, T>| {
+                batch.as_slice().iter().enumerate().map(|(i, x)| f(pi, i, x)).collect()
+            })
+        };
+        fusible(self, "map_indexed", bytes, Partitioning::Arbitrary, ChargeRule::Output, step, {
+            move |parent: &Bag<T>| {
+                let input = parent.eval()?;
+                let out: Vec<Vec<U>> = parallel_map(input.to_vec(), |pi, p: Arc<Vec<T>>| {
+                    p.iter().enumerate().map(|(i, x)| f(pi, i, x)).collect()
+                });
+                let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+                engine.charge_compute(&counts, bytes, false)?;
+                Ok(to_parts(out))
+            }
         })
     }
 
@@ -64,16 +79,18 @@ impl<T: Data> Bag<T> {
     /// estimate per record. This is how *sequential* inner computations
     /// (the outer-parallel workaround's UDFs) are priced honestly: the UDF
     /// does its real work and tells the simulator how much work that was.
+    ///
+    /// Never fused: the memory accounting below must observe the real
+    /// per-record estimates, and its weighted task costs have no
+    /// `charge_compute` equivalent to replay.
     pub fn map_with_work<U: Data>(
         &self,
         f: impl Fn(&T) -> (U, WorkEstimate) + Send + Sync + 'static,
-    ) -> crate::Result<Bag<U>> {
-        // NOTE: returns the Bag directly (laziness preserved); the Result is
-        // for signature symmetry with possible future validation.
+    ) -> Bag<U> {
         let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
-        Ok(Bag::new(engine.clone(), "map_with_work", bytes, self.num_partitions(), move || {
+        Bag::new(engine.clone(), "map_with_work", bytes, self.num_partitions(), move || {
             let input = parent.eval()?;
             let computed: Vec<(Vec<U>, u64, u64)> =
                 parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
@@ -96,22 +113,34 @@ impl<T: Data> Bag<T> {
             engine.charge_weighted(&task_costs, false)?;
             engine.core.stats.add_records(computed.iter().map(|(o, _, _)| o.len() as u64).sum());
             Ok(to_parts(computed.into_iter().map(|(o, _, _)| o).collect()))
-        }))
+        })
     }
 
     /// Keep records satisfying the predicate.
     pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Bag<T> {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
-        Bag::new(engine.clone(), "filter", bytes, self.num_partitions(), move || {
-            let input = parent.eval()?;
-            let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
-            let out: Vec<Vec<T>> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
-                p.iter().filter(|x| f(x)).cloned().collect()
-            });
-            engine.charge_compute(&in_counts, bytes, false)?;
-            Ok(to_parts(out))
+        let f = Arc::new(f);
+        let step: Step<T, T> = {
+            let f = Arc::clone(&f);
+            // Survivors clone at the chain head (what the unfused pass pays
+            // per survivor) and move for free mid-chain, where the in-place
+            // `into_iter().collect()` also reuses the batch's allocation.
+            Arc::new(move |_, batch: Batch<'_, T>| match batch {
+                Batch::Shared(xs) => xs.iter().filter(|x| f(x)).cloned().collect(),
+                Batch::Owned(xs) => xs.into_iter().filter(|x| f(x)).collect(),
+            })
+        };
+        fusible(self, "filter", bytes, Partitioning::Arbitrary, ChargeRule::Input, step, {
+            move |parent: &Bag<T>| {
+                let input = parent.eval()?;
+                let in_counts: Vec<usize> = input.iter().map(|p| p.len()).collect();
+                let out: Vec<Vec<T>> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
+                    p.iter().filter(|x| f(x)).cloned().collect()
+                });
+                engine.charge_compute(&in_counts, bytes, false)?;
+                Ok(to_parts(out))
+            }
         })
     }
 
@@ -122,39 +151,65 @@ impl<T: Data> Bag<T> {
     where
         I: IntoIterator<Item = U>,
     {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
-        Bag::new(engine.clone(), "flat_map", bytes, self.num_partitions(), move || {
-            let input = parent.eval()?;
-            let out: Vec<Vec<U>> =
-                parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| p.iter().flat_map(&f).collect());
-            let counts: Vec<usize> =
-                input.iter().zip(out.iter()).map(|(i, o)| i.len().max(o.len())).collect();
-            engine.charge_compute(&counts, bytes, false)?;
-            Ok(to_parts(out))
+        let f = Arc::new(f);
+        let step: Step<T, U> = {
+            let f = Arc::clone(&f);
+            Arc::new(move |_, batch: Batch<'_, T>| batch.as_slice().iter().flat_map(&*f).collect())
+        };
+        fusible(self, "flat_map", bytes, Partitioning::Arbitrary, ChargeRule::MaxSide, step, {
+            move |parent: &Bag<T>| {
+                let input = parent.eval()?;
+                let out: Vec<Vec<U>> = parallel_map(input.to_vec(), |_, p: Arc<Vec<T>>| {
+                    p.iter().flat_map(&*f).collect()
+                });
+                let counts: Vec<usize> =
+                    input.iter().zip(out.iter()).map(|(i, o)| i.len().max(o.len())).collect();
+                engine.charge_compute(&counts, bytes, false)?;
+                Ok(to_parts(out))
+            }
         })
     }
 
     /// Pair every record with a unique id (Spark `zipWithUniqueId`:
     /// `index_in_partition * num_partitions + partition_index`).
     pub fn zip_with_unique_id(&self) -> Bag<(T, u64)> {
-        let parent = self.clone();
         let engine = self.engine().clone();
         let bytes = self.record_bytes();
         let nparts = self.num_partitions() as u64;
-        Bag::new(engine.clone(), "zip_with_unique_id", bytes, self.num_partitions(), move || {
-            let input = parent.eval()?;
-            let out: Vec<Vec<(T, u64)>> = parallel_map(input.to_vec(), |pi, p: Arc<Vec<T>>| {
-                p.iter()
-                    .enumerate()
-                    .map(|(i, x)| (x.clone(), i as u64 * nparts + pi as u64))
-                    .collect()
-            });
-            let counts: Vec<usize> = out.iter().map(Vec::len).collect();
-            engine.charge_compute(&counts, bytes, false)?;
-            Ok(to_parts(out))
-        })
+        let step: Step<T, (T, u64)> = Arc::new(move |pi, batch: Batch<'_, T>| match batch {
+            Batch::Shared(xs) => xs
+                .iter()
+                .enumerate()
+                .map(|(i, x)| (x.clone(), i as u64 * nparts + pi as u64))
+                .collect(),
+            Batch::Owned(xs) => xs
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| (x, i as u64 * nparts + pi as u64))
+                .collect(),
+        });
+        fusible(
+            self,
+            "zip_with_unique_id",
+            bytes,
+            Partitioning::Arbitrary,
+            ChargeRule::Output,
+            step,
+            move |parent: &Bag<T>| {
+                let input = parent.eval()?;
+                let out: Vec<Vec<(T, u64)>> = parallel_map(input.to_vec(), |pi, p: Arc<Vec<T>>| {
+                    p.iter()
+                        .enumerate()
+                        .map(|(i, x)| (x.clone(), i as u64 * nparts + pi as u64))
+                        .collect()
+                });
+                let counts: Vec<usize> = out.iter().map(Vec::len).collect();
+                engine.charge_compute(&counts, bytes, false)?;
+                Ok(to_parts(out))
+            },
+        )
     }
 
     /// Concatenate two bags (free metadata operation, like Spark `union`).
@@ -295,16 +350,14 @@ mod tests {
     fn map_with_work_charges_declared_work() {
         let e = Engine::local();
         let b = e.parallelize(vec![1u64, 2, 3], 1);
-        let cheap =
-            b.map_with_work(|x| (*x, WorkEstimate { cost_units: 1, mem_bytes: 0 })).unwrap();
+        let cheap = b.map_with_work(|x| (*x, WorkEstimate { cost_units: 1, mem_bytes: 0 }));
         let t0 = e.sim_time();
         cheap.collect().unwrap();
         let cheap_dt = e.sim_time() - t0;
 
         let b2 = e.parallelize(vec![1u64, 2, 3], 1);
-        let pricey = b2
-            .map_with_work(|x| (*x, WorkEstimate { cost_units: 1_000_000, mem_bytes: 0 }))
-            .unwrap();
+        let pricey =
+            b2.map_with_work(|x| (*x, WorkEstimate { cost_units: 1_000_000, mem_bytes: 0 }));
         let t1 = e.sim_time();
         pricey.collect().unwrap();
         let pricey_dt = e.sim_time() - t1;
@@ -315,9 +368,8 @@ mod tests {
     fn map_with_work_memory_can_oom() {
         let e = Engine::local(); // 4 GB per machine
         let b = e.parallelize(vec![0u8], 1);
-        let huge = b
-            .map_with_work(|_| ((), WorkEstimate { cost_units: 1, mem_bytes: 64 * crate::GB }))
-            .unwrap();
+        let huge =
+            b.map_with_work(|_| ((), WorkEstimate { cost_units: 1, mem_bytes: 64 * crate::GB }));
         assert!(matches!(huge.collect(), Err(crate::EngineError::OutOfMemory { .. })));
     }
 

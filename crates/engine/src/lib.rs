@@ -13,6 +13,13 @@
 //! network transfer, disk spilling and per-worker memory limits (with
 //! simulated `OutOfMemory` failures). Experiments read [`Engine::sim_time`].
 //!
+//! Maximal runs of narrow operators (`map`, `filter`, `flat_map`, ...) are
+//! **fused** into a single pass per partition, eliding the intermediate
+//! materializations, while the simulated cost model still charges each
+//! operator exactly as if it ran unfused (sim-transparency; see
+//! `DESIGN.md` § "Narrow-stage fusion"). Disable with
+//! [`ClusterConfig::fuse_narrow`] `= false`.
+//!
 //! Execution is observable: always-on counters ([`StatsSnapshot`]), opt-in
 //! structured events ([`EngineEvent`], via [`Engine::enable_tracing`] or
 //! [`ClusterConfig::trace_events`]), the lowering-[`Decision`] log filled in

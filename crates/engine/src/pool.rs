@@ -132,10 +132,73 @@ where
         .collect()
 }
 
+/// Apply `f` to every index in `0..n` in parallel, preserving order.
+///
+/// The index-driven twin of [`parallel_map`] for work that is *generated*
+/// per index rather than moved out of an input vector (the fused
+/// narrow-chain executor drives one partition per index): same cursor-based
+/// dynamic scheduling and write-once output slots, but no input `SlotVec`
+/// to fill, take from, or drop.
+pub fn parallel_map_range<O, F>(n: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = host_parallelism().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = (n / (threads * 8)).max(1);
+    let outputs: SlotVec<O> = SlotVec::uninit(n);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let out = f(i);
+                    // SAFETY: `i` was claimed exactly once (the cursor only
+                    // grows and hands out disjoint ranges), so the slot is
+                    // written once and read only after the scope joins.
+                    unsafe { outputs.put(i, out) };
+                }
+            });
+        }
+    });
+    outputs
+        .0
+        .into_iter()
+        .map(|slot| {
+            // SAFETY: all slots are initialized once the scope has joined.
+            unsafe { slot.into_inner().assume_init() }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
+
+    #[test]
+    fn range_maps_in_order() {
+        let out = parallel_map_range(10_000, |i| i * 3);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn range_empty_and_single() {
+        assert!(parallel_map_range(0, |i| i).is_empty());
+        assert_eq!(parallel_map_range(1, |i| i + 41), vec![41]);
+    }
 
     #[test]
     fn maps_in_order() {

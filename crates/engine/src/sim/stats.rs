@@ -23,6 +23,8 @@ pub struct Stats {
     partitions_lost: AtomicU64,
     recompute_nanos: AtomicU64,
     checkpoint_bytes: AtomicU64,
+    stages_fused: AtomicU64,
+    intermediates_elided: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -63,6 +65,13 @@ pub struct StatsSnapshot {
     /// Modeled bytes written to replicated checkpoint storage by
     /// `Bag::checkpoint` (lineage truncation).
     pub checkpoint_bytes: u64,
+    /// Narrow operator chains executed as one fused per-partition pass
+    /// (`ClusterConfig::fuse_narrow`). Host-side only: fusion never changes
+    /// the simulated clock or the other counters.
+    pub stages_fused: u64,
+    /// Intermediate per-operator materializations elided by fusion (for a
+    /// fused chain of `k` operators, `k - 1` intermediates are elided).
+    pub intermediates_elided: u64,
 }
 
 impl StatsSnapshot {
@@ -87,6 +96,8 @@ impl StatsSnapshot {
             partitions_lost: self.partitions_lost - earlier.partitions_lost,
             recompute_nanos: self.recompute_nanos - earlier.recompute_nanos,
             checkpoint_bytes: self.checkpoint_bytes - earlier.checkpoint_bytes,
+            stages_fused: self.stages_fused - earlier.stages_fused,
+            intermediates_elided: self.intermediates_elided - earlier.intermediates_elided,
         }
     }
 }
@@ -143,6 +154,12 @@ impl Stats {
     pub fn add_checkpoint_bytes(&self, n: u64) {
         self.checkpoint_bytes.fetch_add(n, Ordering::Relaxed);
     }
+    /// Count one fused narrow-chain execution that elided `intermediates`
+    /// per-operator materializations.
+    pub fn add_stage_fused(&self, intermediates: u64) {
+        self.stages_fused.fetch_add(1, Ordering::Relaxed);
+        self.intermediates_elided.fetch_add(intermediates, Ordering::Relaxed);
+    }
 
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -161,6 +178,8 @@ impl Stats {
             partitions_lost: self.partitions_lost.load(Ordering::Relaxed),
             recompute_nanos: self.recompute_nanos.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            stages_fused: self.stages_fused.load(Ordering::Relaxed),
+            intermediates_elided: self.intermediates_elided.load(Ordering::Relaxed),
         }
     }
 }
@@ -188,6 +207,8 @@ mod tests {
         s.add_partitions_lost(4);
         s.add_recompute_nanos(1_000);
         s.add_checkpoint_bytes(256);
+        s.add_stage_fused(2);
+        s.add_stage_fused(4);
         let snap = s.snapshot();
         assert_eq!(snap.jobs, 2);
         assert_eq!(snap.stages, 2);
@@ -203,6 +224,8 @@ mod tests {
         assert_eq!(snap.partitions_lost, 4);
         assert_eq!(snap.recompute_nanos, 1_000);
         assert_eq!(snap.checkpoint_bytes, 256);
+        assert_eq!(snap.stages_fused, 2);
+        assert_eq!(snap.intermediates_elided, 6);
     }
 
     #[test]

@@ -188,6 +188,23 @@ pub enum EngineEvent {
         /// Simulated end of the write.
         end: SimTime,
     },
+    /// A maximal run of narrow operators executed as one fused per-partition
+    /// pass (`ClusterConfig::fuse_narrow`; see `DESIGN.md`, "Narrow-stage
+    /// fusion"). Host-side only: the chain's simulated charges are replayed
+    /// unchanged, so the matching [`EngineEvent::Stage`] events still appear
+    /// one per fused operator.
+    StageFused {
+        /// Composite operator name, e.g. `fused(map|filter|flat_map)`.
+        ops: &'static str,
+        /// Number of narrow operators collapsed into the pass.
+        ops_fused: u64,
+        /// Intermediate materializations elided (`ops_fused - 1`).
+        intermediates_elided: u64,
+        /// Partitions processed by the single pass.
+        partitions: u64,
+        /// Simulated time when the fused pass finished charging.
+        at: SimTime,
+    },
     /// Map-output partition-size distribution of one shuffle (per-wide-stage
     /// histogram digest; see `MapOutputStats`).
     PartitionStats {
@@ -269,6 +286,11 @@ pub struct TraceSummary {
     /// Bytes written to checkpoint storage ([`EngineEvent::Checkpoint`]
     /// sums).
     pub checkpoint_bytes: u64,
+    /// Fused narrow-chain passes ([`EngineEvent::StageFused`] count).
+    pub stages_fused: u64,
+    /// Intermediate materializations elided by fusion
+    /// ([`EngineEvent::StageFused`] sums).
+    pub intermediates_elided: u64,
 }
 
 impl TraceSummary {
@@ -310,6 +332,10 @@ impl TraceSummary {
                     s.partitions_recomputed += partitions
                 }
                 EngineEvent::Checkpoint { bytes, .. } => s.checkpoint_bytes += bytes,
+                EngineEvent::StageFused { intermediates_elided, .. } => {
+                    s.stages_fused += 1;
+                    s.intermediates_elided += intermediates_elided;
+                }
             }
         }
         s
@@ -514,6 +540,16 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
                     esc(operator)
                 );
                 span(&mut out, *start, *end);
+            }
+            EngineEvent::StageFused { ops, ops_fused, intermediates_elided, partitions, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"stage_fused\",\"ops\":\"{}\",\"ops_fused\":{ops_fused},\
+                     \"intermediates_elided\":{intermediates_elided},\"partitions\":{partitions},\
+                     \"at_us\":{:.3}",
+                    esc(ops),
+                    micros(*at)
+                );
             }
             EngineEvent::PartitionStats {
                 operator,
@@ -738,6 +774,17 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                     format!("\"bytes\":{bytes}"),
                 );
             }
+            EngineEvent::StageFused { ops, ops_fused, intermediates_elided, partitions, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"fusion\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\
+                     \"tid\":{TID_STAGES},\"s\":\"t\",\"args\":{{\"ops_fused\":{ops_fused},\
+                     \"intermediates_elided\":{intermediates_elided},\
+                     \"partitions\":{partitions}}}}},",
+                    esc(ops),
+                    micros(*at)
+                );
+            }
             EngineEvent::PartitionStats {
                 operator,
                 partitions,
@@ -844,6 +891,13 @@ mod tests {
                 end: t(5),
             },
             EngineEvent::Checkpoint { operator: "checkpoint", bytes: 512, start: t(5), end: t(6) },
+            EngineEvent::StageFused {
+                ops: "fused(map|filter)",
+                ops_fused: 2,
+                intermediates_elided: 1,
+                partitions: 4,
+                at: t(4),
+            },
             EngineEvent::PartitionStats {
                 operator: "reduce_by_key",
                 partitions: 4,
@@ -876,6 +930,8 @@ mod tests {
         assert_eq!(s.partitions_lost, 2);
         assert_eq!(s.partitions_recomputed, 2);
         assert_eq!(s.checkpoint_bytes, 512);
+        assert_eq!(s.stages_fused, 1);
+        assert_eq!(s.intermediates_elided, 1);
     }
 
     #[test]
@@ -920,6 +976,8 @@ mod tests {
             "\"partition_recomputed\"",
             "\"checkpoint\"",
             "\"checkpoint_bytes\":512",
+            "\"stage_fused\"",
+            "\"ops\":\"fused(map|filter)\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -940,6 +998,7 @@ mod tests {
         assert!(chrome.contains("machine 1 lost at stage 1"), "losses must be visible");
         assert!(chrome.contains("lineage replay: machine 1"));
         assert!(chrome.contains("checkpoint: checkpoint"));
+        assert!(chrome.contains("fused(map|filter)"), "fusions must be visible");
     }
 
     #[test]

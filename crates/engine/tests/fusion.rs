@@ -1,0 +1,136 @@
+//! Randomized fusion-equivalence tests: collapsing a narrow chain into one
+//! fused pass must be *observationally identical* to the unfused run — same
+//! results, same simulated time, same [`StatsSnapshot`] (up to the fusion
+//! counters themselves). Chains of length 1–8 mix every fusible operator,
+//! and a third of the cases hang a second consumer off a mid-chain node to
+//! exercise the multi-consumer barrier.
+
+use matryoshka_engine::{Bag, ClusterConfig, Engine, StatsSnapshot};
+
+/// splitmix64: a tiny, seedable generator so every case is reproducible
+/// from its seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build and run one randomized chain; everything about the chain's shape is
+/// derived from `seed`, so the `fuse` on/off runs see the identical program.
+fn run_case(seed: u64, fuse: bool) -> (Vec<u64>, Option<u64>, u64, StatsSnapshot) {
+    let mut rng = seed;
+    let e = Engine::new(ClusterConfig { fuse_narrow: fuse, ..ClusterConfig::local_test() });
+    let n = 64 + splitmix64(&mut rng) % 200;
+    let parts = 1 + (splitmix64(&mut rng) % 8) as usize;
+    let mul = splitmix64(&mut rng) | 1;
+    let mut bag = e.generate(n, parts, move |i| i.wrapping_mul(mul));
+    let len = 1 + (splitmix64(&mut rng) % 8) as usize;
+    let fork_at = if splitmix64(&mut rng).is_multiple_of(3) {
+        Some((splitmix64(&mut rng) % len as u64) as usize)
+    } else {
+        None
+    };
+    let fork_before_collect = splitmix64(&mut rng).is_multiple_of(2);
+    let mut side: Option<Bag<u64>> = None;
+    for k in 0..len {
+        if fork_at == Some(k) {
+            // Second consumer: this node now has an external handle, so the
+            // ops on either side of it must not fuse across it.
+            side = Some(bag.clone());
+        }
+        bag = match splitmix64(&mut rng) % 8 {
+            0 => {
+                let c = splitmix64(&mut rng);
+                bag.map(move |&x| x.wrapping_add(c))
+            }
+            1 => {
+                let m = 2 + splitmix64(&mut rng) % 5;
+                bag.filter(move |&x| x % m != 0)
+            }
+            2 => {
+                let c = splitmix64(&mut rng);
+                bag.flat_map(move |&x| {
+                    if x % 3 == 0 {
+                        vec![x, x ^ c]
+                    } else if x % 7 == 0 {
+                        vec![]
+                    } else {
+                        vec![x]
+                    }
+                })
+            }
+            3 => bag.key_by(|&x| x % 13).map(|&(k, v)| v.rotate_left(1) ^ k),
+            4 => bag.map_indexed(|pi, i, &x| x ^ ((pi as u64) << 32) ^ (i as u64)),
+            5 => bag.zip_with_unique_id().map(|&(x, id)| x.wrapping_add(id)),
+            6 => {
+                let s = splitmix64(&mut rng);
+                bag.sample(0.6, s)
+            }
+            _ => bag.key_by(|&x| x % 11).map_values(|&v| v.wrapping_add(7)).map(|&(k, v)| k ^ v),
+        };
+    }
+    let mut side_count = None;
+    if fork_before_collect {
+        if let Some(s) = &side {
+            side_count = Some(s.count().unwrap());
+        }
+    }
+    let out = bag.collect().unwrap();
+    if !fork_before_collect {
+        if let Some(s) = &side {
+            side_count = Some(s.count().unwrap());
+        }
+    }
+    (out, side_count, e.sim_time().as_nanos(), e.stats())
+}
+
+#[test]
+fn fused_and_unfused_runs_are_observationally_identical() {
+    for seed in 0..220u64 {
+        let (r_u, s_u, nanos_u, stats_u) = run_case(seed, false);
+        let (r_f, s_f, nanos_f, mut stats_f) = run_case(seed, true);
+        assert_eq!(r_u, r_f, "seed {seed}: results diverge");
+        assert_eq!(s_u, s_f, "seed {seed}: side-consumer counts diverge");
+        assert_eq!(nanos_u, nanos_f, "seed {seed}: simulated time diverges");
+        assert_eq!(
+            stats_u.stages_fused, 0,
+            "seed {seed}: fusion must be fully disabled when fuse_narrow is off"
+        );
+        assert_eq!(stats_u.intermediates_elided, 0, "seed {seed}");
+        stats_f.stages_fused = 0;
+        stats_f.intermediates_elided = 0;
+        assert_eq!(stats_u, stats_f, "seed {seed}: stats diverge beyond the fusion counters");
+    }
+}
+
+/// The fused tail advertises its composite provenance after evaluation, and
+/// the decision log records what was fused and why.
+#[test]
+fn fused_tail_reports_composite_name_and_logs_a_decision() {
+    let e = Engine::new(ClusterConfig::local_test());
+    let base = e.generate(100, 4, |i| i);
+    // Bind the tail before the action: the map's temporary dies at the end
+    // of this statement, leaving the chain exclusively owned at eval time.
+    let tail = base.map(|&x| x + 1).filter(|&x| x % 2 == 0);
+    assert_eq!(tail.op_name(), "filter", "pre-eval: a bag reports its own op");
+    tail.count().unwrap();
+    assert_eq!(tail.op_name(), "fused(map|filter)", "post-eval: composite provenance");
+    let decisions = e.decisions();
+    assert!(
+        decisions.iter().any(|d| d.site == "narrow_fusion" && d.choice == "fused(map|filter)"),
+        "expected a narrow_fusion decision, got: {decisions:?}"
+    );
+}
+
+/// With fusion disabled, op names and decisions stay exactly as before.
+#[test]
+fn disabled_fusion_leaves_names_and_decisions_untouched() {
+    let e = Engine::new(ClusterConfig { fuse_narrow: false, ..ClusterConfig::local_test() });
+    let base = e.generate(100, 4, |i| i);
+    let tail = base.map(|&x| x + 1).filter(|&x| x % 2 == 0);
+    tail.count().unwrap();
+    assert_eq!(tail.op_name(), "filter");
+    assert!(e.decisions().iter().all(|d| d.site != "narrow_fusion"));
+}

@@ -106,6 +106,8 @@ fn golden_kmeans() -> Golden {
             partitions_lost: 0,
             recompute_nanos: 0,
             checkpoint_bytes: 0,
+            stages_fused: 0,
+            intermediates_elided: 0,
         },
     }
 }
@@ -128,6 +130,8 @@ fn golden_copartitioned_join_loop() -> Golden {
             partitions_lost: 0,
             recompute_nanos: 0,
             checkpoint_bytes: 0,
+            stages_fused: 0,
+            intermediates_elided: 0,
         },
     }
 }
@@ -150,6 +154,8 @@ fn golden_distinct() -> Golden {
             partitions_lost: 0,
             recompute_nanos: 0,
             checkpoint_bytes: 0,
+            stages_fused: 0,
+            intermediates_elided: 0,
         },
     }
 }
@@ -172,6 +178,8 @@ fn golden_shuffle_heavy() -> Golden {
             partitions_lost: 0,
             recompute_nanos: 0,
             checkpoint_bytes: 0,
+            stages_fused: 0,
+            intermediates_elided: 0,
         },
     }
 }

@@ -111,6 +111,47 @@ fn broadcast_join_job_traces_broadcast_not_shuffle() {
     assert!(!events.iter().any(|e| matches!(e, EngineEvent::Shuffle { .. })));
 }
 
+/// A fused narrow chain emits one StageFused event carrying the composite
+/// op list, and the per-op Stage charges still appear under each original
+/// operator name (the sim-transparency contract).
+#[test]
+fn fused_chain_traces_a_stage_fused_event() {
+    let engine = traced_engine();
+    // Bind the tail before the action so the chain is exclusively owned at
+    // eval time (see DESIGN.md "Narrow-stage fusion").
+    let tail = engine
+        .parallelize((0..1000u64).collect::<Vec<_>>(), 4)
+        .map(|i| i * 2)
+        .filter(|i| i % 3 != 0);
+    assert_eq!(tail.count().unwrap(), 666);
+
+    let events = engine.events();
+    let fused: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::StageFused {
+                ops, ops_fused, intermediates_elided, partitions, ..
+            } => Some((*ops, *ops_fused, *intermediates_elided, *partitions)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fused, [("fused(map|filter)", 2, 1, 4)], "events: {events:?}");
+    // The replayed per-op charges keep their original attribution.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, EngineEvent::Stage { operator: "map", scheduled: false, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, EngineEvent::Stage { operator: "filter", scheduled: false, .. })));
+    // And the summary aggregates the fusion counters.
+    let summary = engine.trace_summary();
+    let stats = engine.stats();
+    assert_eq!(summary.stages_fused, stats.stages_fused);
+    assert_eq!(summary.intermediates_elided, stats.intermediates_elided);
+    assert_eq!(stats.stages_fused, 1);
+    assert_eq!(stats.intermediates_elided, 1);
+}
+
 /// The aggregate of the event stream must match the engine's counters.
 #[test]
 fn trace_summary_reconciles_with_stats_snapshot() {

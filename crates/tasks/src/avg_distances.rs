@@ -118,7 +118,7 @@ pub fn outer_parallel(engine: &Engine, edges: &Bag<(u64, u64)>) -> Result<AvgDis
         let r = seq::avg_distances(comp_edges);
         let mem = (comp_edges.len() as f64 * record_bytes * factor) as u64;
         ((*c, r.value), WorkEstimate { cost_units: r.work, mem_bytes: mem })
-    })?;
+    });
     Ok(sort(avgs.collect()?))
 }
 

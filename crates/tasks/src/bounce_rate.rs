@@ -60,7 +60,7 @@ pub fn outer_parallel(_engine: &Engine, visits: &Bag<(u32, u64)>) -> Result<Boun
         // (Sec. 9.4).
         let mem = (ips.len() as f64 * record_bytes * BOUNCE_UDF_MEMORY_FACTOR) as u64;
         ((*day, r.value), WorkEstimate { cost_units: r.work, mem_bytes: mem })
-    })?;
+    });
     Ok(sort(rates.collect()?))
 }
 

@@ -114,7 +114,7 @@ pub fn outer_parallel(
     let results = bag.map_with_work(move |(id, init)| {
         let r = seq::kmeans(&points, init, &p);
         ((*id, r.value), WorkEstimate { cost_units: r.work, mem_bytes: (init.len() * 64) as u64 })
-    })?;
+    });
     Ok(sort(results.collect()?))
 }
 
@@ -222,7 +222,7 @@ pub fn outer_parallel_grouped(
         let r = seq::kmeans(pts, &inits[id], &p);
         let mem = (pts.len() as f64 * record_bytes * factor) as u64;
         ((*id, r.value), WorkEstimate { cost_units: r.work, mem_bytes: mem })
-    })?;
+    });
     Ok(sort(results.collect()?))
 }
 

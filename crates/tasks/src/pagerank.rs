@@ -115,7 +115,7 @@ pub fn outer_parallel(
         let r = seq::pagerank(group_edges, &p);
         let mem = (group_edges.len() as f64 * record_bytes * factor) as u64;
         ((*g, r.value), WorkEstimate { cost_units: r.work, mem_bytes: mem })
-    })?;
+    });
     let flat = ranks.flat_map(|(g, vs)| vs.iter().map(|vr| (*g, *vr)).collect::<Vec<_>>());
     Ok(sort(flat.collect()?))
 }

@@ -38,11 +38,11 @@ echo "== sanitizers (best effort: miri, then TSan, else skip)"
 # The container has no network, so missing toolchain components (miri,
 # rust-src for -Zbuild-std) cannot be installed on the fly; skip cleanly.
 if cargo miri --version >/dev/null 2>&1 \
-  && cargo miri test -p matryoshka-engine pool 2>/dev/null; then
-  echo "miri: engine pool tests passed"
-elif RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p matryoshka-engine pool \
+  && cargo miri test -p matryoshka-engine --lib pool fuse 2>/dev/null; then
+  echo "miri: engine pool + fusion tests passed"
+elif RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p matryoshka-engine --lib pool fuse \
     -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" 2>/dev/null; then
-  echo "TSan: engine pool tests passed"
+  echo "TSan: engine pool + fusion tests passed"
 else
   echo "sanitizers unavailable in this toolchain (miri/rust-src not installed); skipping"
 fi
@@ -54,6 +54,14 @@ grep -q '"median_ms"' "$BENCH_SMOKE_OUT" || {
   echo "bench smoke did not emit machine-readable records to $BENCH_SMOKE_OUT" >&2
   exit 1
 }
+# The fusion ablation must emit both arms so the fused/unfused comparison in
+# BENCH_micro.json never silently loses a side.
+for arm in 'narrow_chain/fused' 'narrow_chain/unfused'; do
+  grep -q "\"$arm\"" "$BENCH_SMOKE_OUT" || {
+    echo "bench smoke is missing the $arm ablation row" >&2
+    exit 1
+  }
+done
 rm -f "$BENCH_SMOKE_OUT"
 
 echo "== fig7 skew bench smoke (adaptive sweep) + BENCH_skew.json parse check"
