@@ -238,6 +238,42 @@ fn bench_lifted_loop(h: &mut Harness) {
     }
 }
 
+/// The workload the plan-rewrite pass targets: a driver loop whose
+/// condition recomputes a full `count(distinct(..))` shuffle every
+/// iteration. With hoisting on, the invariant subplan is cached above the
+/// loop and the per-iteration shuffles vanish (the ablation EXPERIMENTS.md
+/// reports alongside narrow-stage fusion).
+fn bench_plan_rewrites(h: &mut Harness) {
+    use matryoshka_core::PlanRewriteConfig;
+    use matryoshka_ir::ast::{BinOp, Expr};
+    use matryoshka_ir::{Lowering, RtVal, Value};
+
+    let n = h.size(200_000, 2_000);
+    // loop (i = 0) while i < count(distinct(source(xs))) do (i + 1) yield i
+    let invariant = Expr::Count(Box::new(Expr::Distinct(Box::new(Expr::Source("xs".into())))));
+    let program = Expr::Loop {
+        init: vec![("i".into(), Expr::long(0))],
+        cond: Box::new(Expr::bin(BinOp::Lt, Expr::var("i"), invariant)),
+        step: vec![Expr::bin(BinOp::Add, Expr::var("i"), Expr::long(1))],
+        result: Box::new(Expr::var("i")),
+    };
+    let xs: Vec<Value> = (0..n as i64).map(|i| Value::Long(i % 24)).collect();
+    for (label, hoist) in [("plan_rewrites/hoist_off", false), ("plan_rewrites/hoist_on", true)] {
+        h.bench(label, n, || {
+            let e = engine();
+            let inputs =
+                std::collections::HashMap::from([("xs".to_string(), e.parallelize(xs.clone(), 8))]);
+            let mut cfg = MatryoshkaConfig::optimized();
+            cfg.plan =
+                if hoist { PlanRewriteConfig::enabled() } else { PlanRewriteConfig::default() };
+            match Lowering::new(e, cfg).run(&program, &inputs).unwrap() {
+                RtVal::Scalar(v) => v,
+                other => panic!("expected a scalar, got {other:?}"),
+            }
+        });
+    }
+}
+
 fn bench_nesting(h: &mut Harness) {
     let n = h.size(100_000, 2_000);
     h.bench("nesting_primitives/group_by_key_into_nested_bag", n, || {
@@ -255,6 +291,7 @@ fn main() {
     bench_narrow_chain(&mut h);
     bench_lifted_vs_flat(&mut h);
     bench_lifted_loop(&mut h);
+    bench_plan_rewrites(&mut h);
     bench_nesting(&mut h);
 
     let out_path = std::env::var("BENCH_MICRO_OUT").unwrap_or_else(|_| {

@@ -176,6 +176,15 @@ impl<T: Key, A: LiftedData<T>, B: LiftedData<T>, C: LiftedData<T>> LiftedData<T>
 /// iterations ([`Bag::checkpoint`](matryoshka_engine::Bag::checkpoint)),
 /// bounding how much lineage a simulated machine loss has to replay at the
 /// price of a modeled checkpoint write (see `docs/FAULTS.md`).
+///
+/// Loop-invariant subplans hoisted above a lowered loop by the IR's
+/// plan-rewrite pass (`matryoshka_ir::analyze::plan`, see
+/// `docs/ANALYSIS.md`) persist naturally across iterations here: the
+/// hoisted binding is an engine [`Bag`](matryoshka_engine::Bag) whose
+/// partitions memoize on first evaluation (behind a `cache` node, a fusion
+/// barrier), so every iteration of the body closure reuses the same
+/// materialized `Arc` partitions instead of replaying the subplan's
+/// lineage.
 pub fn lifted_while<T: Key, S: LiftedData<T>>(
     init: &S,
     body: impl Fn(&S) -> Result<(S, InnerScalar<T, bool>)>,

@@ -66,5 +66,5 @@ pub use context::LiftingContext;
 pub use control_flow::{lifted_if, lifted_while, LiftedData};
 pub use inner_bag::{CoPartitioned, InnerBag};
 pub use nested::{group_by_key_into_nested_bag, lift_flat_bag, NestedBag};
-pub use optimizer::{CrossChoice, JoinChoice, MatryoshkaConfig};
+pub use optimizer::{CrossChoice, JoinChoice, MatryoshkaConfig, PlanRewriteConfig};
 pub use scalar::InnerScalar;

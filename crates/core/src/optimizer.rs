@@ -41,6 +41,29 @@ pub enum CrossChoice {
     ForceBroadcastBag,
 }
 
+/// Knobs of the static plan-rewrite pass (`matryoshka-ir::analyze::plan`):
+/// loop-invariant hoisting, CSE with auto-caching, and dead-operator
+/// elimination. **Off by default** — default plans, decision logs, and the
+/// golden simulated times are bit-identical with the pass disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanRewriteConfig {
+    /// Master switch: when false the program is lowered verbatim.
+    pub enabled: bool,
+    /// Hoist loop-invariant subplans above loops and materialize them once.
+    pub hoist: bool,
+    /// Merge structurally identical subplans and cache multi-consumer ones.
+    pub cse: bool,
+    /// Drop pure operators whose outputs are never consumed.
+    pub dce: bool,
+}
+
+impl PlanRewriteConfig {
+    /// All three rewrites on.
+    pub fn enabled() -> Self {
+        PlanRewriteConfig { enabled: true, hoist: true, cse: true, dce: true }
+    }
+}
+
 /// Knobs of the lowering phase. The defaults are the full optimizer; the
 /// forced variants exist for the ablation experiments.
 #[derive(Debug, Clone, Default)]
@@ -62,6 +85,9 @@ pub struct MatryoshkaConfig {
     /// disables periodic checkpointing: plans, decision logs, and simulated
     /// times are unchanged.
     pub checkpoint_interval: usize,
+    /// Static plan rewrites (hoist/CSE/DCE) applied by the IR lowering
+    /// before execution. Off by default.
+    pub plan: PlanRewriteConfig,
 }
 
 impl MatryoshkaConfig {
@@ -73,6 +99,7 @@ impl MatryoshkaConfig {
             partition_tuning: true,
             adaptive: AdaptiveConfig::default(),
             checkpoint_interval: 0,
+            plan: PlanRewriteConfig::default(),
         }
     }
 

@@ -32,10 +32,11 @@
 //! A fusible operator materializes its parent (starting a fresh chain there)
 //! instead of fusing through it when the parent is:
 //!
-//! - a **wide** operator, a source, `checkpoint`, `coalesce`, `union`,
-//!   `with_record_bytes` or `map_with_work` (none carry a fuse hook —
-//!   `map_with_work` because its memory accounting must observe real
-//!   per-partition outputs);
+//! - a **wide** operator, a source, `checkpoint`, `cache`, `coalesce`,
+//!   `union`, `with_record_bytes` or `map_with_work` (none carry a fuse
+//!   hook — `map_with_work` because its memory accounting must observe real
+//!   per-partition outputs, `cache`/`checkpoint` because their whole point
+//!   is a stable materialization every consumer can share);
 //! - already **materialized** (its memoized partitions are reused as-is);
 //! - **multi-consumer**: any other live handle to the parent (a user
 //!   binding, a second downstream operator, or a still-live temporary of the
@@ -47,6 +48,10 @@
 //! Exclusivity is detected by `Arc` strong count: a fusible child holds
 //! exactly two references to its parent (one in its assemble hook, one in
 //! its compute closure), so a count of 2 proves no other handle exists.
+//! The materialized/multi-consumer check is the shared barrier predicate
+//! [`Bag::absorbable`](super::Bag::absorbable), which the IR plan-rewrite
+//! pass also leans on: its hoist/CSE auto-caching inserts `cache` nodes so
+//! shared subplans stay materialized under exactly the same rule.
 //!
 //! # Iteration stability
 //!

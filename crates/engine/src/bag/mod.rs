@@ -177,16 +177,31 @@ impl<T: Data> Bag<T> {
         }
     }
 
+    /// The shared reuse-barrier predicate for chain-extending rewrites:
+    /// a node may be absorbed into a longer chain only while it is
+    /// **unmaterialized** and **exclusively owned**. Already-evaluated
+    /// nodes (including `checkpoint` and `cache` parents, whose whole point
+    /// is a stable materialization) and multi-consumer nodes must stay as
+    /// they are so every consumer finds the shared partitions cached.
+    /// `expected_refs` is the number of handles the single downstream
+    /// consumer legitimately holds (fusion holds two: assemble hook +
+    /// compute closure). Used by operator fusion here and relied upon by
+    /// the IR plan-rewrite pass (`matryoshka-ir::analyze::plan`), whose
+    /// hoist/CSE auto-caching inserts `cache` nodes precisely so this
+    /// predicate keeps them materialized instead of re-deriving the rule.
+    pub(crate) fn absorbable(&self, expected_refs: usize) -> bool {
+        self.node.cache.get().is_none() && Arc::strong_count(&self.node) == expected_refs
+    }
+
     /// The fusion recipe of this bag, if a downstream narrow operator may
-    /// extend its chain: requires a fusible, not-yet-materialized node with
-    /// no other live handle. The strong count of 2 is exactly the two
-    /// references a fusible child holds (assemble hook + compute closure);
-    /// any third handle — a user binding, a second consumer, a still-live
-    /// temporary of the enclosing statement — keeps the shared prefix
-    /// materialized so a later evaluation finds it cached exactly as an
-    /// unfused run would have left it.
+    /// extend its chain: requires a fusible node that passes the shared
+    /// [`Bag::absorbable`] barrier predicate. Any third handle — a user
+    /// binding, a second consumer, a still-live temporary of the enclosing
+    /// statement — keeps the shared prefix materialized so a later
+    /// evaluation finds it cached exactly as an unfused run would have
+    /// left it.
     pub(crate) fn fuse_through(&self) -> Option<&fuse::FuseHook<T>> {
-        if self.node.cache.get().is_none() && Arc::strong_count(&self.node) == 2 {
+        if self.absorbable(2) {
             self.node.fuse.as_ref()
         } else {
             None
@@ -266,6 +281,29 @@ impl<T: Data> Bag<T> {
             self.engine().clone(),
             "with_record_bytes",
             bytes,
+            self.num_partitions(),
+            self.partitioning(),
+            move || parent.eval(),
+        )
+    }
+
+    /// Explicitly mark this bag for reuse: evaluate the parent once and
+    /// share its partitions with every consumer (zero-copy — `Parts` is an
+    /// `Arc` of `Arc`ed partitions, like Spark's `cache()` without the
+    /// storage-level bookkeeping).
+    ///
+    /// The node charges nothing of its own (memoization already makes every
+    /// evaluated bag reusable), but it is a **fusion barrier** by
+    /// construction (no fuse hook), so downstream narrow chains cannot
+    /// absorb the parent and recompute it per consumer. The plan-rewrite
+    /// pass (`matryoshka-ir::analyze::plan`) lowers its hoisted and merged
+    /// subplans onto this node.
+    pub fn cache(&self) -> Bag<T> {
+        let parent = self.clone();
+        Bag::new_with_partitioning(
+            self.engine().clone(),
+            "cache",
+            self.record_bytes(),
             self.num_partitions(),
             self.partitioning(),
             move || parent.eval(),
@@ -397,6 +435,45 @@ mod tests {
         assert!(b.collect().is_err());
         let trace = e.trace();
         assert!(trace.iter().any(|ev| ev.op == "group_by_key" && !ev.ok));
+    }
+
+    #[test]
+    fn cache_is_a_zero_cost_identity_sharing_partitions() {
+        let e = Engine::new(ClusterConfig::local_test());
+        let b = e.parallelize((0..100).collect::<Vec<i32>>(), 4).map(|x| x * 2);
+        let c = b.cache();
+        assert_eq!(c.num_partitions(), b.num_partitions());
+        assert_eq!(c.record_bytes(), b.record_bytes());
+        assert_eq!(c.collect().unwrap(), b.collect().unwrap());
+        // Zero-copy: the cache node's partitions are the parent's Arcs.
+        let (cp, bp) = (c.eval().unwrap(), b.eval().unwrap());
+        assert!(cp.iter().zip(bp.iter()).all(|(a, b)| std::sync::Arc::ptr_eq(a, b)));
+    }
+
+    #[test]
+    fn cache_and_checkpoint_parents_block_fusion() {
+        let run = |wrap: fn(&crate::Bag<i32>) -> crate::Bag<i32>| {
+            let mut cfg = ClusterConfig::local_test();
+            cfg.fuse_narrow = true;
+            let e = Engine::new(cfg);
+            let b = wrap(&e.parallelize((0..100).collect::<Vec<i32>>(), 4).map(|x| x + 1));
+            let out = b.map(|x| x * 2).filter(|x| x % 4 == 0);
+            out.count().unwrap();
+            (out.collect().unwrap(), e.trace().iter().map(|ev| ev.op).collect::<Vec<_>>())
+        };
+        let (plain_rows, _plain_ops) = run(|b| b.clone());
+        let (cached_rows, cached_ops) = run(|b| b.cache());
+        let (ckpt_rows, ckpt_ops) = run(|b| b.checkpoint());
+        assert_eq!(plain_rows, cached_rows);
+        assert_eq!(plain_rows, ckpt_rows);
+        // The downstream map|filter chain still fuses, but never through
+        // the barrier node: the barrier appears in the trace by name.
+        assert!(cached_ops.contains(&"cache"), "{cached_ops:?}");
+        assert!(ckpt_ops.contains(&"checkpoint"), "{ckpt_ops:?}");
+        assert!(
+            cached_ops.iter().all(|op| !op.contains("cache|") && !op.contains("|cache")),
+            "fused through a cache barrier: {cached_ops:?}"
+        );
     }
 
     #[test]

@@ -78,6 +78,20 @@ pub mod codes {
     /// (warning): the plan still runs, but the re-optimizer is inert or
     /// over-eager. Emitted by `matryoshka-check --adaptive-config`.
     pub const ADAPTIVE_CONFIG: &str = "MAT092";
+    /// The plan-rewrite pass hoisted a loop-invariant subplan out of a loop
+    /// and materialized it once (informational warning; the rewrite is
+    /// provably result-preserving).
+    pub const PLAN_HOIST: &str = "MAT093";
+    /// A loop-invariant hoist candidate was found but blocked (e.g. it names
+    /// a loop variable deeper down, or sits behind an explicit `cache`
+    /// barrier); the message says why.
+    pub const PLAN_HOIST_BLOCKED: &str = "MAT094";
+    /// The plan-rewrite pass merged structurally identical subplans (CSE)
+    /// or cached a subplan with more than one consumer.
+    pub const PLAN_CSE: &str = "MAT095";
+    /// The plan-rewrite pass dropped a pure operator whose output is never
+    /// consumed (dead-operator elimination).
+    pub const PLAN_DEAD_OP: &str = "MAT096";
 
     /// The full code table: `(code, severity-is-error, summary)`. Kept in
     /// one place so the docs (`docs/ANALYSIS.md`) and the golden tests can
@@ -100,6 +114,10 @@ pub mod codes {
         (UNUSED_BINDING, false, "unused let binding"),
         (SHADOWED_BINDING, false, "binding shadows an enclosing binding"),
         (ADAPTIVE_CONFIG, false, "nonsensical adaptive-execution configuration"),
+        (PLAN_HOIST, false, "loop-invariant subplan hoisted and materialized"),
+        (PLAN_HOIST_BLOCKED, false, "loop-invariant hoist blocked"),
+        (PLAN_CSE, false, "common subplan merged / multi-consumer subplan cached"),
+        (PLAN_DEAD_OP, false, "dead operator eliminated"),
     ];
 }
 

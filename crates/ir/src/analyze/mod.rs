@@ -28,6 +28,7 @@
 
 pub mod captures;
 mod diag;
+pub mod plan;
 pub mod reorder;
 pub mod rw;
 mod ty;

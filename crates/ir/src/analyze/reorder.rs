@@ -100,8 +100,9 @@ fn substitute_projections(
     }
 }
 
-/// Rebuild `e` with `f` applied to every direct child expression.
-fn rebuild_with(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
+/// Rebuild `e` with `f` applied to every direct child expression. Shared
+/// with the plan-rewrite pass ([`super::plan`]).
+pub(crate) fn rebuild_with(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
     let lam = |l: &Lambda, f: &mut dyn FnMut(&Expr) -> Expr| Lambda {
         param: l.param.clone(),
         body: Arc::new(f(&l.body)),
@@ -135,6 +136,7 @@ fn rebuild_with(e: &Expr, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
         Expr::Distinct(x) => Expr::Distinct(Box::new(f(x))),
         Expr::Union(a, b) => Expr::Union(Box::new(f(a)), Box::new(f(b))),
         Expr::Count(x) => Expr::Count(Box::new(f(x))),
+        Expr::Cache(x) => Expr::Cache(Box::new(f(x))),
         Expr::Fold(x, z, l) => Expr::Fold(Box::new(f(x)), Box::new(f(z)), lam2(l, f)),
         Expr::GroupByKeyIntoNestedBag(x) => Expr::GroupByKeyIntoNestedBag(Box::new(f(x))),
         Expr::MapWithLiftedUdf { input, udf, closures } => Expr::MapWithLiftedUdf {

@@ -74,6 +74,7 @@ fn go(e: &Expr, param: &str, shadow: u32, out: &mut UdfFieldUse) {
         Expr::GroupByKey(x)
         | Expr::Distinct(x)
         | Expr::Count(x)
+        | Expr::Cache(x)
         | Expr::GroupByKeyIntoNestedBag(x) => go(x, param, shadow, out),
         Expr::ReduceByKey(x, l2) => {
             go(x, param, shadow, out);

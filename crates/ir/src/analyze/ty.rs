@@ -535,6 +535,8 @@ impl<'a> Checker<'a> {
                 }
                 Ty::Scalar
             }
+            // A materialization hint is the identity on types.
+            Expr::Cache(x) => self.infer(x, level, x.span().or(sp)),
         }
     }
 

@@ -171,6 +171,14 @@ pub enum Expr {
     /// bags inside aggregation UDFs are outside the flattening's
     /// completeness preconditions, Sec. 7).
     Fold(Box<Expr>, Box<Expr>, Lambda2),
+    /// Explicit materialization hint: evaluate the child once and reuse the
+    /// shared partitions for every consumer. Semantically the identity;
+    /// inserted by the plan-rewrite pass ([`crate::analyze::plan`]) above
+    /// hoisted loop-invariant subplans and merged common subexpressions,
+    /// and writable in source as `cache(e)`. Opaque to further rewriting
+    /// (a cache node is a hoist/CSE barrier, like the engine's
+    /// `checkpoint`).
+    Cache(Box<Expr>),
 
     // --- nesting primitives (inserted by the parsing phase) ------------
     /// `groupByKeyIntoNestedBag` (paper Listing 2 line 3).
@@ -273,6 +281,7 @@ impl Expr {
             Expr::Fold(x, z, l) => {
                 Expr::Fold(Box::new(x.strip_spans()), Box::new(z.strip_spans()), lam2(l))
             }
+            Expr::Cache(x) => Expr::Cache(Box::new(x.strip_spans())),
             Expr::GroupByKeyIntoNestedBag(x) => {
                 Expr::GroupByKeyIntoNestedBag(Box::new(x.strip_spans()))
             }
@@ -348,6 +357,7 @@ impl Expr {
             Expr::GroupByKey(e)
             | Expr::Distinct(e)
             | Expr::Count(e)
+            | Expr::Cache(e)
             | Expr::GroupByKeyIntoNestedBag(e) => e.visit(f),
             Expr::ReduceByKey(e, l2) => {
                 e.visit(f);
@@ -414,6 +424,7 @@ impl Expr {
                 Expr::GroupByKey(x)
                 | Expr::Distinct(x)
                 | Expr::Count(x)
+                | Expr::Cache(x)
                 | Expr::GroupByKeyIntoNestedBag(x) => go(x, bound, out),
                 Expr::ReduceByKey(x, l2) => {
                     go(x, bound, out);

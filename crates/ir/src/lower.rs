@@ -108,6 +108,9 @@ pub fn eval_pure(e: &Expr, env: &PureEnv) -> IrResult<Value> {
             }
             eval_pure(result, &env2)?
         }
+        // A materialization hint on a scalar is the identity (nothing to
+        // cache: scalar evaluation is already by-value).
+        Expr::Cache(x) => eval_pure(x, env)?,
         other => {
             return Err(IrError::Unsupported(format!(
                 "bag operation in a scalar-only context: {other:?}"
@@ -316,7 +319,19 @@ impl Lowering {
 
     /// Execute a parsed program. `inputs` binds the program's `Source`
     /// names to engine bags.
+    ///
+    /// When plan rewrites are enabled in the config (they are off by
+    /// default), the program first runs through
+    /// [`crate::analyze::plan::rewrite_plan`] and each applied rewrite is
+    /// recorded in the engine's decision log under the `plan_rewrite` site.
     pub fn run(&self, program: &Expr, inputs: &HashMap<String, Bag<Value>>) -> IrResult<RtVal> {
+        if self.config.plan.enabled {
+            let rewritten = crate::analyze::plan::rewrite_plan(program, &self.config.plan);
+            for r in &rewritten.rewrites {
+                self.engine.record_decision("plan_rewrite", r.code, 0, 0, r.to_string());
+            }
+            return self.eval(&rewritten.expr, &Env::new(), inputs);
+        }
         self.eval(program, &Env::new(), inputs)
     }
 
@@ -459,6 +474,14 @@ impl Lowering {
             Expr::MapWithLiftedUdf { input, udf, closures } => {
                 self.eval_map_with_lifted_udf(input, udf, closures, env, inputs)?
             }
+            // Explicit materialization hint (inserted by the plan-rewrite
+            // pass or written as `cache(e)`): a dedicated engine node whose
+            // memoized partitions every consumer shares, and a fusion
+            // barrier so narrow chains cannot recompute the parent.
+            Expr::Cache(x) => match self.eval(x, env, inputs)? {
+                RtVal::Bag(b) => RtVal::Bag(b.cache()),
+                other => other,
+            },
         })
     }
 
@@ -802,6 +825,17 @@ impl Lowering {
                 let folded = b.fold(z, move |a, v| f(a, v), move |a, b| g(a, b));
                 LVal::Scalar(folded)
             }
+            // Lifted materialization hint: cache the tagged representation
+            // bag, so every consumer (and every loop iteration whose
+            // environment carries this value) shares one evaluation.
+            Expr::Cache(x) => match self.eval_lifted(x, lenv, ctx, inputs)? {
+                LVal::Scalar(s) => {
+                    LVal::Scalar(InnerScalar::from_repr(s.repr().cache(), s.ctx().clone()))
+                }
+                LVal::Bag(b) => LVal::Bag(InnerBag::from_repr(b.repr().cache(), b.ctx().clone())),
+                LVal::Driver(RtVal::Bag(db)) => LVal::Driver(RtVal::Bag(db.cache())),
+                other => other,
+            },
             Expr::GroupByKey(_)
             | Expr::GroupByKeyIntoNestedBag(_)
             | Expr::MapWithLiftedUdf { .. } => {

@@ -103,6 +103,7 @@ pub fn shape_of(e: &Expr, env: &HashMap<String, Shape>) -> IrResult<Shape> {
             }
             shape_of(result, &env2)?
         }
+        Expr::Cache(x) => shape_of(x, env)?,
         Expr::Source(_)
         | Expr::Map(..)
         | Expr::Filter(..)
@@ -272,6 +273,7 @@ fn rewrite(
         ),
         Expr::Distinct(x) => Expr::Distinct(Box::new(rewrite(x, env, dialect, inside_lifted)?)),
         Expr::Count(x) => Expr::Count(Box::new(rewrite(x, env, dialect, inside_lifted)?)),
+        Expr::Cache(x) => Expr::Cache(Box::new(rewrite(x, env, dialect, inside_lifted)?)),
         Expr::MapWithLiftedUdf { input, udf, closures } => Expr::MapWithLiftedUdf {
             input: Box::new(rewrite(input, env, dialect, inside_lifted)?),
             udf: udf.clone(),

@@ -129,6 +129,7 @@ fn go(e: &Expr, depth: usize, out: &mut String) {
         Expr::GroupByKeyIntoNestedBag(x) => simple(out, depth, x, "groupByKeyIntoNestedBag()"),
         Expr::Distinct(x) => simple(out, depth, x, "distinct()"),
         Expr::Count(x) => simple(out, depth, x, "count()"),
+        Expr::Cache(x) => simple(out, depth, x, "cache()"),
         Expr::ReduceByKey(x, l2) => {
             go(x, depth, out);
             let _ = write!(out, ".reduceByKey(({}, {}) => ", l2.a, l2.b);
@@ -287,6 +288,7 @@ fn src(e: &Expr, out: &mut String) {
         Expr::GroupByKey(x) => src_call0(out, "groupByKey", x),
         Expr::Distinct(x) => src_call0(out, "distinct", x),
         Expr::Count(x) => src_call0(out, "count", x),
+        Expr::Cache(x) => src_call0(out, "cache", x),
         Expr::ReduceByKey(x, l2) => {
             out.push_str("reduceByKey(");
             src(x, out);
@@ -354,6 +356,146 @@ fn src_call1(out: &mut String, name: &str, x: &Expr, param: &str, body: &Expr) {
     let _ = write!(out, ", {param} => ");
     src(body, out);
     out.push(')');
+}
+
+/// Render `e` as an indented operator tree, one node per line — the format
+/// `matryoshka-check --explain` prints for before/after plans. Spans are
+/// transparent; lambda parameters are shown on the operator line; loop
+/// slots are labelled (`init`, `while`, `step`, `yield`).
+pub fn plan_tree(e: &Expr) -> String {
+    let mut out = String::new();
+    tree(e, 0, &mut out);
+    out
+}
+
+fn tree_line(out: &mut String, depth: usize, label: &str) {
+    indent(out, depth);
+    out.push_str(label);
+    out.push('\n');
+}
+
+fn tree(e: &Expr, depth: usize, out: &mut String) {
+    match e.unspanned() {
+        Expr::Const(v) => tree_line(out, depth, &format!("const {v}")),
+        Expr::Var(n) => tree_line(out, depth, &format!("var {n}")),
+        Expr::Source(n) => tree_line(out, depth, &format!("source {n}")),
+        Expr::Tuple(items) => {
+            tree_line(out, depth, "tuple");
+            items.iter().for_each(|x| tree(x, depth + 1, out));
+        }
+        Expr::Proj(x, i) => {
+            tree_line(out, depth, &format!("proj .{i}"));
+            tree(x, depth + 1, out);
+        }
+        Expr::Bin(op, a, b) => {
+            tree_line(out, depth, &format!("bin {}", bin_symbol(*op)));
+            tree(a, depth + 1, out);
+            tree(b, depth + 1, out);
+        }
+        Expr::Un(op, a) => {
+            let name = match op {
+                UnOp::Not => "not",
+                UnOp::Neg => "neg",
+                UnOp::ToDouble => "toDouble",
+            };
+            tree_line(out, depth, &format!("un {name}"));
+            tree(a, depth + 1, out);
+        }
+        Expr::Let(n, v, b) => {
+            tree_line(out, depth, &format!("let {n}"));
+            tree(v, depth + 1, out);
+            tree_line(out, depth, "in");
+            tree(b, depth + 1, out);
+        }
+        Expr::If(c, t, el) => {
+            tree_line(out, depth, "if");
+            tree(c, depth + 1, out);
+            tree_line(out, depth, "then");
+            tree(t, depth + 1, out);
+            tree_line(out, depth, "else");
+            tree(el, depth + 1, out);
+        }
+        Expr::Loop { init, cond, step, result } => {
+            tree_line(out, depth, "loop");
+            for (n, x) in init {
+                tree_line(out, depth + 1, &format!("init {n}"));
+                tree(x, depth + 2, out);
+            }
+            tree_line(out, depth + 1, "while");
+            tree(cond, depth + 2, out);
+            for (i, x) in step.iter().enumerate() {
+                tree_line(out, depth + 1, &format!("step {}", init[i].0));
+                tree(x, depth + 2, out);
+            }
+            tree_line(out, depth + 1, "yield");
+            tree(result, depth + 2, out);
+        }
+        Expr::Map(x, l) => {
+            tree_line(out, depth, &format!("map λ{}", l.param));
+            tree(x, depth + 1, out);
+            tree(&l.body, depth + 1, out);
+        }
+        Expr::Filter(x, l) => {
+            tree_line(out, depth, &format!("filter λ{}", l.param));
+            tree(x, depth + 1, out);
+            tree(&l.body, depth + 1, out);
+        }
+        Expr::FlatMapTuple(x, l) => {
+            tree_line(out, depth, &format!("flatMap λ{}", l.param));
+            tree(x, depth + 1, out);
+            tree(&l.body, depth + 1, out);
+        }
+        Expr::GroupByKey(x) => {
+            tree_line(out, depth, "groupByKey");
+            tree(x, depth + 1, out);
+        }
+        Expr::ReduceByKey(x, l2) => {
+            tree_line(out, depth, &format!("reduceByKey λ({}, {})", l2.a, l2.b));
+            tree(x, depth + 1, out);
+        }
+        Expr::Join(a, b) => {
+            tree_line(out, depth, "join");
+            tree(a, depth + 1, out);
+            tree(b, depth + 1, out);
+        }
+        Expr::Distinct(x) => {
+            tree_line(out, depth, "distinct");
+            tree(x, depth + 1, out);
+        }
+        Expr::Union(a, b) => {
+            tree_line(out, depth, "union");
+            tree(a, depth + 1, out);
+            tree(b, depth + 1, out);
+        }
+        Expr::Count(x) => {
+            tree_line(out, depth, "count");
+            tree(x, depth + 1, out);
+        }
+        Expr::Fold(x, z, l2) => {
+            tree_line(out, depth, &format!("fold λ({}, {})", l2.a, l2.b));
+            tree(x, depth + 1, out);
+            tree(z, depth + 1, out);
+        }
+        Expr::Cache(x) => {
+            tree_line(out, depth, "cache");
+            tree(x, depth + 1, out);
+        }
+        Expr::GroupByKeyIntoNestedBag(x) => {
+            tree_line(out, depth, "groupByKeyIntoNestedBag");
+            tree(x, depth + 1, out);
+        }
+        Expr::MapWithLiftedUdf { input, udf, closures } => {
+            let cl = if closures.is_empty() {
+                String::new()
+            } else {
+                format!(" [closures: {}]", closures.join(", "))
+            };
+            tree_line(out, depth, &format!("mapWithLiftedUDF λ{}{}", udf.param, cl));
+            tree(input, depth + 1, out);
+            tree(&udf.body, depth + 1, out);
+        }
+        Expr::Spanned(..) => unreachable!("unspanned() peels spans"),
+    }
 }
 
 /// Render one analyzer diagnostic against its source text, compiler-style:

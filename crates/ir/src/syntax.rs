@@ -23,7 +23,7 @@
 //!          | "(" expr { "," expr } ")"            -- parens / tuples
 //!          | builtin "(" args ")"
 //! builtin := source | map | filter | flatMap | groupByKey | reduceByKey
-//!          | join | distinct | union | count | fold | toDouble
+//!          | join | distinct | union | count | fold | toDouble | cache
 //! lambda  := ident "=>" expr
 //! lambda2 := "(" ident "," ident ")" "=>" expr
 //! ```
@@ -31,7 +31,8 @@
 //! `map(b, x => e)`, `filter(b, x => e)`, `flatMap(b, x => e)`,
 //! `reduceByKey(b, (a, c) => e)`, `fold(b, zero, (a, c) => e)`,
 //! `join(a, b)`, `union(a, b)`, `groupByKey(b)`, `distinct(b)`,
-//! `count(b)`, `source(name)`, `toDouble(e)`.
+//! `count(b)`, `source(name)`, `toDouble(e)`, `cache(b)` (explicit
+//! materialization hint; normally inserted by the plan-rewrite pass).
 
 use std::fmt;
 
@@ -548,6 +549,7 @@ impl Parser {
                     "groupByKey" => Expr::GroupByKey(Box::new(self.expr()?)),
                     "distinct" => Expr::Distinct(Box::new(self.expr()?)),
                     "count" => Expr::Count(Box::new(self.expr()?)),
+                    "cache" => Expr::Cache(Box::new(self.expr()?)),
                     other => return self.err(format!("unknown function `{other}`")),
                 };
                 self.eat_sym(")")?;
@@ -628,6 +630,15 @@ mod tests {
         assert!(parse_program("reduceByKey(source(xs), (a, b) => a + b)").is_ok());
         assert!(parse_program("fold(source(xs), 0, (a, b) => a + b)").is_ok());
         assert!(parse_program("join(source(xs), distinct(source(ys)))").is_ok());
+    }
+
+    #[test]
+    fn parses_cache_hints() {
+        let e = parse_program("count(cache(distinct(source(xs))))").unwrap().strip_spans();
+        match e {
+            Expr::Count(inner) => assert!(matches!(*inner, Expr::Cache(_))),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -11,11 +11,18 @@
 //! ```text
 //! # sources: xs ys
 //! # dialect: diql
+//! # plan: rewrite
 //! ```
 //!
 //! The program is everything after the directive block (leading blank
 //! lines trimmed); spans in the expected output are relative to that
 //! program text. Defaults: `sources: xs ys visits`, `dialect: matryoshka`.
+//!
+//! `# plan: rewrite` switches the fixture from the analyzer to the
+//! plan-rewrite pass: the program runs through the parsing phase and
+//! [`matryoshka_ir::analyze::plan::rewrite_plan`] with every rewrite
+//! enabled, and the rendered `MAT093`–`MAT096` warnings are compared
+//! instead.
 //!
 //! To bless new output after an intentional change:
 //!
@@ -26,12 +33,14 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use matryoshka_core::PlanRewriteConfig;
 use matryoshka_ir::pretty::render_diagnostics;
-use matryoshka_ir::{analyze, parse_program, Dialect};
+use matryoshka_ir::{analyze, parse_program, parsing_phase, Dialect};
 
 struct Fixture {
     sources: Vec<String>,
     dialect: Dialect,
+    plan: bool,
     program: String,
 }
 
@@ -39,6 +48,7 @@ fn load_fixture(path: &Path) -> Fixture {
     let raw = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
     let mut sources = vec!["xs".to_string(), "ys".to_string(), "visits".to_string()];
     let mut dialect = Dialect::Matryoshka;
+    let mut plan = false;
     let mut rest = raw.as_str();
     while let Some(line) = rest.lines().next() {
         let Some(directive) = line.strip_prefix('#') else { break };
@@ -47,6 +57,11 @@ fn load_fixture(path: &Path) -> Fixture {
         let directive = directive.trim();
         if let Some(names) = directive.strip_prefix("sources:") {
             sources = names.split_whitespace().map(str::to_string).collect();
+        } else if let Some(p) = directive.strip_prefix("plan:") {
+            match p.trim() {
+                "rewrite" => plan = true,
+                other => panic!("{path:?}: unknown plan directive `{other}`"),
+            }
         } else if let Some(d) = directive.strip_prefix("dialect:") {
             dialect = match d.trim() {
                 "diql" => Dialect::DiqlLike,
@@ -57,7 +72,7 @@ fn load_fixture(path: &Path) -> Fixture {
             panic!("{path:?}: unknown directive `#{directive}`");
         }
     }
-    Fixture { sources, dialect, program: rest.trim_start_matches('\n').to_string() }
+    Fixture { sources, dialect, plan, program: rest.trim_start_matches('\n').to_string() }
 }
 
 fn fixtures_dir() -> PathBuf {
@@ -82,12 +97,19 @@ fn malformed_programs_render_stable_diagnostics() {
         let ast = parse_program(&fx.program)
             .unwrap_or_else(|e| panic!("{mat:?}: fixture must parse (analysis, not syntax): {e}"));
         let srcs: Vec<&str> = fx.sources.iter().map(String::as_str).collect();
-        let analysis = analyze(&ast, &srcs, fx.dialect);
+        let diagnostics = if fx.plan {
+            let lowered = parsing_phase(&ast, &srcs, fx.dialect)
+                .unwrap_or_else(|e| panic!("{mat:?}: parsing phase failed: {e}"));
+            matryoshka_ir::analyze::plan::rewrite_plan(&lowered, &PlanRewriteConfig::enabled())
+                .diagnostics
+        } else {
+            analyze(&ast, &srcs, fx.dialect).diagnostics
+        };
         assert!(
-            !analysis.diagnostics.is_empty(),
+            !diagnostics.is_empty(),
             "{mat:?}: fixture produced no diagnostics — not a useful golden test"
         );
-        let rendered = render_diagnostics(&fx.program, &analysis.diagnostics);
+        let rendered = render_diagnostics(&fx.program, &diagnostics);
 
         let expected_path = mat.with_extension("expected");
         if bless {
@@ -123,6 +145,9 @@ fn corpus_covers_every_error_code() {
             let fx = load_fixture(&p);
             let ast = parse_program(&fx.program).unwrap();
             let srcs: Vec<&str> = fx.sources.iter().map(String::as_str).collect();
+            if fx.plan {
+                continue; // plan fixtures exercise warning codes only
+            }
             for d in analyze(&ast, &srcs, fx.dialect).diagnostics.iter() {
                 seen.insert(d.code);
             }

@@ -24,12 +24,26 @@ echo "== static analyzer over shipped IR programs (matryoshka-check)"
 # pre-lowering analyzer with no error-severity MAT0xx diagnostics.
 cargo run -q --bin matryoshka-check -- --builtin examples/programs/*.mat
 
+echo "== plan-rewrite explain report (matryoshka-check --explain)"
+# The --explain report (before/after plan trees + per-rewrite safety
+# justifications) must render for every shipped program, and the shipped
+# invariant-loop example must actually exhibit a hoist.
+cargo run -q --bin matryoshka-check -- --explain examples/programs/*.mat \
+  | tee /tmp/explain.out
+grep -q 'MAT093 hoist' /tmp/explain.out || {
+  echo "expected a MAT093 hoist in the --explain report for invariant_loop.mat" >&2
+  exit 1
+}
+rm -f /tmp/explain.out
+
 echo "== adaptive-config validation (matryoshka-check --adaptive-config)"
 # The enabled defaults must validate cleanly; a nonsensical config must emit
-# MAT092 warnings (still exit 0: warnings never gate).
+# MAT092 warnings (still exit 0: warnings never gate). grep runs without -q
+# so it drains the pipe: -q exits at first match and the resulting EPIPE in
+# cargo trips pipefail even on success.
 cargo run -q --bin matryoshka-check -- --adaptive-config default
 cargo run -q --bin matryoshka-check -- --adaptive-config \
-  'salt_factor=1,target_partition_bytes=0' 2>&1 | grep -q 'MAT092' || {
+  'salt_factor=1,target_partition_bytes=0' 2>&1 | grep 'MAT092' >/dev/null || {
   echo "expected MAT092 warnings for a nonsensical adaptive config" >&2
   exit 1
 }
@@ -56,7 +70,8 @@ grep -q '"median_ms"' "$BENCH_SMOKE_OUT" || {
 }
 # The fusion ablation must emit both arms so the fused/unfused comparison in
 # BENCH_micro.json never silently loses a side.
-for arm in 'narrow_chain/fused' 'narrow_chain/unfused'; do
+for arm in 'narrow_chain/fused' 'narrow_chain/unfused' \
+  'plan_rewrites/hoist_on' 'plan_rewrites/hoist_off'; do
   grep -q "\"$arm\"" "$BENCH_SMOKE_OUT" || {
     echo "bench smoke is missing the $arm ablation row" >&2
     exit 1

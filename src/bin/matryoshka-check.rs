@@ -11,6 +11,10 @@
 //!   --builtin            also check the tasks crate's built-in IR workloads
 //!   --sources a,b,c      input bag names (default: derived from source(..) uses)
 //!   --dialect NAME       matryoshka (default) | diql
+//!   --explain            run the plan-rewrite pass (hoist/CSE/DCE, all on)
+//!                        and print the before/after plan trees plus one
+//!                        line per applied rewrite with its safety
+//!                        justification; no engine job is launched
 //!   --adaptive-config S  validate an adaptive-execution config: S is
 //!                        `default` or comma-separated key=value overrides
 //!                        (salt_factor=8, skew_threshold_milli=4000, ...);
@@ -24,20 +28,22 @@
 
 use std::process::ExitCode;
 
-use matryoshka::core::AdaptiveConfig;
+use matryoshka::core::{AdaptiveConfig, PlanRewriteConfig};
 use matryoshka::ir::analyze::codes;
-use matryoshka::ir::pretty::render_diagnostics;
-use matryoshka::ir::{analyze, parse_program, Diagnostic, Dialect};
+use matryoshka::ir::analyze::plan::rewrite_plan;
+use matryoshka::ir::pretty::{plan_tree, render_diagnostics};
+use matryoshka::ir::{analyze, parse_program, parsing_phase, Diagnostic, Dialect};
 use matryoshka::tasks::ir_programs;
 
 const USAGE: &str = "usage: matryoshka-check [--builtin] [--sources a,b,c] \
-[--dialect matryoshka|diql] [--adaptive-config SPEC] [FILE...]";
+[--dialect matryoshka|diql] [--explain] [--adaptive-config SPEC] [FILE...]";
 
 struct Options {
     files: Vec<String>,
     builtin: bool,
     sources: Option<Vec<String>>,
     dialect: Dialect,
+    explain: bool,
     adaptive: Option<AdaptiveConfig>,
 }
 
@@ -89,12 +95,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         builtin: false,
         sources: None,
         dialect: Dialect::Matryoshka,
+        explain: false,
         adaptive: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--builtin" => opts.builtin = true,
+            "--explain" => opts.explain = true,
             "--sources" => {
                 let v = it.next().ok_or("--sources needs a comma-separated list")?;
                 opts.sources = Some(v.split(',').map(|s| s.trim().to_string()).collect());
@@ -136,9 +144,54 @@ fn check_adaptive_config(cfg: &AdaptiveConfig) {
     }
 }
 
+/// Render a plan tree indented under a heading.
+fn print_tree(heading: &str, tree: &str) {
+    println!("  {heading}:");
+    for line in tree.lines() {
+        println!("    {line}");
+    }
+}
+
+/// `--explain`: run the parsing phase and the plan-rewrite pass (all
+/// rewrites on) and report the before/after plan with one line per applied
+/// rewrite, including the safety justification the pass proved.
+fn explain_program(
+    label: &str,
+    ast: &matryoshka::ir::ast::Expr,
+    sources: &[&str],
+    dialect: Dialect,
+) {
+    let lowered = match parsing_phase(ast, sources, dialect) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{label}: parsing phase failed: {e}");
+            return;
+        }
+    };
+    let rewrite = rewrite_plan(&lowered, &PlanRewriteConfig::enabled());
+    println!("plan: {label}");
+    print_tree("before", &plan_tree(&lowered));
+    if rewrite.rewrites.is_empty() {
+        println!("  rewrites: none apply");
+        return;
+    }
+    println!("  rewrites:");
+    for r in &rewrite.rewrites {
+        println!("    {r}");
+    }
+    print_tree("after", &plan_tree(&rewrite.expr));
+}
+
 /// Check one program text; prints per-program outcome and returns whether
-/// it is free of error-severity diagnostics.
-fn check_program(label: &str, src: &str, sources: &[String], dialect: Dialect) -> bool {
+/// it is free of error-severity diagnostics. With `explain`, clean programs
+/// also get a plan-rewrite report.
+fn check_program(
+    label: &str,
+    src: &str,
+    sources: &[String],
+    dialect: Dialect,
+    explain: bool,
+) -> bool {
     let ast = match parse_program(src) {
         Ok(ast) => ast,
         Err(e) => {
@@ -163,6 +216,9 @@ fn check_program(label: &str, src: &str, sources: &[String], dialect: Dialect) -
             analysis.program_ty,
             if source_refs.is_empty() { "none".to_string() } else { source_refs.join(", ") }
         );
+        if explain {
+            explain_program(label, &ast, &source_refs, dialect);
+        }
         true
     } else {
         false
@@ -196,12 +252,12 @@ fn main() -> ExitCode {
             }
         };
         let explicit = opts.sources.clone().unwrap_or_default();
-        all_ok &= check_program(file, &src, &explicit, opts.dialect);
+        all_ok &= check_program(file, &src, &explicit, opts.dialect, opts.explain);
     }
     if opts.builtin {
         for p in ir_programs::ALL {
             let sources: Vec<String> = p.inputs.iter().map(|s| s.to_string()).collect();
-            all_ok &= check_program(p.name, p.source, &sources, opts.dialect);
+            all_ok &= check_program(p.name, p.source, &sources, opts.dialect, opts.explain);
         }
     }
     if all_ok {
