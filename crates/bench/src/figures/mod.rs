@@ -10,3 +10,4 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod recovery;
+pub mod service;

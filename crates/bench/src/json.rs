@@ -21,7 +21,9 @@ pub fn rows_to_json(rows: &[Row]) -> String {
         out.push_str(&format!(
             "  {{\"figure\": {}, \"series\": {}, \"x\": {}, \"outcome\": \"{outcome}\", \
              \"seconds\": {:.3}, \"jobs\": {}, \"shuffle_bytes\": {}, \"spill_bytes\": {}, \
-             \"partitions_lost\": {}, \"recompute_ms\": {:.3}, \"checkpoint_bytes\": {}}}{}\n",
+             \"partitions_lost\": {}, \"recompute_ms\": {:.3}, \"checkpoint_bytes\": {}, \
+             \"jobs_completed\": {}, \"jobs_cancelled\": {}, \"jobs_rejected\": {}, \
+             \"queue_wait_ms\": {:.3}}}{}\n",
             quote(&r.figure),
             quote(&r.series),
             r.x,
@@ -32,6 +34,10 @@ pub fn rows_to_json(rows: &[Row]) -> String {
             r.m.stats.partitions_lost,
             r.m.stats.recompute_nanos as f64 / 1e6,
             r.m.stats.checkpoint_bytes,
+            r.m.stats.jobs_completed,
+            r.m.stats.jobs_cancelled,
+            r.m.stats.jobs_rejected,
+            r.m.stats.queue_wait_nanos as f64 / 1e6,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -373,6 +379,73 @@ pub fn validate_recovery_rows(src: &str) -> Result<usize, String> {
     Ok(rows.len())
 }
 
+/// Validate a `BENCH_service.json` document (see `figures::service`): a
+/// non-empty array of row objects with `figure`/`series` strings, a numeric
+/// virtual-makespan `seconds`, and the multi-tenancy counters
+/// `jobs_completed`/`jobs_cancelled`/`jobs_rejected`/`queue_wait_ms` — with
+/// both scheduling policies present (`fifo` and a `fair-*` series), at least
+/// one row that completed jobs, one that queued (non-zero wait), and one
+/// where admission control rejected work. Returns the row count.
+pub fn validate_service_rows(src: &str) -> Result<usize, String> {
+    let doc = parse(src)?;
+    let rows = match &doc {
+        Json::Arr(rows) if !rows.is_empty() => rows,
+        Json::Arr(_) => return Err("empty benchmark array".into()),
+        _ => return Err("top level is not a JSON array".into()),
+    };
+    let mut has_fifo = false;
+    let mut has_fair = false;
+    let mut any_completed = false;
+    let mut any_waited = false;
+    let mut any_rejected = false;
+    for (i, row) in rows.iter().enumerate() {
+        let series = row
+            .get("series")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"series\""))?;
+        row.get("figure")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"figure\""))?;
+        let secs = row
+            .get("seconds")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("row {i}: missing numeric \"seconds\""))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("row {i}: bad seconds {secs}"));
+        }
+        let counter = |key: &str| -> Result<f64, String> {
+            row.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("row {i}: missing numeric \"{key}\""))
+        };
+        let completed = counter("jobs_completed")?;
+        let cancelled = counter("jobs_cancelled")?;
+        let rejected = counter("jobs_rejected")?;
+        let wait_ms = counter("queue_wait_ms")?;
+        if completed + cancelled == 0.0 {
+            return Err(format!("row {i}: no job ran (completed + cancelled == 0)"));
+        }
+        has_fifo |= series == "fifo";
+        has_fair |= series.starts_with("fair");
+        any_completed |= completed > 0.0;
+        any_waited |= wait_ms > 0.0;
+        any_rejected |= rejected > 0.0;
+    }
+    if !has_fifo || !has_fair {
+        return Err("missing the fifo and/or fair-share series".into());
+    }
+    if !any_completed {
+        return Err("no row completed any job".into());
+    }
+    if !any_waited {
+        return Err("no row had queue waits; the sweep never saturated the slots".into());
+    }
+    if !any_rejected {
+        return Err("no row rejected any job; admission control was never exercised".into());
+    }
+    Ok(rows.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +518,40 @@ mod tests {
                 .is_err(),
             "recovery counters must be present"
         );
+    }
+
+    #[test]
+    fn service_validator_checks_policies_and_counters() {
+        let service_row = |series: &str, completed: u64, rejected: u64, wait_nanos: u64| {
+            let stats = StatsSnapshot {
+                jobs_completed: completed,
+                jobs_rejected: rejected,
+                queue_wait_nanos: wait_nanos,
+                ..Default::default()
+            };
+            Row {
+                figure: "service/offered-load".into(),
+                series: series.into(),
+                x: 20,
+                m: Measurement { outcome: Outcome::Ok, seconds: 2.0, stats },
+            }
+        };
+        let good = rows_to_json(&[
+            service_row("fifo", 24, 8, 1_000_000),
+            service_row("fair-1:3", 24, 8, 500_000),
+        ]);
+        assert_eq!(validate_service_rows(&good).unwrap(), 2);
+        let one_policy = rows_to_json(&[service_row("fifo", 24, 8, 1_000_000)]);
+        assert!(validate_service_rows(&one_policy).is_err(), "needs both policies");
+        let never_saturated =
+            rows_to_json(&[service_row("fifo", 24, 8, 0), service_row("fair-1:3", 24, 8, 0)]);
+        assert!(validate_service_rows(&never_saturated).is_err(), "needs queue waits");
+        let never_rejected =
+            rows_to_json(&[service_row("fifo", 24, 0, 1), service_row("fair-1:3", 24, 0, 1)]);
+        assert!(validate_service_rows(&never_rejected).is_err(), "needs admission rejections");
+        // A recovery artifact is not a service artifact.
+        let recovery = rows_to_json(&[service_row("loss-0", 1, 1, 1)]);
+        assert!(validate_service_rows(&recovery).is_err());
     }
 
     #[test]

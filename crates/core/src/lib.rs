@@ -59,6 +59,7 @@ mod inner_bag;
 mod nested;
 pub mod optimizer;
 mod scalar;
+pub mod scheduler;
 mod splitting;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePlanner};
@@ -68,3 +69,4 @@ pub use inner_bag::{CoPartitioned, InnerBag};
 pub use nested::{group_by_key_into_nested_bag, lift_flat_bag, NestedBag};
 pub use optimizer::{CrossChoice, JoinChoice, MatryoshkaConfig, PlanRewriteConfig};
 pub use scalar::InnerScalar;
+pub use scheduler::{PoolConfig, SchedulerConfig, SchedulingPolicy};

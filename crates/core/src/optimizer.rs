@@ -88,6 +88,10 @@ pub struct MatryoshkaConfig {
     /// Static plan rewrites (hoist/CSE/DCE) applied by the IR lowering
     /// before execution. Off by default.
     pub plan: PlanRewriteConfig,
+    /// Multi-tenant job-service scheduler and admission control (see
+    /// [`crate::scheduler`] and `docs/SERVICE.md`). Only read by the
+    /// service; a directly-driven lowering ignores it.
+    pub scheduler: crate::scheduler::SchedulerConfig,
 }
 
 impl MatryoshkaConfig {
@@ -100,6 +104,7 @@ impl MatryoshkaConfig {
             adaptive: AdaptiveConfig::default(),
             checkpoint_interval: 0,
             plan: PlanRewriteConfig::default(),
+            scheduler: crate::scheduler::SchedulerConfig::default(),
         }
     }
 

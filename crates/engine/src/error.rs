@@ -44,6 +44,21 @@ pub enum EngineError {
         /// Consecutive losses before giving up.
         attempts: u32,
     },
+    /// The job was cooperatively cancelled (`Engine::request_cancel`): a
+    /// charge site observed the cancellation flag and aborted the program
+    /// between simulated stages. Used by the multi-tenant job service
+    /// (`docs/SERVICE.md`) for client-initiated cancellation.
+    Cancelled,
+    /// The engine's simulated clock passed the installed deadline
+    /// (`Engine::set_deadline`): the program was aborted at the first charge
+    /// site past the limit. Deterministic — the simulated clock does not
+    /// depend on host scheduling.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in simulated nanoseconds.
+        deadline_nanos: u64,
+        /// Simulated time at the aborting charge site.
+        at_nanos: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -63,6 +78,12 @@ impl fmt::Display for EngineError {
                 f,
                 "lineage recovery failed at stage {stage}: machine {machine} lost \
                  {attempts} consecutive times"
+            ),
+            EngineError::Cancelled => write!(f, "job cancelled"),
+            EngineError::DeadlineExceeded { deadline_nanos, at_nanos } => write!(
+                f,
+                "simulated deadline exceeded: {deadline_nanos} ns deadline, \
+                 aborted at {at_nanos} ns"
             ),
         }
     }

@@ -34,6 +34,7 @@ impl Engine {
         action: &'static str,
         f: impl FnOnce() -> Result<R>,
     ) -> Result<R> {
+        self.check_interrupt()?;
         let job = self.next_job_id();
         let start = self.sim_time();
         self.record_event(|| EngineEvent::JobStart { job, action, at: start });
@@ -80,6 +81,10 @@ impl Engine {
         task_costs: &[SimTime],
         task_overhead: bool,
     ) -> Result<()> {
+        // Cooperative cancellation / simulated-deadline point: every stage
+        // charge passes through here, so a cancelled or over-deadline job
+        // aborts at the next stage boundary.
+        self.check_interrupt()?;
         let start = self.sim_time();
         let stage_id = self.core.stats.snapshot().stages;
         if task_overhead {

@@ -63,7 +63,7 @@ pub use sim::{SimTime, StatsSnapshot};
 pub use trace::{Decision, EngineEvent, TraceSummary};
 pub use types::{Data, Key};
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use std::sync::Mutex;
@@ -100,6 +100,8 @@ pub(crate) struct EngineCore {
     job_counter: AtomicU64,
     map_outputs: Mutex<Vec<MapOutputSummary>>,
     recovery: Mutex<RecoveryLedger>,
+    cancelled: AtomicBool,
+    deadline_nanos: AtomicU64,
 }
 
 /// Per-machine lineage-replay bookkeeping for the machine-loss fault model
@@ -157,6 +159,8 @@ impl Engine {
                 job_counter: AtomicU64::new(0),
                 map_outputs: Mutex::new(Vec::new()),
                 recovery: Mutex::new(RecoveryLedger::default()),
+                cancelled: AtomicBool::new(false),
+                deadline_nanos: AtomicU64::new(0),
             }),
         }
     }
@@ -185,6 +189,47 @@ impl Engine {
     /// Snapshot of the execution statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.core.stats.snapshot()
+    }
+
+    /// Request cooperative cancellation: the next charge site (any clone of
+    /// this engine, from any thread) aborts with
+    /// [`EngineError::Cancelled`]. Used by the multi-tenant job service to
+    /// cancel running jobs between simulated stages; idempotent.
+    pub fn request_cancel(&self) {
+        self.core.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Engine::request_cancel`] has been called.
+    pub fn cancel_requested(&self) -> bool {
+        self.core.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Install a simulated-time deadline: the first charge site at which
+    /// [`Engine::sim_time`] is at or past `deadline` aborts with
+    /// [`EngineError::DeadlineExceeded`]. Deterministic (the simulated clock
+    /// does not depend on host scheduling). `SimTime::ZERO` clears the
+    /// deadline.
+    pub fn set_deadline(&self, deadline: SimTime) {
+        self.core.deadline_nanos.store(deadline.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Abort the current program if cancellation was requested or the
+    /// simulated deadline has passed. Checked at every stage charge.
+    pub(crate) fn check_interrupt(&self) -> Result<()> {
+        if self.core.cancelled.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled);
+        }
+        let deadline = self.core.deadline_nanos.load(Ordering::Relaxed);
+        if deadline > 0 {
+            let now = self.core.clock.now().as_nanos();
+            if now >= deadline {
+                return Err(EngineError::DeadlineExceeded {
+                    deadline_nanos: deadline,
+                    at_nanos: now,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The execution trace: every operator evaluated so far, in evaluation

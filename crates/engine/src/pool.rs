@@ -1,22 +1,55 @@
-//! Real (wall-clock) parallel execution of partition work.
+//! Real (wall-clock) parallel execution of partition work on a shared,
+//! process-wide worker pool.
 //!
 //! The engine evaluates each operator's partitions in parallel on the host
-//! machine using scoped threads over a lock-free work queue. This is
-//! orthogonal to the *simulated* cluster model: the pool makes test and
-//! benchmark runs fast; the simulator decides what the program would cost
-//! on the modeled cluster.
+//! machine. This is orthogonal to the *simulated* cluster model: the pool
+//! makes test and benchmark runs fast; the simulator decides what the
+//! program would cost on the modeled cluster.
+//!
+//! ## One pool per process, not one per call
+//!
+//! All entry points ([`parallel_map`], [`parallel_map_range`]) drain their
+//! work through a single lazily-started set of persistent worker threads
+//! ([`shared_pool_workers`] of them) plus the calling thread itself, which
+//! participates until its own call completes. Concurrent callers — e.g. two
+//! jobs of the multi-tenant service executing at once — therefore *share*
+//! the same workers instead of each spawning `host_parallelism()` threads:
+//! the process never oversubscribes the host no matter how many jobs run
+//! (regression-tested in `tests/pool_sharing.rs`). Calls may also nest (a
+//! worker's closure may itself call [`parallel_map`]): the nested caller
+//! helps drain its own batch, so no new threads are created and progress
+//! never depends on a free worker.
+//!
+//! ## Determinism
+//!
+//! The output of every entry point is index-aligned with its input
+//! regardless of which thread ran which item, so results are bit-identical
+//! to a sequential loop — scheduling only affects wall-clock time, never
+//! values or the simulated clock.
 
 // Every unsafe operation must sit in its own `unsafe` block with a
 // `// SAFETY:` justification, even inside `unsafe fn` bodies.
 #![deny(unsafe_op_in_unsafe_fn)]
 
+use std::any::Any;
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of worker threads to use for real execution.
+/// Number of worker threads to use for real execution (the host's available
+/// parallelism; callers of the shared pool count toward this budget).
 pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Number of persistent worker threads in the shared pool: one less than
+/// [`host_parallelism`], because the calling thread always participates in
+/// draining its own batch.
+pub fn shared_pool_workers() -> usize {
+    host_parallelism().saturating_sub(1)
 }
 
 /// A vector of slots that worker threads access disjointly by index.
@@ -56,6 +89,210 @@ impl<T> SlotVec<T> {
     unsafe fn put(&self, i: usize, value: T) {
         unsafe { (*self.0[i].get()).write(value) };
     }
+
+    /// Move all values out, assuming every slot is initialized.
+    ///
+    /// # Safety
+    /// Every slot must have been written exactly once and never taken.
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|slot| {
+                // SAFETY: the caller guarantees all slots are initialized.
+                unsafe { slot.into_inner().assume_init() }
+            })
+            .collect()
+    }
+}
+
+/// An erased `&(dyn Fn(usize) + Sync)` pointing into the submitting call's
+/// stack frame. The completion protocol of [`Batch`] guarantees the pointee
+/// outlives every dereference (see `Batch::runner`).
+struct RunnerPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread), and the
+// pointer itself is only dereferenced while the submitting call keeps the
+// closure alive (enforced by the batch completion protocol below).
+unsafe impl Send for RunnerPtr {}
+// SAFETY: as above — shared access to a `Sync` closure.
+unsafe impl Sync for RunnerPtr {}
+
+/// One submitted batch of indexed work: `runner(i)` for every `i in 0..n`.
+///
+/// ## Completion protocol (what makes the raw pointer sound)
+///
+/// - Indices are claimed in chunks off `cursor`; a claim is the *only* path
+///   to invoking `runner`, and claims stop forever once `cursor >= n`.
+/// - Every claimed index is eventually accounted into `state.remaining`
+///   (successful chunks subtract their length; a panicking chunk subtracts
+///   its length *and* the never-to-be-claimed tail after poisoning the
+///   cursor).
+/// - The submitting call returns only after `remaining == 0`, at which point
+///   every `runner` invocation has returned and no new claim can succeed —
+///   so the closure (and the slot vectors it captures) may safely leave
+///   scope even though workers may still hold the `Arc<Batch>`.
+struct Batch {
+    cursor: AtomicUsize,
+    n: usize,
+    chunk: usize,
+    runner: RunnerPtr,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Batch {
+    /// Claim and run chunks until no claimable work remains. Returns once
+    /// this thread can contribute nothing more (other threads may still be
+    /// running their claimed chunks).
+    fn drive(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    // SAFETY: `i` was claimed exactly once (the cursor only
+                    // grows and hands out disjoint ranges) and the submitting
+                    // call keeps the runner alive until `remaining == 0`,
+                    // which cannot happen before this invocation is accounted
+                    // below.
+                    unsafe { (*self.runner.0)(i) };
+                }
+            }));
+            match run {
+                Ok(()) => self.account(end - start, None),
+                Err(payload) => {
+                    // Poison the cursor so no further chunk is ever claimed,
+                    // then account both our chunk and the unclaimed tail so
+                    // the submitter wakes up. Items that never ran leak their
+                    // inputs (MaybeUninit never drops) — safe, and the
+                    // submitter is about to rethrow the panic anyway.
+                    let prev = self.cursor.swap(self.n, Ordering::Relaxed);
+                    let unclaimed = self.n.saturating_sub(prev.min(self.n));
+                    self.account((end - start) + unclaimed, Some(payload));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Account `k` indices as settled; the first panic payload wins.
+    fn account(&self, k: usize, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("pool batch lock poisoned");
+        st.remaining -= k;
+        if let Some(p) = panic {
+            st.panic.get_or_insert(p);
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The process-wide pool: a FIFO of active batches served by persistent
+/// worker threads.
+struct SharedPool {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work: Condvar,
+}
+
+impl SharedPool {
+    /// Pop the oldest batch that still has claimable work, pruning exhausted
+    /// batches (cursor past the end — their remaining chunks are finishing
+    /// on the threads that claimed them).
+    fn next_batch(queue: &mut VecDeque<Arc<Batch>>) -> Option<Arc<Batch>> {
+        while let Some(front) = queue.front() {
+            if front.cursor.load(Ordering::Relaxed) >= front.n {
+                queue.pop_front();
+            } else {
+                return queue.front().cloned();
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().expect("pool queue lock poisoned");
+                loop {
+                    if let Some(b) = Self::next_batch(&mut q) {
+                        break b;
+                    }
+                    q = self.work.wait(q).expect("pool queue lock poisoned");
+                }
+            };
+            batch.drive();
+        }
+    }
+}
+
+fn shared_pool() -> &'static SharedPool {
+    static POOL: OnceLock<&'static SharedPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static SharedPool = Box::leak(Box::new(SharedPool {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+        }));
+        for i in 0..shared_pool_workers() {
+            std::thread::Builder::new()
+                .name(format!("matryoshka-pool-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Submit `runner(i)` for `0..n` to the shared pool and drain it, with this
+/// thread participating. Panics from `runner` are rethrown here after every
+/// claimed index has settled.
+fn run_shared(n: usize, chunk: usize, runner: &(dyn Fn(usize) + Sync)) {
+    // SAFETY: pure lifetime erasure on the trait-object pointer (identical
+    // layout); the completion protocol guarantees the pointee outlives every
+    // dereference (see `Batch`).
+    let runner: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(runner as *const (dyn Fn(usize) + Sync + '_)) };
+    let batch = Arc::new(Batch {
+        cursor: AtomicUsize::new(0),
+        n,
+        chunk: chunk.max(1),
+        runner: RunnerPtr(runner),
+        state: Mutex::new(BatchState { remaining: n, panic: None }),
+        done: Condvar::new(),
+    });
+    let pool = shared_pool();
+    {
+        let mut q = pool.queue.lock().expect("pool queue lock poisoned");
+        q.push_back(Arc::clone(&batch));
+    }
+    pool.work.notify_all();
+    // The caller helps drain its own batch: ensures progress even when every
+    // worker is busy (or when the pool has zero workers on a 1-core host),
+    // and keeps nested calls deadlock-free.
+    batch.drive();
+    let mut st = batch.state.lock().expect("pool batch lock poisoned");
+    while st.remaining > 0 {
+        st = batch.done.wait(st).expect("pool batch lock poisoned");
+    }
+    if let Some(payload) = st.panic.take() {
+        drop(st);
+        resume_unwind(payload);
+    }
+}
+
+/// Chunk granule for `n` items across the effective thread budget: small
+/// claim granules keep skewed items from hiding behind light ones while
+/// still amortizing the cursor traffic for very long inputs.
+fn chunk_for(n: usize, threads: usize) -> usize {
+    (n / (threads * 8)).max(1)
 }
 
 /// Apply `f` to every item of `items` in parallel, preserving order.
@@ -68,16 +305,18 @@ impl<T> SlotVec<T> {
 ///
 /// # Scheduling
 ///
-/// Workers claim small index ranges off a shared `AtomicUsize` cursor (no
-/// mutex, no channel): claiming is one `fetch_add`, each input is *taken*
+/// Threads (shared-pool workers plus the caller) claim small index ranges
+/// off an atomic cursor (no per-call thread spawning, no mutex on the hot
+/// path, no channel): claiming is one `fetch_add`, each input is *taken*
 /// from its slot exactly once, and each output is written to a
 /// pre-allocated write-once slot. Skewed items therefore never serialize
 /// behind a static chunking, and the fast path allocates exactly one output
 /// buffer.
 ///
-/// Panics in `f` propagate to the caller when the thread scope joins. (A
-/// panicking run leaks not-yet-processed items and already-produced outputs
-/// — safe, and irrelevant since the process is unwinding the whole job.)
+/// Panics in `f` propagate to the caller once every claimed item has
+/// settled. (A panicking run leaks not-yet-processed items and
+/// already-produced outputs — safe, and irrelevant since the caller is
+/// unwinding the whole job.)
 pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -92,44 +331,24 @@ where
     if threads <= 1 {
         return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    // Small claim granules keep skewed items from hiding behind light ones
-    // while still amortizing the cursor traffic for very long inputs.
-    let chunk = (n / (threads * 8)).max(1);
     let inputs = SlotVec::filled(items);
     let outputs: SlotVec<O> = SlotVec::uninit(n);
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    return;
-                }
-                for i in start..(start + chunk).min(n) {
-                    // SAFETY: `i` was claimed exactly once (the cursor only
-                    // grows and hands out disjoint ranges), the input slot
-                    // was initialized from `items`, and nothing reads it
-                    // again after this take.
-                    let item = unsafe { inputs.take(i) };
-                    let out = f(i, item);
-                    // SAFETY: same unique claim; the slot is written once
-                    // and read only after the scope joins.
-                    unsafe { outputs.put(i, out) };
-                }
-            });
-        }
-    });
-    // The scope joined without panicking: every input was consumed and every
-    // output slot initialized. (`MaybeUninit` never drops its payload, so
-    // dropping `inputs` cannot double-drop the moved-out items.)
-    outputs
-        .0
-        .into_iter()
-        .map(|slot| {
-            // SAFETY: all slots are initialized once the scope has joined.
-            unsafe { slot.into_inner().assume_init() }
-        })
-        .collect()
+    let runner = |i: usize| {
+        // SAFETY: `i` was claimed exactly once by the batch cursor, the
+        // input slot was initialized from `items`, and nothing reads it
+        // again after this take.
+        let item = unsafe { inputs.take(i) };
+        let out = f(i, item);
+        // SAFETY: same unique claim; the slot is written once and read only
+        // after the batch completes.
+        unsafe { outputs.put(i, out) };
+    };
+    run_shared(n, chunk_for(n, threads), &runner);
+    // All claims settled without panicking: every input was consumed and
+    // every output slot initialized. (`MaybeUninit` never drops its payload,
+    // so dropping `inputs` cannot double-drop the moved-out items.)
+    // SAFETY: each slot was written exactly once by its unique claimant.
+    unsafe { outputs.into_vec() }
 }
 
 /// Apply `f` to every index in `0..n` in parallel, preserving order.
@@ -151,34 +370,16 @@ where
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
-    let chunk = (n / (threads * 8)).max(1);
     let outputs: SlotVec<O> = SlotVec::uninit(n);
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    return;
-                }
-                for i in start..(start + chunk).min(n) {
-                    let out = f(i);
-                    // SAFETY: `i` was claimed exactly once (the cursor only
-                    // grows and hands out disjoint ranges), so the slot is
-                    // written once and read only after the scope joins.
-                    unsafe { outputs.put(i, out) };
-                }
-            });
-        }
-    });
-    outputs
-        .0
-        .into_iter()
-        .map(|slot| {
-            // SAFETY: all slots are initialized once the scope has joined.
-            unsafe { slot.into_inner().assume_init() }
-        })
-        .collect()
+    let runner = |i: usize| {
+        let out = f(i);
+        // SAFETY: `i` was claimed exactly once by the batch cursor, so the
+        // slot is written once and read only after the batch completes.
+        unsafe { outputs.put(i, out) };
+    };
+    run_shared(n, chunk_for(n, threads), &runner);
+    // SAFETY: each slot was written exactly once by its unique claimant.
+    unsafe { outputs.into_vec() }
 }
 
 #[cfg(test)]
@@ -296,5 +497,33 @@ mod tests {
             })
         });
         assert!(r.is_err(), "a panicking worker must fail the whole map");
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        // A batch that panics must not wedge the shared workers: subsequent
+        // batches still complete.
+        let _ = std::panic::catch_unwind(|| {
+            parallel_map((0..64u32).collect(), |_, x| {
+                if x % 3 == 0 {
+                    panic!("recurring boom");
+                }
+                x
+            })
+        });
+        let out = parallel_map((0..128u64).collect(), |_, x| x + 1);
+        assert_eq!(out, (1..=128).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn nested_calls_complete() {
+        // A worker's closure may itself submit a batch; the nested caller
+        // drains its own work, so this terminates even with zero free
+        // workers.
+        let out = parallel_map((0..8u64).collect(), |_, x| {
+            parallel_map_range(16, |i| i as u64 * x).iter().sum::<u64>()
+        });
+        let inner: u64 = (0..16u64).sum();
+        assert_eq!(out, (0..8).map(|x| inner * x).collect::<Vec<_>>());
     }
 }

@@ -25,6 +25,10 @@ pub struct Stats {
     checkpoint_bytes: AtomicU64,
     stages_fused: AtomicU64,
     intermediates_elided: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_rejected: AtomicU64,
+    queue_wait_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -72,6 +76,19 @@ pub struct StatsSnapshot {
     /// Intermediate per-operator materializations elided by fusion (for a
     /// fused chain of `k` operators, `k - 1` intermediates are elided).
     pub intermediates_elided: u64,
+    /// Service-level jobs that ran to completion (multi-tenant job service,
+    /// `docs/SERVICE.md`). Always 0 for a directly-driven engine: the
+    /// service accounts these on its own `Stats`, one per submitted program,
+    /// not per engine action.
+    pub jobs_completed: u64,
+    /// Service-level jobs cancelled (client request or missed deadline).
+    pub jobs_cancelled: u64,
+    /// Service-level jobs rejected by admission control (queue saturated,
+    /// unknown pool, or analysis errors).
+    pub jobs_rejected: u64,
+    /// Total simulated nanoseconds service-level jobs spent queued between
+    /// admission and their first core-slot (scheduler virtual time).
+    pub queue_wait_nanos: u64,
 }
 
 impl StatsSnapshot {
@@ -98,6 +115,10 @@ impl StatsSnapshot {
             checkpoint_bytes: self.checkpoint_bytes - earlier.checkpoint_bytes,
             stages_fused: self.stages_fused - earlier.stages_fused,
             intermediates_elided: self.intermediates_elided - earlier.intermediates_elided,
+            jobs_completed: self.jobs_completed - earlier.jobs_completed,
+            jobs_cancelled: self.jobs_cancelled - earlier.jobs_cancelled,
+            jobs_rejected: self.jobs_rejected - earlier.jobs_rejected,
+            queue_wait_nanos: self.queue_wait_nanos - earlier.queue_wait_nanos,
         }
     }
 }
@@ -160,6 +181,22 @@ impl Stats {
         self.stages_fused.fetch_add(1, Ordering::Relaxed);
         self.intermediates_elided.fetch_add(intermediates, Ordering::Relaxed);
     }
+    /// Count one service-level job that ran to completion.
+    pub fn add_job_completed(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count one service-level job cancelled (request or deadline).
+    pub fn add_job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Count one service-level job rejected by admission control.
+    pub fn add_job_rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Accumulate simulated queue-wait time of a service-level job.
+    pub fn add_queue_wait_nanos(&self, n: u64) {
+        self.queue_wait_nanos.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// Take a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -180,6 +217,10 @@ impl Stats {
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             stages_fused: self.stages_fused.load(Ordering::Relaxed),
             intermediates_elided: self.intermediates_elided.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -209,6 +250,11 @@ mod tests {
         s.add_checkpoint_bytes(256);
         s.add_stage_fused(2);
         s.add_stage_fused(4);
+        s.add_job_completed();
+        s.add_job_cancelled();
+        s.add_job_rejected();
+        s.add_job_rejected();
+        s.add_queue_wait_nanos(7_000);
         let snap = s.snapshot();
         assert_eq!(snap.jobs, 2);
         assert_eq!(snap.stages, 2);
@@ -226,6 +272,10 @@ mod tests {
         assert_eq!(snap.checkpoint_bytes, 256);
         assert_eq!(snap.stages_fused, 2);
         assert_eq!(snap.intermediates_elided, 6);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.jobs_cancelled, 1);
+        assert_eq!(snap.jobs_rejected, 2);
+        assert_eq!(snap.queue_wait_nanos, 7_000);
     }
 
     #[test]

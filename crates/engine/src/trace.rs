@@ -227,6 +227,105 @@ pub enum EngineEvent {
         /// Simulated time of the scatter.
         at: SimTime,
     },
+    /// A service-level job passed admission control and entered the
+    /// multi-tenant scheduler's queue (see `docs/SERVICE.md`). All `Job*`
+    /// lifecycle events below are recorded by the job service on its own
+    /// event stream, in scheduler virtual time — not by a directly-driven
+    /// engine.
+    JobQueued {
+        /// Service job id (unique per service, submission order).
+        job: u64,
+        /// Client-supplied job name.
+        name: String,
+        /// Scheduler pool the job was admitted to.
+        pool: String,
+        /// Virtual arrival time.
+        at: SimTime,
+    },
+    /// A queued service-level job was granted its core slots and began
+    /// executing.
+    JobStarted {
+        /// Service job id.
+        job: u64,
+        /// Scheduler pool the job ran in.
+        pool: String,
+        /// Time spent queued ([`EngineEvent::JobQueued`] to this event).
+        queue_wait: SimTime,
+        /// Virtual start time.
+        at: SimTime,
+    },
+    /// A running service-level job released its core slots with an outcome.
+    JobFinished {
+        /// Service job id.
+        job: u64,
+        /// Whether the program succeeded (`false` covers simulated OOM and
+        /// other engine errors; cancellations get
+        /// [`EngineEvent::JobCancelled`] instead).
+        ok: bool,
+        /// The job's own simulated execution time in nanoseconds
+        /// (engine-local, excludes queue wait).
+        sim_nanos: u64,
+        /// Virtual completion time.
+        at: SimTime,
+    },
+    /// A service-level job was cancelled — client request, or a deadline
+    /// missed in queue or (deterministically, on the simulated clock) during
+    /// execution.
+    JobCancelled {
+        /// Service job id.
+        job: u64,
+        /// Why the job was cancelled.
+        reason: String,
+        /// Virtual cancellation time.
+        at: SimTime,
+    },
+    /// Admission control turned a submission away before it was queued
+    /// (saturated queue, unknown pool, or static-analysis errors).
+    JobRejected {
+        /// Service job id assigned to the rejected submission.
+        job: u64,
+        /// Why admission refused the job.
+        reason: String,
+        /// Virtual rejection time.
+        at: SimTime,
+    },
+}
+
+impl EngineEvent {
+    /// A copy of this event with every timestamp shifted `offset` later.
+    ///
+    /// The multi-tenant job service records each job's engine events on the
+    /// job's own simulated clock (starting at zero); shifting by the job's
+    /// virtual start time places concurrent jobs on the service's shared
+    /// timeline for merged exports ([`export_chrome_trace_multi`]).
+    pub fn shifted(&self, offset: SimTime) -> EngineEvent {
+        let mut ev = self.clone();
+        match &mut ev {
+            EngineEvent::JobStart { at, .. }
+            | EngineEvent::JobEnd { at, .. }
+            | EngineEvent::MemoryPeak { at, .. }
+            | EngineEvent::TaskRetry { at, .. }
+            | EngineEvent::MachineLost { at, .. }
+            | EngineEvent::StageFused { at, .. }
+            | EngineEvent::PartitionStats { at, .. }
+            | EngineEvent::JobQueued { at, .. }
+            | EngineEvent::JobStarted { at, .. }
+            | EngineEvent::JobFinished { at, .. }
+            | EngineEvent::JobCancelled { at, .. }
+            | EngineEvent::JobRejected { at, .. } => *at += offset,
+            EngineEvent::Stage { start, end, .. }
+            | EngineEvent::Shuffle { start, end, .. }
+            | EngineEvent::Broadcast { start, end, .. }
+            | EngineEvent::Spill { start, end, .. }
+            | EngineEvent::Collect { start, end, .. }
+            | EngineEvent::PartitionRecomputed { start, end, .. }
+            | EngineEvent::Checkpoint { start, end, .. } => {
+                *start += offset;
+                *end += offset;
+            }
+        }
+        ev
+    }
 }
 
 /// One entry of the lowering-decision log: a physical choice the runtime
@@ -291,6 +390,17 @@ pub struct TraceSummary {
     /// Intermediate materializations elided by fusion
     /// ([`EngineEvent::StageFused`] sums).
     pub intermediates_elided: u64,
+    /// Service-level jobs that ran to an outcome
+    /// ([`EngineEvent::JobFinished`] count).
+    pub jobs_completed: u64,
+    /// Service-level jobs cancelled ([`EngineEvent::JobCancelled`] count).
+    pub jobs_cancelled: u64,
+    /// Submissions refused by admission control
+    /// ([`EngineEvent::JobRejected`] count).
+    pub jobs_rejected: u64,
+    /// Total virtual nanoseconds jobs spent queued
+    /// ([`EngineEvent::JobStarted`] sums).
+    pub queue_wait_nanos: u64,
 }
 
 impl TraceSummary {
@@ -336,6 +446,13 @@ impl TraceSummary {
                     s.stages_fused += 1;
                     s.intermediates_elided += intermediates_elided;
                 }
+                EngineEvent::JobQueued { .. } => {}
+                EngineEvent::JobStarted { queue_wait, .. } => {
+                    s.queue_wait_nanos += queue_wait.as_nanos();
+                }
+                EngineEvent::JobFinished { .. } => s.jobs_completed += 1,
+                EngineEvent::JobCancelled { .. } => s.jobs_cancelled += 1,
+                EngineEvent::JobRejected { .. } => s.jobs_rejected += 1,
             }
         }
         s
@@ -428,7 +545,8 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
         out,
         "\"jobs\":{},\"jobs_failed\":{},\"stages\":{},\"tasks\":{},\"shuffle_bytes\":{},\
          \"spill_bytes\":{},\"broadcast_bytes\":{},\"collected_records\":{},\"peak_memory_bytes\":{},\
-         \"partitions_lost\":{},\"partitions_recomputed\":{},\"checkpoint_bytes\":{}",
+         \"partitions_lost\":{},\"partitions_recomputed\":{},\"checkpoint_bytes\":{},\
+         \"jobs_completed\":{},\"jobs_cancelled\":{},\"jobs_rejected\":{},\"queue_wait_nanos\":{}",
         summary.jobs,
         summary.jobs_failed,
         summary.stages,
@@ -440,7 +558,11 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
         summary.peak_memory_bytes,
         summary.partitions_lost,
         summary.partitions_recomputed,
-        summary.checkpoint_bytes
+        summary.checkpoint_bytes,
+        summary.jobs_completed,
+        summary.jobs_cancelled,
+        summary.jobs_rejected,
+        summary.queue_wait_nanos
     );
     out.push_str("},\n  \"events\": [\n");
     for (i, ev) in events.iter().enumerate() {
@@ -572,6 +694,50 @@ pub fn export_json(events: &[EngineEvent], decisions: &[Decision]) -> String {
                     micros(*at)
                 );
             }
+            EngineEvent::JobQueued { job, name, pool, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_queued\",\"job\":{job},\"name\":\"{}\",\"pool\":\"{}\",\
+                     \"at_us\":{:.3}",
+                    esc(name),
+                    esc(pool),
+                    micros(*at)
+                );
+            }
+            EngineEvent::JobStarted { job, pool, queue_wait, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_started\",\"job\":{job},\"pool\":\"{}\",\
+                     \"queue_wait_us\":{:.3},\"at_us\":{:.3}",
+                    esc(pool),
+                    micros(*queue_wait),
+                    micros(*at)
+                );
+            }
+            EngineEvent::JobFinished { job, ok, sim_nanos, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_finished\",\"job\":{job},\"ok\":{ok},\
+                     \"sim_nanos\":{sim_nanos},\"at_us\":{:.3}",
+                    micros(*at)
+                );
+            }
+            EngineEvent::JobCancelled { job, reason, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_cancelled\",\"job\":{job},\"reason\":\"{}\",\"at_us\":{:.3}",
+                    esc(reason),
+                    micros(*at)
+                );
+            }
+            EngineEvent::JobRejected { job, reason, at } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"job_rejected\",\"job\":{job},\"reason\":\"{}\",\"at_us\":{:.3}",
+                    esc(reason),
+                    micros(*at)
+                );
+            }
         }
         out.push('}');
         if i + 1 < events.len() {
@@ -615,21 +781,65 @@ const TID_IO: u32 = 4;
 /// Decisions become instant events on the jobs lane; memory peaks become a
 /// counter track. Timestamps are simulated microseconds.
 pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> String {
-    let mut out = String::with_capacity(events.len() * 128 + 1024);
+    export_chrome_trace_multi(&[ChromeLane {
+        pid: 1,
+        name: "simulated cluster".to_string(),
+        events,
+        decisions,
+    }])
+}
+
+/// One process ("pid") lane of a merged Chrome trace export.
+///
+/// The multi-tenant job service exports one lane per job (its engine's
+/// events, [`shifted`](EngineEvent::shifted) onto the service timeline) plus
+/// a service lane carrying the `Job*` lifecycle events, so concurrent jobs
+/// render as separate Perfetto tracks.
+pub struct ChromeLane<'a> {
+    /// Perfetto process id of the lane (1 for a single-engine export).
+    pub pid: u32,
+    /// Process name shown on the track (e.g. `job 3: pagerank`).
+    pub name: String,
+    /// Events of this lane, in recording order.
+    pub events: &'a [EngineEvent],
+    /// Lowering decisions of this lane (instant events on the jobs track).
+    pub decisions: &'a [Decision],
+}
+
+/// Serialize several per-process lanes as one Chrome Trace Event Format
+/// document. Each [`ChromeLane`] becomes its own Perfetto process with the
+/// standard per-family threads; timestamps are simulated microseconds on a
+/// shared timeline.
+pub fn export_chrome_trace_multi(lanes: &[ChromeLane<'_>]) -> String {
+    let total: usize = lanes.iter().map(|l| l.events.len()).sum();
+    let mut out = String::with_capacity(total * 128 + 1024);
     out.push_str("[\n");
-    // Process/thread names (metadata events).
-    let _ = writeln!(
-        out,
-        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"simulated cluster\"}}}},"
-    );
-    for (tid, name) in
-        [(TID_JOBS, "jobs"), (TID_STAGES, "stages"), (TID_SHUFFLE, "shuffle"), (TID_IO, "io")]
-    {
+    for lane in lanes {
+        // Process/thread names (metadata events).
         let _ = writeln!(
             out,
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}},"
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}},",
+            lane.pid,
+            esc(&lane.name)
         );
+        for (tid, name) in
+            [(TID_JOBS, "jobs"), (TID_STAGES, "stages"), (TID_SHUFFLE, "shuffle"), (TID_IO, "io")]
+        {
+            let _ = writeln!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}},",
+                lane.pid
+            );
+        }
+        write_chrome_lane(&mut out, lane.pid, lane.events, lane.decisions);
     }
+    // Trailing metadata event avoids dangling-comma bookkeeping.
+    out.push_str("{\"name\":\"trace_end\",\"ph\":\"M\",\"pid\":1,\"args\":{}}\n]\n");
+    out
+}
+
+/// Write one lane's events and decisions (no metadata, no array brackets).
+fn write_chrome_lane(out: &mut String, pid: u32, events: &[EngineEvent], decisions: &[Decision]) {
     let complete = |out: &mut String,
                     name: String,
                     cat: &str,
@@ -641,7 +851,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
         let _ = writeln!(
             out,
             "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
-             \"pid\":1,\"tid\":{tid},\"args\":{{{args}}}}},",
+             \"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}},",
             esc(&name),
             micros(start),
             dur
@@ -649,6 +859,8 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
     };
     // Pair job starts with their ends to draw one slice per job.
     let mut open_jobs: Vec<(u64, &'static str, SimTime)> = Vec::new();
+    // Pair service job-started events with their finish/cancel.
+    let mut open_service: Vec<(u64, String, SimTime)> = Vec::new();
     for ev in events {
         match ev {
             EngineEvent::JobStart { job, action, at } => open_jobs.push((*job, action, *at)),
@@ -656,7 +868,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                 if let Some(pos) = open_jobs.iter().rposition(|(j, _, _)| j == job) {
                     let (j, action, start) = open_jobs.remove(pos);
                     complete(
-                        &mut out,
+                        out,
                         format!("job {j}: {action}"),
                         "job",
                         TID_JOBS,
@@ -668,7 +880,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::Stage { stage, operator, tasks, scheduled, start, end, busy } => {
                 complete(
-                    &mut out,
+                    out,
                     format!("{operator} [{tasks} tasks]"),
                     if *scheduled { "stage" } else { "narrow" },
                     TID_STAGES,
@@ -682,7 +894,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::Shuffle { operator, records, bytes, start, end } => {
                 complete(
-                    &mut out,
+                    out,
                     format!("shuffle: {operator}"),
                     "shuffle",
                     TID_SHUFFLE,
@@ -693,7 +905,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::Broadcast { operator, bytes, start, end } => {
                 complete(
-                    &mut out,
+                    out,
                     format!("broadcast: {operator}"),
                     "broadcast",
                     TID_IO,
@@ -704,7 +916,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::Spill { operator, bytes, start, end } => {
                 complete(
-                    &mut out,
+                    out,
                     format!("spill: {operator}"),
                     "spill",
                     TID_IO,
@@ -715,7 +927,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::Collect { records, bytes, start, end } => {
                 complete(
-                    &mut out,
+                    out,
                     "collect".to_string(),
                     "collect",
                     TID_IO,
@@ -727,7 +939,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             EngineEvent::MemoryPeak { operator, peak_bytes, at } => {
                 let _ = writeln!(
                     out,
-                    "{{\"name\":\"stage peak memory\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+                    "{{\"name\":\"stage peak memory\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":{pid},\
                      \"args\":{{\"bytes\":{peak_bytes}}},\"cat\":\"memory\",\"id\":\"{}\"}},",
                     micros(*at),
                     esc(operator)
@@ -737,7 +949,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                 let _ = writeln!(
                     out,
                     "{{\"name\":\"task retry: stage {stage} task {task}\",\"cat\":\"retry\",\
-                     \"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":{TID_STAGES},\"s\":\"t\",\
+                     \"ph\":\"i\",\"ts\":{:.3},\"pid\":{pid},\"tid\":{TID_STAGES},\"s\":\"t\",\
                      \"args\":{{\"stage\":{stage},\"task\":{task},\"attempt\":{attempt}}}}},",
                     micros(*at)
                 );
@@ -746,7 +958,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                 let _ = writeln!(
                     out,
                     "{{\"name\":\"machine {machine} lost at stage {stage}\",\"cat\":\"fault\",\
-                     \"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":{TID_STAGES},\"s\":\"t\",\
+                     \"ph\":\"i\",\"ts\":{:.3},\"pid\":{pid},\"tid\":{TID_STAGES},\"s\":\"t\",\
                      \"args\":{{\"machine\":{machine},\"stage\":{stage},\
                      \"partitions_lost\":{partitions_lost}}}}},",
                     micros(*at)
@@ -754,7 +966,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::PartitionRecomputed { machine, stage, partitions, start, end } => {
                 complete(
-                    &mut out,
+                    out,
                     format!("lineage replay: machine {machine} [{partitions} partitions]"),
                     "recovery",
                     TID_STAGES,
@@ -765,7 +977,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             }
             EngineEvent::Checkpoint { operator, bytes, start, end } => {
                 complete(
-                    &mut out,
+                    out,
                     format!("checkpoint: {operator}"),
                     "checkpoint",
                     TID_IO,
@@ -777,7 +989,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             EngineEvent::StageFused { ops, ops_fused, intermediates_elided, partitions, at } => {
                 let _ = writeln!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"fusion\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\
+                    "{{\"name\":\"{}\",\"cat\":\"fusion\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":{pid},\
                      \"tid\":{TID_STAGES},\"s\":\"t\",\"args\":{{\"ops_fused\":{ops_fused},\
                      \"intermediates_elided\":{intermediates_elided},\
                      \"partitions\":{partitions}}}}},",
@@ -799,7 +1011,7 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                 let _ = writeln!(
                     out,
                     "{{\"name\":\"partitions: {}\",\"cat\":\"partition_stats\",\"ph\":\"i\",\
-                     \"ts\":{:.3},\"pid\":1,\"tid\":{TID_SHUFFLE},\"s\":\"t\",\
+                     \"ts\":{:.3},\"pid\":{pid},\"tid\":{TID_SHUFFLE},\"s\":\"t\",\
                      \"args\":{{\"partitions\":{partitions},\"records\":{records},\
                      \"bytes\":{bytes},\"p50_bytes\":{p50_bytes},\"p99_bytes\":{p99_bytes},\
                      \"max_bytes\":{max_bytes},\"skew_ratio_milli\":{skew_ratio_milli}}}}},",
@@ -807,12 +1019,86 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
                     micros(*at)
                 );
             }
+            EngineEvent::JobQueued { job, name, pool, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"job {job} queued [{}]\",\"cat\":\"service\",\"ph\":\"i\",\
+                     \"ts\":{:.3},\"pid\":{pid},\"tid\":{TID_JOBS},\"s\":\"t\",\
+                     \"args\":{{\"job\":{job},\"name\":\"{}\",\"pool\":\"{}\"}}}},",
+                    esc(pool),
+                    micros(*at),
+                    esc(name),
+                    esc(pool)
+                );
+            }
+            EngineEvent::JobStarted { job, pool, queue_wait, at } => {
+                // Draw the queue wait as its own slice ending at the start.
+                if queue_wait.as_nanos() > 0 {
+                    complete(
+                        out,
+                        format!("queued: job {job}"),
+                        "queue",
+                        TID_JOBS,
+                        at.saturating_sub(*queue_wait),
+                        *at,
+                        format!("\"job\":{job},\"queue_wait_us\":{:.3}", micros(*queue_wait)),
+                    );
+                }
+                open_service.push((*job, pool.clone(), *at));
+            }
+            EngineEvent::JobFinished { job, ok, sim_nanos, at } => {
+                if let Some(pos) = open_service.iter().rposition(|(j, _, _)| j == job) {
+                    let (j, pool, start) = open_service.remove(pos);
+                    complete(
+                        out,
+                        format!("job {j} [{pool}]"),
+                        "service_job",
+                        TID_JOBS,
+                        start,
+                        *at,
+                        format!("\"job\":{j},\"ok\":{ok},\"sim_nanos\":{sim_nanos}"),
+                    );
+                }
+            }
+            EngineEvent::JobCancelled { job, reason, at } => {
+                if let Some(pos) = open_service.iter().rposition(|(j, _, _)| j == job) {
+                    let (j, pool, start) = open_service.remove(pos);
+                    complete(
+                        out,
+                        format!("job {j} [{pool}] (cancelled)"),
+                        "service_job",
+                        TID_JOBS,
+                        start,
+                        *at,
+                        format!("\"job\":{j},\"reason\":\"{}\"", esc(reason)),
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"job {job} cancelled\",\"cat\":\"service\",\"ph\":\"i\",\
+                         \"ts\":{:.3},\"pid\":{pid},\"tid\":{TID_JOBS},\"s\":\"t\",\
+                         \"args\":{{\"job\":{job},\"reason\":\"{}\"}}}},",
+                        micros(*at),
+                        esc(reason)
+                    );
+                }
+            }
+            EngineEvent::JobRejected { job, reason, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"job {job} rejected\",\"cat\":\"service\",\"ph\":\"i\",\
+                     \"ts\":{:.3},\"pid\":{pid},\"tid\":{TID_JOBS},\"s\":\"t\",\
+                     \"args\":{{\"job\":{job},\"reason\":\"{}\"}}}},",
+                    micros(*at),
+                    esc(reason)
+                );
+            }
         }
     }
     for d in decisions {
         let _ = writeln!(
             out,
-            "{{\"name\":\"{}: {}\",\"cat\":\"decision\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\
+            "{{\"name\":\"{}: {}\",\"cat\":\"decision\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":{pid},\
              \"tid\":{TID_JOBS},\"s\":\"p\",\"args\":{{\"cardinality\":{},\"bytes\":{},\"detail\":\"{}\"}}}},",
             esc(d.site),
             esc(&d.choice),
@@ -822,9 +1108,6 @@ pub fn export_chrome_trace(events: &[EngineEvent], decisions: &[Decision]) -> St
             esc(&d.detail)
         );
     }
-    // Trailing metadata event avoids dangling-comma bookkeeping.
-    out.push_str("{\"name\":\"trace_end\",\"ph\":\"M\",\"pid\":1,\"args\":{}}\n]\n");
-    out
 }
 
 #[cfg(test)]
@@ -999,6 +1282,96 @@ mod tests {
         assert!(chrome.contains("lineage replay: machine 1"));
         assert!(chrome.contains("checkpoint: checkpoint"));
         assert!(chrome.contains("fused(map|filter)"), "fusions must be visible");
+    }
+
+    #[test]
+    fn service_lifecycle_events_export_and_summarize() {
+        let evs = vec![
+            EngineEvent::JobQueued {
+                job: 1,
+                name: "wordcount".into(),
+                pool: "batch".into(),
+                at: t(0),
+            },
+            EngineEvent::JobStarted { job: 1, pool: "batch".into(), queue_wait: t(2), at: t(2) },
+            EngineEvent::JobFinished { job: 1, ok: true, sim_nanos: 5_000_000, at: t(7) },
+            EngineEvent::JobQueued { job: 2, name: "slow".into(), pool: "batch".into(), at: t(1) },
+            EngineEvent::JobCancelled {
+                job: 2,
+                reason: "deadline exceeded in queue".into(),
+                at: t(4),
+            },
+            EngineEvent::JobRejected { job: 3, reason: "queue full".into(), at: t(5) },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.jobs_cancelled, 1);
+        assert_eq!(s.jobs_rejected, 1);
+        assert_eq!(s.queue_wait_nanos, 2_000_000);
+        let json = export_json(&evs, &[]);
+        for needle in [
+            "\"job_queued\"",
+            "\"job_started\"",
+            "\"job_finished\"",
+            "\"job_cancelled\"",
+            "\"job_rejected\"",
+            "\"jobs_completed\":1",
+            "\"queue_wait_nanos\":2000000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let chrome = export_chrome_trace(&evs, &[]);
+        assert!(chrome.contains("job 1 [batch]"), "started/finished must pair into a slice");
+        assert!(chrome.contains("queued: job 1"), "queue wait must be a slice");
+        assert!(chrome.contains("job 2 cancelled"), "queue-cancel must be an instant");
+        assert!(chrome.contains("job 3 rejected"));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    }
+
+    #[test]
+    fn multi_lane_chrome_export_gives_each_job_its_own_pid() {
+        let lane_a = vec![
+            EngineEvent::JobStart { job: 0, action: "count", at: t(0) },
+            EngineEvent::JobEnd { job: 0, at: t(2), ok: true },
+        ];
+        let lane_b: Vec<EngineEvent> =
+            lane_a.iter().map(|e| e.shifted(SimTime::from_millis(5))).collect();
+        let chrome = export_chrome_trace_multi(&[
+            ChromeLane { pid: 2, name: "job 1: a".into(), events: &lane_a, decisions: &[] },
+            ChromeLane { pid: 3, name: "job 2: b".into(), events: &lane_b, decisions: &[] },
+        ]);
+        assert!(chrome.contains("\"pid\":2"));
+        assert!(chrome.contains("\"pid\":3"));
+        assert!(chrome.contains("job 1: a"));
+        assert_eq!(chrome.matches("process_name").count(), 2, "one process per lane");
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    }
+
+    #[test]
+    fn shifted_moves_interval_and_instant_timestamps() {
+        let off = SimTime::from_millis(10);
+        match (EngineEvent::Stage {
+            stage: 0,
+            operator: "map",
+            tasks: 1,
+            scheduled: true,
+            start: t(1),
+            end: t(2),
+            busy: t(1),
+        })
+        .shifted(off)
+        {
+            EngineEvent::Stage { start, end, busy, .. } => {
+                assert_eq!(start, t(11));
+                assert_eq!(end, t(12));
+                assert_eq!(busy, t(1), "durations must not shift");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match (EngineEvent::JobEnd { job: 0, at: t(3), ok: true }).shifted(off) {
+            EngineEvent::JobEnd { at, .. } => assert_eq!(at, t(13)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

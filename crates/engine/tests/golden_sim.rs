@@ -108,6 +108,10 @@ fn golden_kmeans() -> Golden {
             checkpoint_bytes: 0,
             stages_fused: 0,
             intermediates_elided: 0,
+            jobs_completed: 0,
+            jobs_cancelled: 0,
+            jobs_rejected: 0,
+            queue_wait_nanos: 0,
         },
     }
 }
@@ -132,6 +136,10 @@ fn golden_copartitioned_join_loop() -> Golden {
             checkpoint_bytes: 0,
             stages_fused: 0,
             intermediates_elided: 0,
+            jobs_completed: 0,
+            jobs_cancelled: 0,
+            jobs_rejected: 0,
+            queue_wait_nanos: 0,
         },
     }
 }
@@ -156,6 +164,10 @@ fn golden_distinct() -> Golden {
             checkpoint_bytes: 0,
             stages_fused: 0,
             intermediates_elided: 0,
+            jobs_completed: 0,
+            jobs_cancelled: 0,
+            jobs_rejected: 0,
+            queue_wait_nanos: 0,
         },
     }
 }
@@ -180,6 +192,10 @@ fn golden_shuffle_heavy() -> Golden {
             checkpoint_bytes: 0,
             stages_fused: 0,
             intermediates_elided: 0,
+            jobs_completed: 0,
+            jobs_cancelled: 0,
+            jobs_rejected: 0,
+            queue_wait_nanos: 0,
         },
     }
 }

@@ -1,0 +1,109 @@
+//! Regression test for the process-wide shared worker pool: concurrent
+//! callers (e.g. two jobs of the multi-tenant service) must share one set of
+//! workers instead of each spawning its own `host_parallelism()` threads.
+//!
+//! Before the shared pool, every `parallel_map` call spawned its own scoped
+//! threads, so two interleaved jobs ran up to `2 x host_parallelism()`
+//! compute threads — oversubscribing the host. Now at most
+//! `shared_pool_workers()` persistent workers exist, plus each blocked
+//! caller draining its own batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use matryoshka_engine::pool::{host_parallelism, parallel_map, shared_pool_workers};
+
+/// Track the high-water mark of threads concurrently inside closures.
+struct Gauge {
+    active: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge { active: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+    }
+
+    fn enter(&self) {
+        let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn exit(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn interleaved_jobs_do_not_oversubscribe_cores() {
+    let callers = 4;
+    let gauge = Arc::new(Gauge::new());
+    let barrier = Arc::new(Barrier::new(callers));
+    let handles: Vec<_> = (0..callers)
+        .map(|_| {
+            let gauge = Arc::clone(&gauge);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Line all callers up so their batches overlap in the pool.
+                barrier.wait();
+                for _ in 0..20 {
+                    let out = parallel_map((0..512u64).collect(), |i, x| {
+                        gauge.enter();
+                        // Enough work that claims from distinct batches
+                        // genuinely overlap in time.
+                        let v = (0..500u64).fold(x, |a, b| a.wrapping_add(b ^ i as u64));
+                        gauge.exit();
+                        v
+                    });
+                    assert_eq!(out.len(), 512);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("caller thread panicked");
+    }
+
+    // The only threads that ever run closures are the shared workers plus
+    // the callers themselves (each drains its own batch while it waits).
+    let bound = shared_pool_workers() + callers;
+    let peak = gauge.peak.load(Ordering::SeqCst);
+    assert!(
+        peak <= bound,
+        "peak concurrent compute threads {peak} exceeded shared-pool bound {bound} \
+         (host_parallelism = {})",
+        host_parallelism()
+    );
+    assert!(peak >= 1, "work must have run");
+}
+
+#[test]
+fn two_jobs_share_the_same_worker_threads() {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    // Worker-thread identities seen by two sequential "jobs": with one
+    // process-wide pool, the persistent workers overlap across calls.
+    let seen_a: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    let seen_b: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    let me = std::thread::current().id();
+    let _ = parallel_map((0..4096u64).collect(), |_, x| {
+        seen_a.lock().unwrap().insert(std::thread::current().id());
+        x
+    });
+    let _ = parallel_map((0..4096u64).collect(), |_, x| {
+        seen_b.lock().unwrap().insert(std::thread::current().id());
+        x
+    });
+    let a = seen_a.into_inner().unwrap();
+    let b = seen_b.into_inner().unwrap();
+    if shared_pool_workers() >= 1 {
+        let shared: Vec<_> = a.intersection(&b).filter(|id| **id != me).collect();
+        assert!(
+            !shared.is_empty() || a.len() == 1,
+            "persistent pool workers should serve both calls (a={}, b={})",
+            a.len(),
+            b.len()
+        );
+    }
+}

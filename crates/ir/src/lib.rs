@@ -55,6 +55,7 @@ pub mod ast;
 mod error;
 mod lower;
 mod parse;
+mod prepare;
 pub mod pretty;
 pub mod syntax;
 mod value;
@@ -63,5 +64,6 @@ pub use analyze::{analyze, check, Analysis, Diagnostic, Diagnostics, Severity, T
 pub use error::{IrError, IrResult};
 pub use lower::{apply_bin, apply_un, eval_pure, Lowering, RtVal};
 pub use parse::{parsing_phase, shape_of, Dialect, Shape};
+pub use prepare::{prepare_program, PrepareError, PreparedProgram};
 pub use syntax::{parse_program, ParseError};
 pub use value::Value;

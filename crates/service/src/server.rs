@@ -1,0 +1,194 @@
+//! The std-only TCP server behind `matryoshka-serve`.
+//!
+//! One thread per connection speaks the [`wire`](crate::wire) protocol; a
+//! dedicated driver thread runs the service's virtual-time event loop so
+//! submissions from any connection are scheduled by the single
+//! deterministic driver. `SHUTDOWN` stops accepting, drains running work,
+//! and returns from [`Server::run`].
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use matryoshka_engine::sim::SimTime;
+
+use crate::job::{JobOutcome, JobSpec, JobStatus};
+use crate::service::JobService;
+use crate::wire::{parse_command, Command};
+
+/// A bound, not-yet-running submission server.
+pub struct Server {
+    service: JobService,
+    listener: TcpListener,
+}
+
+/// Replace newlines so multi-line payloads fit the one-line reply grammar.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], "; ")
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port; the bound address
+    /// is available via [`Server::local_addr`]).
+    pub fn bind(service: JobService, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { service, listener })
+    }
+
+    /// The actually-bound socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The served job service (for in-process tests).
+    pub fn service(&self) -> &JobService {
+        &self.service
+    }
+
+    /// Accept and serve connections until a client sends `SHUTDOWN`.
+    /// Returns once queued and running jobs have drained.
+    pub fn run(self) -> io::Result<()> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let driver = {
+            let service = self.service.clone();
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || loop {
+                service.wait_for_work(Duration::from_millis(25));
+                service.run_until_idle();
+                if shutdown.load(Ordering::SeqCst) && service.is_idle() {
+                    return;
+                }
+            })
+        };
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let service = self.service.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    thread::spawn(move || {
+                        // A broken connection only ends that connection.
+                        let _ = handle_connection(stream, &service, &shutdown);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        driver.join().expect("driver thread panicked");
+        Ok(())
+    }
+}
+
+/// Serve one client until it disconnects or sends `SHUTDOWN`.
+fn handle_connection(
+    stream: TcpStream,
+    service: &JobService,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cmd = match parse_command(trimmed) {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                writeln!(out, "ERR {e}")?;
+                continue;
+            }
+        };
+        match cmd {
+            Command::Submit { name, pool, len, slots, deadline_ms } => {
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body)?;
+                let Ok(source) = String::from_utf8(body) else {
+                    writeln!(out, "ERR program body is not valid UTF-8")?;
+                    continue;
+                };
+                let mut spec = JobSpec::program(name, source).in_pool(pool).with_slots(slots);
+                if let Some(ms) = deadline_ms {
+                    spec = spec.with_deadline(SimTime::from_millis(ms));
+                }
+                match service.submit(spec) {
+                    Ok(id) => writeln!(out, "OK {id} queued")?,
+                    Err(rej) => {
+                        for d in &rej.diagnostics {
+                            writeln!(out, "DIAG {}", one_line(d))?;
+                        }
+                        writeln!(out, "ERR rejected: {}", one_line(&rej.reason))?;
+                    }
+                }
+            }
+            Command::Wait(id) => match service.wait(id) {
+                None => writeln!(out, "ERR unknown job {id}")?,
+                Some(JobOutcome::Completed { result, sim_nanos }) => {
+                    writeln!(out, "OK {id} completed {sim_nanos} {}", one_line(&result))?;
+                }
+                Some(JobOutcome::Failed { error, sim_nanos }) => {
+                    writeln!(out, "OK {id} failed {sim_nanos} {}", one_line(&error))?;
+                }
+                Some(JobOutcome::Cancelled { reason }) => {
+                    writeln!(out, "OK {id} cancelled {}", one_line(&reason))?;
+                }
+            },
+            Command::Status(id) => match service.status(id) {
+                None => writeln!(out, "ERR unknown job {id}")?,
+                Some(JobStatus::Queued) => writeln!(out, "OK {id} queued")?,
+                Some(JobStatus::Running) => writeln!(out, "OK {id} running")?,
+                Some(JobStatus::Done(JobOutcome::Completed { .. })) => {
+                    writeln!(out, "OK {id} completed")?;
+                }
+                Some(JobStatus::Done(JobOutcome::Failed { .. })) => {
+                    writeln!(out, "OK {id} failed")?;
+                }
+                Some(JobStatus::Done(JobOutcome::Cancelled { .. })) => {
+                    writeln!(out, "OK {id} cancelled")?;
+                }
+            },
+            Command::Cancel(id) => {
+                if service.cancel(id) {
+                    writeln!(out, "OK {id} cancel requested")?;
+                } else {
+                    writeln!(out, "ERR cannot cancel job {id}")?;
+                }
+            }
+            Command::Stats => {
+                let s = service.stats();
+                writeln!(
+                    out,
+                    "OK jobs_completed={} jobs_cancelled={} jobs_rejected={} \
+                     queue_wait_nanos={} vt_nanos={}",
+                    s.jobs_completed,
+                    s.jobs_cancelled,
+                    s.jobs_rejected,
+                    s.queue_wait_nanos,
+                    service.virtual_time().as_nanos()
+                )?;
+            }
+            Command::Ping => writeln!(out, "OK pong")?,
+            Command::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                writeln!(out, "OK shutting down")?;
+                return Ok(());
+            }
+        }
+        out.flush()?;
+    }
+}

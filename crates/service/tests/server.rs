@@ -1,0 +1,98 @@
+//! End-to-end test of the TCP submission server: a real socket, the wire
+//! protocol, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use matryoshka_core::MatryoshkaConfig;
+use matryoshka_engine::ClusterConfig;
+use matryoshka_service::{JobService, Server};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Client { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    fn submit(&mut self, name: &str, pool: &str, program: &str) -> String {
+        write!(self.writer, "SUBMIT {name} {pool} {}\n{program}", program.len()).unwrap();
+        self.writer.flush().unwrap();
+        self.recv()
+    }
+}
+
+#[test]
+fn server_round_trip_over_tcp() {
+    let service =
+        JobService::new(ClusterConfig::local_test(), MatryoshkaConfig::default(), 11).unwrap();
+    let server = Server::bind(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run().unwrap());
+
+    let mut c = Client::connect(addr);
+    c.send("PING");
+    assert_eq!(c.recv(), "OK pong");
+
+    // A good program: admitted, runs, completes.
+    let reply = c.submit(
+        "visit_counts",
+        "default",
+        "map(groupByKey(source(visits)), g => (g.0, count(g.1)))",
+    );
+    assert_eq!(reply, "OK 0 queued", "first submission gets id 0");
+    c.send("WAIT 0");
+    let done = c.recv();
+    assert!(done.starts_with("OK 0 completed "), "{done}");
+    c.send("STATUS 0");
+    assert_eq!(c.recv(), "OK 0 completed");
+
+    // A bad program: analyzer diagnostics stream back before the ERR line.
+    let reply = c.submit("bad", "default", "map(source(xs), v => y)");
+    assert!(reply.starts_with("DIAG "), "{reply}");
+    let mut last = reply;
+    while last.starts_with("DIAG ") {
+        last = c.recv();
+    }
+    assert!(last.starts_with("ERR rejected: "), "{last}");
+
+    // Unknown pool is an admission error too.
+    let reply = c.submit("lost", "nope", "count(source(xs))");
+    assert!(last.starts_with("ERR "), "{reply}");
+
+    // Protocol-level errors don't kill the connection.
+    c.send("FROBNICATE");
+    assert!(c.recv().starts_with("ERR unknown command"));
+    c.send("WAIT 999");
+    assert_eq!(c.recv(), "ERR unknown job 999");
+
+    c.send("STATS");
+    let stats = c.recv();
+    assert!(stats.contains("jobs_completed=1"), "{stats}");
+    assert!(stats.contains("jobs_rejected=2"), "{stats}");
+
+    // A second connection sees the same service.
+    let mut c2 = Client::connect(addr);
+    c2.send("STATUS 0");
+    assert_eq!(c2.recv(), "OK 0 completed");
+
+    c.send("SHUTDOWN");
+    assert_eq!(c.recv(), "OK shutting down");
+    handle.join().expect("server thread");
+}

@@ -93,6 +93,53 @@ echo "== recovery sweep smoke (fault model) + BENCH_recovery.json parse check"
 cargo run -q --release -p matryoshka-bench --bin recovery_sweep -- --smoke
 cargo run -q --release -p matryoshka-bench --bin recovery_sweep -- --validate BENCH_recovery.json
 
+echo "== service smoke (matryoshka-serve + matryoshka-submit over TCP)"
+# Start the job server on an ephemeral port, submit the example program
+# corpus through the client, exercise the rejection path, and shut down
+# gracefully (see docs/SERVICE.md).
+SERVE_LOG="$(mktemp)"
+./target/release/matryoshka-serve --policy fair --pools default:1,interactive:3 \
+  --queue-capacity 32 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^LISTENING ' "$SERVE_LOG" && break
+  sleep 0.1
+done
+SERVE_ADDR="$(sed -n 's/^LISTENING //p' "$SERVE_LOG" | head -1)"
+[ -n "$SERVE_ADDR" ] || {
+  echo "matryoshka-serve did not print LISTENING" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+# The full shipped corpus must be admitted and complete (exit 0).
+./target/release/matryoshka-submit --addr "$SERVE_ADDR" examples/programs/*.mat
+# Analyzer-rejected programs must bounce at admission (exit 0 only because
+# rejection is the expected outcome).
+BAD_MAT="$(mktemp --suffix=.mat)"
+printf 'map(source(xs), v => y)' >"$BAD_MAT"
+./target/release/matryoshka-submit --addr "$SERVE_ADDR" --expect-reject "$BAD_MAT"
+rm -f "$BAD_MAT"
+# Graceful shutdown: the server must exit 0 after SHUTDOWN.
+exec 3<>"/dev/tcp/${SERVE_ADDR%:*}/${SERVE_ADDR#*:}"
+printf 'SHUTDOWN\n' >&3
+head -1 <&3 | grep -q 'OK shutting down' || {
+  echo "SHUTDOWN did not acknowledge" >&2
+  exit 1
+}
+exec 3<&- 3>&-
+wait "$SERVE_PID" || {
+  echo "matryoshka-serve exited non-zero" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+rm -f "$SERVE_LOG"
+
+echo "== service sweep smoke (scheduler fairness) + BENCH_service.json parse check"
+# Fast policy/load gate on the virtual-time service, then parse-check the
+# committed artifact (both policies, queue waits, admission rejections).
+cargo run -q --release -p matryoshka-bench --bin service_sweep -- --smoke
+cargo run -q --release -p matryoshka-bench --bin service_sweep -- --validate BENCH_service.json
+
 echo "== docs link/anchor + mat-example check (tests/docs.rs)"
 # Explicit rerun of the docs gate (also part of the workspace test run):
 # every relative Markdown link/anchor must resolve and every fenced

@@ -11,6 +11,8 @@
 //! - [`ir`]: the nested-parallel language and the parsing phase.
 //! - [`tasks`]: the paper's evaluation workloads in every strategy.
 //! - [`datagen`]: deterministic dataset generators.
+//! - [`service`]: the multi-tenant job service — fair-share scheduler,
+//!   admission control, and the std-only TCP submission server.
 //!
 //! See the repository README for a tour and `examples/` for runnable
 //! programs.
@@ -19,4 +21,5 @@ pub use matryoshka_core as core;
 pub use matryoshka_datagen as datagen;
 pub use matryoshka_engine as engine;
 pub use matryoshka_ir as ir;
+pub use matryoshka_service as service;
 pub use matryoshka_tasks as tasks;
