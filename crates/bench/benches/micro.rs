@@ -274,6 +274,43 @@ fn bench_plan_rewrites(h: &mut Harness) {
     }
 }
 
+/// The workload UDF compilation targets: an arithmetic-heavy scalar map UDF
+/// (nested `let`s, an 8-iteration scalar loop, mixed Long/Double math)
+/// evaluated per record by the lowering interpreter, plus a compiled
+/// two-parameter fold combiner — once through the `eval_pure` tree walker
+/// (`interpret_udfs: true`) and once compiled to slot-resolved form
+/// (the default). The ablation the UDF-compilation pass is judged by.
+fn bench_udf_eval(h: &mut Harness) {
+    use matryoshka_ir::{Lowering, RtVal, Value};
+
+    let n = h.size(200_000, 2_000);
+    let program = matryoshka_ir::parse_program(
+        "fold(map(source(xs), v =>
+            let a = v.0 * 3 + v.1 in
+            let b = a * a + v.0 in
+            let r = loop (i = 8, acc = b) while i > 0 do (i - 1, acc + a * i) yield acc in
+            if toDouble(r) > 100000.0 then toDouble(r) / 2.0 else toDouble(a + b)),
+         0.0, (s, x) => s + x)",
+    )
+    .expect("udf_eval bench program parses");
+    let xs: Vec<Value> = (0..n as i64)
+        .map(|i| Value::tuple(vec![Value::Long(i % 1000), Value::Long(i % 37)]))
+        .collect();
+    for (label, interpret) in [("udf_eval/interpreted", true), ("udf_eval/compiled", false)] {
+        h.bench(label, n, || {
+            let e = engine();
+            let inputs =
+                std::collections::HashMap::from([("xs".to_string(), e.parallelize(xs.clone(), 8))]);
+            let mut cfg = MatryoshkaConfig::optimized();
+            cfg.interpret_udfs = interpret;
+            match Lowering::new(e, cfg).run(&program, &inputs).unwrap() {
+                RtVal::Scalar(v) => v,
+                other => panic!("expected a scalar, got {other:?}"),
+            }
+        });
+    }
+}
+
 fn bench_nesting(h: &mut Harness) {
     let n = h.size(100_000, 2_000);
     h.bench("nesting_primitives/group_by_key_into_nested_bag", n, || {
@@ -284,12 +321,35 @@ fn bench_nesting(h: &mut Harness) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    // `--validate <path>`: check an existing BENCH_micro.json artifact
+    // (shape + the udf_eval compiled-beats-interpreted invariant) instead
+    // of running the benches. CI runs this against the committed artifact.
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or("BENCH_micro.json").to_string();
+        // `cargo bench` runs with the package as cwd; resolve repo-root
+        // relative paths the same way the writer does.
+        let path = if std::path::Path::new(&path).exists() {
+            path
+        } else {
+            format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+        };
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        match matryoshka_bench::validate_micro_rows(&src) {
+            Ok(rows) => {
+                println!("{path}: {rows} benchmark rows validated");
+                return;
+            }
+            Err(e) => panic!("{path}: {e}"),
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     let mut h = Harness::new(smoke);
     bench_engine_ops(&mut h);
     bench_copartitioned_loop(&mut h);
     bench_narrow_chain(&mut h);
     bench_lifted_vs_flat(&mut h);
+    bench_udf_eval(&mut h);
     bench_lifted_loop(&mut h);
     bench_plan_rewrites(&mut h);
     bench_nesting(&mut h);

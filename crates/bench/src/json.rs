@@ -446,6 +446,57 @@ pub fn validate_service_rows(src: &str) -> Result<usize, String> {
     Ok(rows.len())
 }
 
+/// Validate a `BENCH_micro.json` document: a non-empty array of row objects
+/// with an `op` string, a numeric `n`, and finite non-negative
+/// `median_ms`/`min_ms` timings. The `udf_eval` ablation pair must be
+/// present, and the compiled arm must beat the interpreted arm by a clear
+/// margin (>= 1.5x on the median) — the committed artifact targets >= 2x;
+/// the validator leaves slack for machine variance. Returns the row count.
+pub fn validate_micro_rows(src: &str) -> Result<usize, String> {
+    let doc = parse(src)?;
+    let rows = match &doc {
+        Json::Arr(rows) if !rows.is_empty() => rows,
+        Json::Arr(_) => return Err("empty benchmark array".into()),
+        _ => return Err("top level is not a JSON array".into()),
+    };
+    let mut interpreted = None;
+    let mut compiled = None;
+    for (i, row) in rows.iter().enumerate() {
+        let op = row
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string \"op\""))?;
+        row.get("n")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("row {i}: missing numeric \"n\""))?;
+        let median = row
+            .get("median_ms")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("row {i}: missing numeric \"median_ms\""))?;
+        let min = row
+            .get("min_ms")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("row {i}: missing numeric \"min_ms\""))?;
+        if !median.is_finite() || median < 0.0 || !min.is_finite() || min < 0.0 {
+            return Err(format!("row {i}: bad timings median={median} min={min}"));
+        }
+        match op {
+            "udf_eval/interpreted" => interpreted = Some(median),
+            "udf_eval/compiled" => compiled = Some(median),
+            _ => {}
+        }
+    }
+    let interpreted = interpreted.ok_or("missing the udf_eval/interpreted row".to_string())?;
+    let compiled = compiled.ok_or("missing the udf_eval/compiled row".to_string())?;
+    if compiled * 1.5 > interpreted {
+        return Err(format!(
+            "compiled UDF evaluation ({compiled:.3} ms) does not clearly beat the \
+             interpreter ({interpreted:.3} ms); expected >= 1.5x"
+        ));
+    }
+    Ok(rows.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +603,27 @@ mod tests {
         // A recovery artifact is not a service artifact.
         let recovery = rows_to_json(&[service_row("loss-0", 1, 1, 1)]);
         assert!(validate_service_rows(&recovery).is_err());
+    }
+
+    #[test]
+    fn micro_rows_validate() {
+        let good = r#"[
+          {"op": "engine_ops/join", "n": 1000, "median_ms": 5.0, "min_ms": 4.0},
+          {"op": "udf_eval/interpreted", "n": 1000, "median_ms": 30.0, "min_ms": 29.0},
+          {"op": "udf_eval/compiled", "n": 1000, "median_ms": 10.0, "min_ms": 9.5}
+        ]"#;
+        assert_eq!(validate_micro_rows(good).unwrap(), 3);
+        let missing_arm = r#"[
+          {"op": "udf_eval/interpreted", "n": 1000, "median_ms": 30.0, "min_ms": 29.0}
+        ]"#;
+        assert!(validate_micro_rows(missing_arm).is_err(), "needs both ablation arms");
+        let no_speedup = r#"[
+          {"op": "udf_eval/interpreted", "n": 1000, "median_ms": 12.0, "min_ms": 11.0},
+          {"op": "udf_eval/compiled", "n": 1000, "median_ms": 10.0, "min_ms": 9.5}
+        ]"#;
+        assert!(validate_micro_rows(no_speedup).is_err(), "needs a clear speedup");
+        assert!(validate_micro_rows("[]").is_err());
+        assert!(validate_micro_rows(r#"[{"op": "x"}]"#).is_err(), "rows need timings");
     }
 
     #[test]

@@ -18,5 +18,8 @@ pub mod json;
 pub mod profile;
 
 pub use harness::{print_csv, print_rows, run_case, Measurement, Outcome, Row};
-pub use json::{rows_to_json, validate_bench_rows, validate_recovery_rows, validate_service_rows};
+pub use json::{
+    rows_to_json, validate_bench_rows, validate_micro_rows, validate_recovery_rows,
+    validate_service_rows,
+};
 pub use profile::Profile;

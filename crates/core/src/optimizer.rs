@@ -92,6 +92,15 @@ pub struct MatryoshkaConfig {
     /// [`crate::scheduler`] and `docs/SERVICE.md`). Only read by the
     /// service; a directly-driven lowering ignores it.
     pub scheduler: crate::scheduler::SchedulerConfig,
+    /// Force the IR lowering's per-record scalar UDFs through the
+    /// tree-walking `eval_pure` interpreter instead of the slot-resolved
+    /// `CompiledUdf` evaluator (see `docs/ANALYSIS.md`, "UDF compilation").
+    /// `false` (the default, including under [`MatryoshkaConfig::default`]
+    /// and [`MatryoshkaConfig::optimized`]) compiles UDFs; `true` exists for
+    /// the `udf_eval` ablation and for differential debugging. Compilation
+    /// is value- and sim-transparent, so this knob never changes results,
+    /// charge sequences, or simulated times.
+    pub interpret_udfs: bool,
 }
 
 impl MatryoshkaConfig {
@@ -105,6 +114,7 @@ impl MatryoshkaConfig {
             checkpoint_interval: 0,
             plan: PlanRewriteConfig::default(),
             scheduler: crate::scheduler::SchedulerConfig::default(),
+            interpret_udfs: false,
         }
     }
 

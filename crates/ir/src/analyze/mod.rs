@@ -34,7 +34,7 @@ pub mod rw;
 mod ty;
 
 pub use diag::{codes, Diagnostic, Diagnostics, Severity};
-pub use ty::Ty;
+pub use ty::{ScalarKind, Ty};
 
 use crate::ast::{Expr, Span};
 use crate::error::{IrError, IrResult};

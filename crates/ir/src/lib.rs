@@ -52,6 +52,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod compile;
 mod error;
 mod lower;
 mod parse;
@@ -60,7 +61,10 @@ pub mod pretty;
 pub mod syntax;
 mod value;
 
-pub use analyze::{analyze, check, Analysis, Diagnostic, Diagnostics, Severity, Ty, UdfSummary};
+pub use analyze::{
+    analyze, check, Analysis, Diagnostic, Diagnostics, ScalarKind, Severity, Ty, UdfSummary,
+};
+pub use compile::CompiledUdf;
 pub use error::{IrError, IrResult};
 pub use lower::{apply_bin, apply_un, eval_pure, Lowering, RtVal};
 pub use parse::{parsing_phase, shape_of, Dialect, Shape};

@@ -12,7 +12,7 @@
 //! tag joins or half-lifted cross products (Sec. 5, 8.3).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use matryoshka_core::{
     group_by_key_into_nested_bag, lifted_while, InnerBag, InnerScalar, LiftedData, LiftingContext,
@@ -20,7 +20,8 @@ use matryoshka_core::{
 };
 use matryoshka_engine::{Bag, Engine, EngineError};
 
-use crate::ast::{BinOp, Expr, Lambda2, UnOp};
+use crate::ast::{BinOp, Expr, Lambda, Lambda2, UnOp};
+use crate::compile::CompiledUdf;
 use crate::error::{IrError, IrResult};
 use crate::value::Value;
 
@@ -60,6 +61,18 @@ enum LVal {
 pub struct Lowering {
     engine: Engine,
     config: MatryoshkaConfig,
+    /// Per-body closure-capture memo (see [`Lowering::memo_capture_names`]).
+    captures_memo: Mutex<HashMap<usize, CachedCaptures>>,
+}
+
+/// One memoized capture set, keyed by the body's `Arc` pointer.
+struct CachedCaptures {
+    /// Pins the body alive so the pointer key can never be reused by a
+    /// different (dropped-and-reallocated) expression.
+    _body: Arc<Expr>,
+    /// The skip list the set was computed under (re-verified on each hit).
+    skip: Vec<String>,
+    names: Arc<Vec<String>>,
 }
 
 type Env = HashMap<String, RtVal>;
@@ -69,54 +82,103 @@ type PureEnv = HashMap<String, Value>;
 /// Evaluate a scalar-only expression over plain values (used inside engine
 /// UDF closures, where the parsing phase guarantees no bag operations
 /// remain). Loops and conditionals over scalars are allowed.
+///
+/// This is the *reference* interpreter: per-record UDF hot paths run
+/// slot-compiled programs instead ([`crate::compile::CompiledUdf`]), with
+/// this function kept as the differential-testing oracle and as the
+/// `MatryoshkaConfig::interpret_udfs` ablation path.
 pub fn eval_pure(e: &Expr, env: &PureEnv) -> IrResult<Value> {
+    let mut scratch = env.clone();
+    eval_pure_mut(e, &mut scratch)
+}
+
+/// [`eval_pure`] over a mutable environment: each binder inserts in place
+/// and restores the shadowed value on scope exit, instead of cloning the
+/// whole map per binding (which made deep `let`-chains quadratic).
+pub(crate) fn eval_pure_mut(e: &Expr, env: &mut PureEnv) -> IrResult<Value> {
     Ok(match e {
-        Expr::Spanned(_, inner) => eval_pure(inner, env)?,
+        Expr::Spanned(_, inner) => eval_pure_mut(inner, env)?,
         Expr::Const(v) => v.clone(),
         Expr::Var(n) => env.get(n).cloned().ok_or_else(|| IrError::Unbound(n.clone()))?,
         Expr::Tuple(items) => {
-            Value::tuple(items.iter().map(|x| eval_pure(x, env)).collect::<IrResult<_>>()?)
+            Value::tuple(items.iter().map(|x| eval_pure_mut(x, env)).collect::<IrResult<_>>()?)
         }
-        Expr::Proj(x, i) => eval_pure(x, env)?.proj(*i)?,
-        Expr::Bin(op, a, b) => apply_bin(*op, &eval_pure(a, env)?, &eval_pure(b, env)?)?,
-        Expr::Un(op, a) => apply_un(*op, &eval_pure(a, env)?)?,
+        Expr::Proj(x, i) => eval_pure_mut(x, env)?.proj(*i)?,
+        Expr::Bin(op, a, b) => {
+            let av = eval_pure_mut(a, env)?;
+            let bv = eval_pure_mut(b, env)?;
+            apply_bin(*op, &av, &bv)?
+        }
+        Expr::Un(op, a) => apply_un(*op, &eval_pure_mut(a, env)?)?,
         Expr::Let(n, v, b) => {
-            let mut env2 = env.clone();
-            env2.insert(n.clone(), eval_pure(v, env)?);
-            eval_pure(b, &env2)?
+            let bound = eval_pure_mut(v, env)?;
+            let saved = env.insert(n.clone(), bound);
+            let r = eval_pure_mut(b, env);
+            restore(env, n, saved);
+            r?
         }
         Expr::If(c, t, el) => {
-            if eval_pure(c, env)?.as_bool()? {
-                eval_pure(t, env)?
+            if eval_pure_mut(c, env)?.as_bool()? {
+                eval_pure_mut(t, env)?
             } else {
-                eval_pure(el, env)?
+                eval_pure_mut(el, env)?
             }
         }
         Expr::Loop { init, cond, step, result } => {
-            let mut env2 = env.clone();
-            let names: Vec<&String> = init.iter().map(|(n, _)| n).collect();
-            for (n, x) in init {
-                let v = eval_pure(x, &env2)?;
-                env2.insert(n.clone(), v);
+            let mut saved = Vec::with_capacity(init.len());
+            let r = eval_pure_loop(init, cond, step, result, env, &mut saved);
+            // Unwind in reverse so duplicated loop-variable names restore
+            // to the outermost shadowed value, even when `r` is an error.
+            for (n, old) in saved.into_iter().rev() {
+                restore(env, n, old);
             }
-            while eval_pure(cond, &env2)?.as_bool()? {
-                let next: Vec<Value> =
-                    step.iter().map(|x| eval_pure(x, &env2)).collect::<IrResult<_>>()?;
-                for (n, v) in names.iter().zip(next) {
-                    env2.insert((*n).clone(), v);
-                }
-            }
-            eval_pure(result, &env2)?
+            r?
         }
         // A materialization hint on a scalar is the identity (nothing to
         // cache: scalar evaluation is already by-value).
-        Expr::Cache(x) => eval_pure(x, env)?,
+        Expr::Cache(x) => eval_pure_mut(x, env)?,
         other => {
             return Err(IrError::Unsupported(format!(
                 "bag operation in a scalar-only context: {other:?}"
             )))
         }
     })
+}
+
+/// Undo one scoped binding: put back the shadowed value, or remove.
+fn restore(env: &mut PureEnv, name: &str, saved: Option<Value>) {
+    match saved {
+        Some(old) => {
+            env.insert(name.to_string(), old);
+        }
+        None => {
+            env.remove(name);
+        }
+    }
+}
+
+/// The body of a scalar loop; every binding it performs is recorded in
+/// `saved` so the caller can unwind the scope on success *and* on error.
+fn eval_pure_loop<'a>(
+    init: &'a [(String, Expr)],
+    cond: &Expr,
+    step: &[Expr],
+    result: &Expr,
+    env: &mut PureEnv,
+    saved: &mut Vec<(&'a str, Option<Value>)>,
+) -> IrResult<Value> {
+    for (n, x) in init {
+        let v = eval_pure_mut(x, env)?;
+        saved.push((n, env.insert(n.clone(), v)));
+    }
+    while eval_pure_mut(cond, env)?.as_bool()? {
+        let next: Vec<Value> =
+            step.iter().map(|x| eval_pure_mut(x, env)).collect::<IrResult<_>>()?;
+        for ((n, _), v) in init.iter().zip(next) {
+            env.insert(n.clone(), v);
+        }
+    }
+    eval_pure_mut(result, env)
 }
 
 /// Apply a binary scalar operator.
@@ -171,21 +233,20 @@ fn unpairize(bag: &Bag<(Value, Value)>) -> Bag<Value> {
     bag.map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()]))
 }
 
-/// Capture a pure-closure environment: every free variable of `body` except
-/// `skip`, resolved from the lifted/driver environments to a plain value.
-/// Returns the lifted (InnerScalar) captures separately.
-fn split_captures(
-    body: &Expr,
-    skip: &[&str],
+/// Resolve capture names against the lifted environment: every name must be
+/// a plain scalar (goes into the pure env) or a lifted scalar (returned
+/// separately for the tag join).
+fn resolve_lifted_captures(
+    names: &[String],
     lenv: &LEnv,
 ) -> IrResult<(PureEnv, Vec<(String, InnerScalar<Value, Value>)>)> {
     let mut pure = PureEnv::new();
     let mut lifted = Vec::new();
-    for name in crate::analyze::captures::capture_names(body, skip) {
-        match lenv.get(&name) {
-            Some(LVal::Scalar(s)) => lifted.push((name, s.clone())),
+    for name in names {
+        match lenv.get(name) {
+            Some(LVal::Scalar(s)) => lifted.push((name.clone(), s.clone())),
             Some(LVal::Driver(RtVal::Scalar(v))) => {
-                pure.insert(name, v.clone());
+                pure.insert(name.clone(), v.clone());
             }
             Some(other) => {
                 let kind = match other {
@@ -198,10 +259,31 @@ fn split_captures(
                     "UDF captures {kind} ({name}); only scalars can be captured by leaf UDFs"
                 )));
             }
-            None => return Err(IrError::Unbound(name)),
+            None => return Err(IrError::Unbound(name.clone())),
         }
     }
     Ok((pure, lifted))
+}
+
+/// Resolve capture names against the driver environment: every name must be
+/// a scalar.
+fn resolve_driver_captures(names: &[String], env: &Env) -> IrResult<PureEnv> {
+    let mut pure = PureEnv::new();
+    for name in names {
+        match env.get(name) {
+            Some(RtVal::Scalar(v)) => {
+                pure.insert(name.clone(), v.clone());
+            }
+            Some(_) => {
+                return Err(IrError::Unsupported(format!(
+                    "UDF captures the bag {name}; nested bag use requires lifting \
+                     (run the parsing phase)"
+                )))
+            }
+            None => return Err(IrError::Unbound(name.clone())),
+        }
+    }
+    Ok(pure)
 }
 
 /// Zip several lifted scalars into one whose values are tuples (so a single
@@ -222,16 +304,6 @@ fn combine_scalars(scalars: &[(String, InnerScalar<Value, Value>)]) -> InnerScal
         });
     }
     combined
-}
-
-fn bind_combined(
-    names: &[(String, InnerScalar<Value, Value>)],
-    combined: &Value,
-    env: &mut PureEnv,
-) {
-    for (i, (name, _)) in names.iter().enumerate() {
-        env.insert(name.clone(), combined.proj(i).expect("combined closure arity"));
-    }
 }
 
 fn to_engine_err(e: IrError) -> EngineError {
@@ -314,7 +386,81 @@ impl LiftedData<Value> for LState {
 impl Lowering {
     /// Create a lowering over `engine` with the given optimizer config.
     pub fn new(engine: Engine, config: MatryoshkaConfig) -> Lowering {
-        Lowering { engine, config }
+        Lowering { engine, config, captures_memo: Mutex::new(HashMap::new()) }
+    }
+
+    /// Closure capture names for a UDF body, memoized per `Arc`'d body node:
+    /// lifted loops re-lower the same bodies every iteration, and every
+    /// operator consults its UDF's capture set — so the free-variable walk
+    /// runs once per distinct body and is reused. The cached entry pins the
+    /// `Arc` so a pointer key can never be reused by a different expression,
+    /// and records the skip list it was computed under.
+    fn memo_capture_names(&self, body: &Arc<Expr>, skip: &[&str]) -> Arc<Vec<String>> {
+        let key = Arc::as_ptr(body) as usize;
+        let mut memo = self.captures_memo.lock().expect("captures memo poisoned");
+        if let Some(c) = memo.get(&key) {
+            if c.skip.iter().map(String::as_str).eq(skip.iter().copied()) {
+                return Arc::clone(&c.names);
+            }
+        }
+        let names = Arc::new(crate::analyze::captures::capture_names(body, skip));
+        memo.insert(
+            key,
+            CachedCaptures {
+                _body: Arc::clone(body),
+                skip: skip.iter().map(|s| s.to_string()).collect(),
+                names: Arc::clone(&names),
+            },
+        );
+        names
+    }
+
+    /// Memoized capture split for lifted-mode UDFs.
+    fn split_captures(
+        &self,
+        body: &Arc<Expr>,
+        skip: &[&str],
+        lenv: &LEnv,
+    ) -> IrResult<(PureEnv, Vec<(String, InnerScalar<Value, Value>)>)> {
+        resolve_lifted_captures(&self.memo_capture_names(body, skip), lenv)
+    }
+
+    /// Memoized capture resolution for driver-mode UDFs (scalars only).
+    fn driver_captures(&self, body: &Arc<Expr>, skip: &[&str], env: &Env) -> IrResult<PureEnv> {
+        resolve_driver_captures(&self.memo_capture_names(body, skip), env)
+    }
+
+    /// Compile a UDF body once per lowering site for per-record evaluation;
+    /// `MatryoshkaConfig::interpret_udfs` forces the interpreted path (the
+    /// `udf_eval` ablation arm).
+    fn compile_udf(
+        &self,
+        body: &Arc<Expr>,
+        params: &[&str],
+        captures: PureEnv,
+    ) -> Arc<CompiledUdf> {
+        Arc::new(CompiledUdf::new(body, params, captures, self.config.interpret_udfs))
+    }
+
+    /// Compile a two-parameter combiner (reduceByKey/fold; captures are
+    /// empty — aggregation UDFs close over nothing, validated at parse).
+    fn compile_udf2(&self, l2: &Lambda2) -> Arc<CompiledUdf> {
+        self.compile_udf(&l2.body, &[&l2.a, &l2.b], PureEnv::new())
+    }
+
+    /// Compile a lifted-closure UDF: parameter 0 is the lambda's own
+    /// parameter, parameters 1.. are the lifted capture names, delivered per
+    /// record as one combined tuple ([`CompiledUdf::eval_with_combined`]).
+    fn compile_combined(
+        &self,
+        udf: &Lambda,
+        lifted: &[(String, InnerScalar<Value, Value>)],
+        pure: PureEnv,
+    ) -> Arc<CompiledUdf> {
+        let mut params: Vec<&str> = Vec::with_capacity(1 + lifted.len());
+        params.push(&udf.param);
+        params.extend(lifted.iter().map(|(n, _)| n.as_str()));
+        self.compile_udf(&udf.body, &params, pure)
     }
 
     /// Execute a parsed program. `inputs` binds the program's `Source`
@@ -395,41 +541,29 @@ impl Lowering {
             }
             Expr::Map(input, udf) => {
                 let bag = self.bag(input, env, inputs)?;
-                let (pure, _lifted) = driver_captures(&udf.body, &[&udf.param], env)?;
-                let body = Arc::clone(&udf.body);
-                let param = udf.param.clone();
-                RtVal::Bag(bag.map(move |v| {
-                    let mut env = pure.clone();
-                    env.insert(param.clone(), v.clone());
-                    eval_pure(&body, &env).expect("scalar UDF evaluation (validated at parse)")
-                }))
+                let pure = self.driver_captures(&udf.body, &[&udf.param], env)?;
+                let f = self.compile_udf(&udf.body, &[&udf.param], pure);
+                RtVal::Bag(
+                    bag.map(move |v| {
+                        f.eval1(v).expect("scalar UDF evaluation (validated at parse)")
+                    }),
+                )
             }
             Expr::Filter(input, udf) => {
                 let bag = self.bag(input, env, inputs)?;
-                let (pure, _) = driver_captures(&udf.body, &[&udf.param], env)?;
-                let body = Arc::clone(&udf.body);
-                let param = udf.param.clone();
+                let pure = self.driver_captures(&udf.body, &[&udf.param], env)?;
+                let f = self.compile_udf(&udf.body, &[&udf.param], pure);
                 RtVal::Bag(bag.filter(move |v| {
-                    let mut env = pure.clone();
-                    env.insert(param.clone(), v.clone());
-                    eval_pure(&body, &env)
+                    f.eval1(v)
                         .and_then(|v| v.as_bool())
                         .expect("boolean filter UDF (validated at parse)")
                 }))
             }
             Expr::FlatMapTuple(input, udf) => {
                 let bag = self.bag(input, env, inputs)?;
-                let (pure, _) = driver_captures(&udf.body, &[&udf.param], env)?;
-                let body = Arc::clone(&udf.body);
-                let param = udf.param.clone();
-                RtVal::Bag(bag.flat_map(move |v| {
-                    let mut env = pure.clone();
-                    env.insert(param.clone(), v.clone());
-                    match eval_pure(&body, &env).expect("scalar UDF") {
-                        Value::Tuple(items) => items.as_ref().clone(),
-                        other => vec![other],
-                    }
-                }))
+                let pure = self.driver_captures(&udf.body, &[&udf.param], env)?;
+                let f = self.compile_udf(&udf.body, &[&udf.param], pure);
+                RtVal::Bag(bag.flat_map(move |v| f.eval1(v).expect("scalar UDF").splat_tuple()))
             }
             Expr::GroupByKey(_) => {
                 return Err(IrError::Unsupported(
@@ -448,7 +582,10 @@ impl Lowering {
             }
             Expr::ReduceByKey(x, l2) => {
                 let bag = self.bag(x, env, inputs)?;
-                RtVal::Bag(unpairize(&pairize(&bag).reduce_by_key(pure2(l2))))
+                let f = self.compile_udf2(l2);
+                RtVal::Bag(unpairize(&pairize(&bag).reduce_by_key(move |a, b| {
+                    f.eval2(a, b).expect("scalar aggregation UDF (validated at parse)")
+                })))
             }
             Expr::Join(a, b) => {
                 let (a, b) = (self.bag(a, env, inputs)?, self.bag(b, env, inputs)?);
@@ -468,8 +605,10 @@ impl Lowering {
             Expr::Fold(x, zero, l2) => {
                 let bag = self.bag(x, env, inputs)?;
                 let z = self.scalar(zero, env, inputs)?;
-                let f = pure2(l2);
-                RtVal::Scalar(bag.fold(z, move |acc, v| f(&acc, v))?)
+                let f = self.compile_udf2(l2);
+                RtVal::Scalar(bag.fold(z, move |acc, v| {
+                    f.eval2(&acc, v).expect("scalar aggregation UDF (validated at parse)")
+                })?)
             }
             Expr::MapWithLiftedUdf { input, udf, closures } => {
                 self.eval_map_with_lifted_udf(input, udf, closures, env, inputs)?
@@ -508,7 +647,7 @@ impl Lowering {
     fn eval_map_with_lifted_udf(
         &self,
         input: &Expr,
-        udf: &crate::ast::Lambda,
+        udf: &Lambda,
         closures: &[String],
         env: &Env,
         inputs: &HashMap<String, Bag<Value>>,
@@ -678,99 +817,80 @@ impl Lowering {
             }
             Expr::Map(input, udf) => {
                 let inp = self.eval_lifted(input, lenv, ctx, inputs)?;
-                let (pure, lifted) = split_captures(&udf.body, &[&udf.param], lenv)?;
-                let body = Arc::clone(&udf.body);
-                let param = udf.param.clone();
+                let (pure, lifted) = self.split_captures(&udf.body, &[&udf.param], lenv)?;
                 match inp {
-                    LVal::Bag(b) if lifted.is_empty() => LVal::Bag(b.map(move |v| {
-                        let mut env = pure.clone();
-                        env.insert(param.clone(), v.clone());
-                        eval_pure(&body, &env).expect("lifted map UDF")
-                    })),
+                    LVal::Bag(b) if lifted.is_empty() => {
+                        let f = self.compile_udf(&udf.body, &[&udf.param], pure);
+                        LVal::Bag(b.map(move |v| f.eval1(v).expect("lifted map UDF")))
+                    }
                     // mapWithClosure (Sec. 5.1): the UDF reads lifted
-                    // scalars -> tag join.
+                    // scalars -> tag join. The compiled UDF binds the joined
+                    // closure tuple's components as parameters 1.. .
                     LVal::Bag(b) => {
                         let combined = combine_scalars(&lifted);
-                        let names = lifted;
+                        let f = self.compile_combined(udf, &lifted, pure);
                         LVal::Bag(b.map_with_scalar(&combined, move |v, c| {
-                            let mut env = pure.clone();
-                            bind_combined(&names, c, &mut env);
-                            env.insert(param.clone(), v.clone());
-                            eval_pure(&body, &env).expect("mapWithClosure UDF")
+                            f.eval_with_combined(v, c).expect("mapWithClosure UDF")
                         }))
                     }
                     // Half-lifted mapWithClosure (Sec. 5.2/8.3): mapping a
                     // *driver* bag with lifted closures is a cross product.
                     LVal::Driver(RtVal::Bag(db)) if !lifted.is_empty() => {
                         let combined = combine_scalars(&lifted);
-                        let names = lifted;
+                        let f = self.compile_combined(udf, &lifted, pure);
                         LVal::Bag(combined.cross_with_bag(&db, move |_t, c, p| {
-                            let mut env = pure.clone();
-                            bind_combined(&names, c, &mut env);
-                            env.insert(param.clone(), p.clone());
-                            Some(eval_pure(&body, &env).expect("half-lifted UDF"))
+                            Some(f.eval_with_combined(p, c).expect("half-lifted UDF"))
                         })?)
                     }
                     LVal::Driver(RtVal::Bag(db)) => {
                         // No lifted state involved: stays a driver map.
-                        LVal::Driver(RtVal::Bag(db.map(move |v| {
-                            let mut env = pure.clone();
-                            env.insert(param.clone(), v.clone());
-                            eval_pure(&body, &env).expect("driver map UDF")
-                        })))
+                        let f = self.compile_udf(&udf.body, &[&udf.param], pure);
+                        LVal::Driver(RtVal::Bag(
+                            db.map(move |v| f.eval1(v).expect("driver map UDF")),
+                        ))
                     }
                     _ => return Err(IrError::Type("map over a non-bag".into())),
                 }
             }
             Expr::Filter(input, udf) => {
                 let b = self.lifted_bag(input, lenv, ctx, inputs)?;
-                let (pure, lifted) = split_captures(&udf.body, &[&udf.param], lenv)?;
-                let body = Arc::clone(&udf.body);
-                let param = udf.param.clone();
+                let (pure, lifted) = self.split_captures(&udf.body, &[&udf.param], lenv)?;
                 if lifted.is_empty() {
-                    LVal::Bag(b.filter(move |v| {
-                        let mut env = pure.clone();
-                        env.insert(param.clone(), v.clone());
-                        eval_pure(&body, &env).and_then(|v| v.as_bool()).expect("filter UDF")
-                    }))
+                    let f = self.compile_udf(&udf.body, &[&udf.param], pure);
+                    LVal::Bag(
+                        b.filter(move |v| {
+                            f.eval1(v).and_then(|v| v.as_bool()).expect("filter UDF")
+                        }),
+                    )
                 } else {
                     let combined = combine_scalars(&lifted);
-                    let names = lifted;
+                    let f = self.compile_combined(udf, &lifted, pure);
                     LVal::Bag(b.filter_with_scalar(&combined, move |v, c| {
-                        let mut env = pure.clone();
-                        bind_combined(&names, c, &mut env);
-                        env.insert(param.clone(), v.clone());
-                        eval_pure(&body, &env).and_then(|v| v.as_bool()).expect("filter UDF")
+                        f.eval_with_combined(v, c).and_then(|v| v.as_bool()).expect("filter UDF")
                     }))
                 }
             }
             Expr::FlatMapTuple(input, udf) => {
                 let b = self.lifted_bag(input, lenv, ctx, inputs)?;
-                let (pure, lifted) = split_captures(&udf.body, &[&udf.param], lenv)?;
+                let (pure, lifted) = self.split_captures(&udf.body, &[&udf.param], lenv)?;
                 if !lifted.is_empty() {
                     return Err(IrError::Unsupported(
                         "flatMap with lifted closures is not supported in the IR dialect".into(),
                     ));
                 }
-                let body = Arc::clone(&udf.body);
-                let param = udf.param.clone();
-                LVal::Bag(b.flat_map(move |v| {
-                    let mut env = pure.clone();
-                    env.insert(param.clone(), v.clone());
-                    match eval_pure(&body, &env).expect("flatMap UDF") {
-                        Value::Tuple(items) => items.as_ref().clone(),
-                        other => vec![other],
-                    }
-                }))
+                let f = self.compile_udf(&udf.body, &[&udf.param], pure);
+                LVal::Bag(b.flat_map(move |v| f.eval1(v).expect("flatMap UDF").splat_tuple()))
             }
             Expr::ReduceByKey(input, l2) => {
                 // Lifted reduceByKey: composite (tag, key) re-keying
                 // (Sec. 4.4) via the typed layer.
                 let b = self.lifted_bag(input, lenv, ctx, inputs)?;
-                let f = pure2(l2);
+                let f = self.compile_udf2(l2);
                 let pairs =
                     b.map(|v| (v.proj(0).expect("(k,v) record"), v.proj(1).expect("(k,v) record")));
-                let reduced = pairs.reduce_by_key(move |a, b| f(a, b));
+                let reduced = pairs.reduce_by_key(move |a, b| {
+                    f.eval2(a, b).expect("scalar aggregation UDF (validated at parse)")
+                });
                 LVal::Bag(reduced.map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()])))
             }
             Expr::Join(a, b) => {
@@ -815,14 +935,21 @@ impl Lowering {
             },
             Expr::Fold(x, zero, l2) => {
                 let b = self.lifted_bag(x, lenv, ctx, inputs)?;
-                let (pure, lifted) = split_captures(zero, &[], lenv)?;
+                // The zero is evaluated once (not per record): the plain
+                // capture walk + interpreter is the right tool here.
+                let zero_names = crate::analyze::captures::capture_names(zero, &[]);
+                let (pure, lifted) = resolve_lifted_captures(&zero_names, lenv)?;
                 if !lifted.is_empty() {
                     return Err(IrError::Unsupported("fold zero must not be lifted".into()));
                 }
                 let z = eval_pure(zero, &pure)?;
-                let f = pure2(l2);
-                let g = pure2(l2);
-                let folded = b.fold(z, move |a, v| f(a, v), move |a, b| g(a, b));
+                let f = self.compile_udf2(l2);
+                let g = Arc::clone(&f);
+                let folded = b.fold(
+                    z,
+                    move |a, v| f.eval2(a, v).expect("scalar aggregation UDF (validated at parse)"),
+                    move |a, b| g.eval2(a, b).expect("scalar aggregation UDF (validated at parse)"),
+                );
                 LVal::Scalar(folded)
             }
             // Lifted materialization hint: cache the tagged representation
@@ -969,36 +1096,5 @@ impl Lowering {
             LVal::Bag(b) => Ok(b),
             _ => Err(IrError::Type("expected an inner bag".into())),
         }
-    }
-}
-
-/// Capture driver-mode UDF closures: free variables must be scalars.
-fn driver_captures(body: &Expr, skip: &[&str], env: &Env) -> IrResult<(PureEnv, ())> {
-    let mut pure = PureEnv::new();
-    for name in crate::analyze::captures::capture_names(body, skip) {
-        match env.get(&name) {
-            Some(RtVal::Scalar(v)) => {
-                pure.insert(name, v.clone());
-            }
-            Some(_) => {
-                return Err(IrError::Unsupported(format!(
-                    "UDF captures the bag {name}; nested bag use requires lifting \
-                     (run the parsing phase)"
-                )))
-            }
-            None => return Err(IrError::Unbound(name)),
-        }
-    }
-    Ok((pure, ()))
-}
-
-fn pure2(l2: &Lambda2) -> impl Fn(&Value, &Value) -> Value + Send + Sync + Clone + 'static {
-    let body = Arc::clone(&l2.body);
-    let (a, b) = (l2.a.clone(), l2.b.clone());
-    move |x: &Value, y: &Value| {
-        let mut env = PureEnv::new();
-        env.insert(a.clone(), x.clone());
-        env.insert(b.clone(), y.clone());
-        eval_pure(&body, &env).expect("scalar aggregation UDF (validated at parse)")
     }
 }

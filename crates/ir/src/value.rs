@@ -44,11 +44,29 @@ impl Value {
 
     /// Project a tuple component.
     pub fn proj(&self, i: usize) -> IrResult<Value> {
+        self.proj_ref(i).cloned()
+    }
+
+    /// Borrowing projection: the component by reference, with the same
+    /// errors as [`Value::proj`]. Lets chained projections (`v.0.1`) walk to
+    /// the final component and clone only once — the compiled-UDF
+    /// evaluator's projection-path fast path ([`crate::compile`]).
+    pub fn proj_ref(&self, i: usize) -> IrResult<&Value> {
         match self {
-            Value::Tuple(items) => items.get(i).cloned().ok_or_else(|| {
+            Value::Tuple(items) => items.get(i).ok_or_else(|| {
                 IrError::Type(format!("tuple index {i} out of bounds (len {})", items.len()))
             }),
             other => Err(IrError::Type(format!("projection .{i} on non-tuple {other}"))),
+        }
+    }
+
+    /// Flatten for `flatMap`: a tuple's components individually, any other
+    /// value as a singleton (the `FlatMapTuple` emission rule, shared by the
+    /// interpreted and compiled UDF paths in [`crate::Lowering`]).
+    pub fn splat_tuple(self) -> Vec<Value> {
+        match self {
+            Value::Tuple(items) => items.as_ref().clone(),
+            other => vec![other],
         }
     }
 
@@ -197,6 +215,24 @@ mod tests {
         vs.sort();
         assert_eq!(vs[0], Value::Unit);
         assert_eq!(vs[1], Value::Long(1));
+    }
+
+    #[test]
+    fn proj_ref_matches_proj() {
+        let t = Value::tuple(vec![Value::Long(7), Value::str("a")]);
+        assert_eq!(t.proj_ref(1).unwrap(), &Value::str("a"));
+        assert_eq!(t.proj_ref(9).unwrap_err().to_string(), t.proj(9).unwrap_err().to_string());
+        assert_eq!(
+            Value::Long(1).proj_ref(0).unwrap_err().to_string(),
+            Value::Long(1).proj(0).unwrap_err().to_string()
+        );
+    }
+
+    #[test]
+    fn splat_tuple_flattens_only_tuples() {
+        let t = Value::tuple(vec![Value::Long(1), Value::Long(2)]);
+        assert_eq!(t.splat_tuple(), vec![Value::Long(1), Value::Long(2)]);
+        assert_eq!(Value::Long(3).splat_tuple(), vec![Value::Long(3)]);
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Differential property tests pinning the compiled UDF evaluator
+//! ([`matryoshka_ir::CompiledUdf`]) to the tree-walking interpreter
+//! ([`matryoshka_ir::eval_pure`]), which stays in the codebase precisely to
+//! serve as this oracle.
+//!
+//! For hundreds of seeded random scalar expression trees — nested `let`
+//! chains, shadowing, guaranteed-terminating `loop`s, mixed Long/Double
+//! arithmetic, and deliberately ill-typed or bag-containing subtrees — the
+//! two evaluators must agree *exactly*: same `Value` bit-for-bit (doubles
+//! compare by bit pattern), same error message, or same panic. A final
+//! end-to-end test runs whole programs through the [`Lowering`] twice
+//! (compiled vs. `interpret_udfs`) and compares results.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use matryoshka_core::MatryoshkaConfig;
+use matryoshka_engine::{Bag, Engine};
+use matryoshka_ir::ast::{BinOp, Expr, UnOp};
+use matryoshka_ir::{eval_pure, parsing_phase, CompiledUdf, Dialect, Lowering, RtVal, Value};
+
+/// splitmix64 (same generator the round-trip property tests use).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates *scalar-shaped* expression trees over two parameters and three
+/// captured names. Unlike the round-trip generator it needs no surface
+/// syntax, so it can produce shadowing, arbitrary tuples, and (rarely)
+/// bag-op subtrees whose lazy errors both evaluators must reproduce alike.
+struct Gen {
+    rng: Rng,
+    scope: Vec<String>,
+    fresh: u32,
+}
+
+impl Gen {
+    fn fresh_name(&mut self) -> String {
+        self.fresh += 1;
+        format!("x{}", self.fresh)
+    }
+
+    fn leaf(&mut self) -> Expr {
+        match self.rng.below(8) {
+            0 => Expr::long(self.rng.below(100) as i64),
+            1 => Expr::Const(Value::Bool(self.rng.below(2) == 0)),
+            2 => Expr::Const(Value::Double([0.5, -1.25, 3.0, 10.75][self.rng.below(4) as usize])),
+            3 => Expr::Const(Value::Str(["a", "bee"][self.rng.below(2) as usize].into())),
+            _ => {
+                let i = self.rng.below(self.scope.len() as u64) as usize;
+                Expr::var(&self.scope[i].clone())
+            }
+        }
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf();
+        }
+        let d = depth - 1;
+        match self.rng.below(16) {
+            0 | 1 => self.leaf(),
+            2 => {
+                let n = 2 + self.rng.below(2);
+                Expr::Tuple((0..n).map(|_| self.expr(d)).collect())
+            }
+            3 => Expr::proj(self.expr(d), self.rng.below(3) as usize),
+            4..=6 => {
+                const OPS: [BinOp; 9] = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Eq,
+                    BinOp::Lt,
+                    BinOp::Gt,
+                    BinOp::And,
+                    BinOp::Or,
+                ];
+                let op = OPS[self.rng.below(9) as usize];
+                Expr::bin(op, self.expr(d), self.expr(d))
+            }
+            7 => {
+                let op = [UnOp::Not, UnOp::Neg, UnOp::ToDouble][self.rng.below(3) as usize];
+                Expr::Un(op, Box::new(self.expr(d)))
+            }
+            8..=10 => {
+                // `let` chains, sometimes deliberately shadowing an
+                // in-scope name (slot resolution must keep them apart).
+                let n = if self.rng.below(3) == 0 && !self.scope.is_empty() {
+                    let i = self.rng.below(self.scope.len() as u64) as usize;
+                    self.scope[i].clone()
+                } else {
+                    self.fresh_name()
+                };
+                let v = self.expr(d);
+                self.scope.push(n.clone());
+                let b = self.expr(d);
+                self.scope.pop();
+                Expr::Let(n, Box::new(v), Box::new(b))
+            }
+            11 | 12 => {
+                Expr::If(Box::new(self.expr(d)), Box::new(self.expr(d)), Box::new(self.expr(d)))
+            }
+            13 | 14 => {
+                // A loop that provably terminates: a fresh counter ticks
+                // down from a small literal, the extra variable is random.
+                let i = self.fresh_name();
+                let acc = self.fresh_name();
+                let init_i = Expr::long(self.rng.below(12) as i64);
+                let init_acc = self.expr(d);
+                self.scope.push(i.clone());
+                self.scope.push(acc.clone());
+                let step_acc = self.expr(d);
+                let result = self.expr(d);
+                self.scope.pop();
+                self.scope.pop();
+                Expr::Loop {
+                    init: vec![(i.clone(), init_i), (acc, init_acc)],
+                    cond: Box::new(Expr::bin(BinOp::Gt, Expr::var(&i), Expr::long(0))),
+                    step: vec![Expr::bin(BinOp::Sub, Expr::var(&i), Expr::long(1)), step_acc],
+                    result: Box::new(result),
+                }
+            }
+            _ => {
+                // Rare bag-op subtree: unsupported in a scalar context, but
+                // only when evaluation *reaches* it (laziness parity).
+                Expr::Count(Box::new(Expr::Source("xs".into())))
+            }
+        }
+    }
+}
+
+type Outcome = Result<Result<Value, String>, ()>;
+
+/// Evaluate with panics captured (debug-mode arithmetic overflow must
+/// happen on both sides or neither).
+fn capture(f: impl FnOnce() -> Result<Value, matryoshka_ir::IrError>) -> Outcome {
+    catch_unwind(AssertUnwindSafe(f)).map(|r| r.map_err(|e| e.to_string())).map_err(|_| ())
+}
+
+fn differential_case(seed: u64, depth: u32) {
+    let mut g = Gen {
+        rng: Rng(seed.wrapping_mul(0x9e3779b9) ^ 0x636f_6d70_696c_6564), // "compiled"
+        scope: vec!["p".into(), "q".into(), "ca".into(), "cb".into(), "cc".into()],
+        fresh: 0,
+    };
+    let body = Arc::new(g.expr(depth));
+    let captures: HashMap<String, Value> = HashMap::from([
+        ("ca".to_string(), Value::Long(7)),
+        ("cb".to_string(), Value::Double(0.25)),
+        ("cc".to_string(), Value::tuple(vec![Value::Long(1), Value::str("t")])),
+    ]);
+    let compiled = CompiledUdf::new(&body, &["p", "q"], captures.clone(), false);
+    assert!(compiled.is_compiled());
+
+    let args = [
+        (Value::Long(5), Value::Long(-3)),
+        (Value::Double(2.5), Value::Long(1000)),
+        (Value::tuple(vec![Value::Long(9), Value::Bool(true)]), Value::str("s")),
+    ];
+    for (p, q) in &args {
+        let got = capture(|| compiled.eval2(p, q));
+        let want = capture(|| {
+            let mut env = captures.clone();
+            env.insert("p".to_string(), p.clone());
+            env.insert("q".to_string(), q.clone());
+            eval_pure(&body, &env)
+        });
+        assert_eq!(
+            got, want,
+            "seed {seed}: compiled and interpreted disagree on {body:?} at p={p}, q={q}"
+        );
+    }
+}
+
+#[test]
+fn compiled_matches_interpreter_on_random_trees() {
+    // Keep panics from the expected overflow/type-error cases quiet.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = catch_unwind(|| {
+        for seed in 0..600u64 {
+            differential_case(seed, 4);
+        }
+        // A handful of deep trees: long let chains and nested loops.
+        for seed in [3u64, 17, 99, 256, 4095] {
+            differential_case(seed, 6);
+        }
+    });
+    std::panic::set_hook(prev);
+    run.expect("differential property failed");
+}
+
+#[test]
+fn deep_let_chain_is_linear_and_exact() {
+    // let a1 = p + 1 in let a2 = a1 + 1 in ... yields p + n: a 400-binder
+    // chain is far past where the old clone-per-let interpreter hurt, and
+    // both evaluators must still agree exactly. Both walk the chain
+    // recursively, so give the test thread a roomy stack for debug builds.
+    std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(|| {
+            let mut body = Expr::var("a400");
+            for i in (1..=400u32).rev() {
+                let prev = if i == 1 { "p".to_string() } else { format!("a{}", i - 1) };
+                body = Expr::Let(
+                    format!("a{i}"),
+                    Box::new(Expr::bin(BinOp::Add, Expr::var(&prev), Expr::long(1))),
+                    Box::new(body),
+                );
+            }
+            let body = Arc::new(body);
+            let compiled = CompiledUdf::new(&body, &["p"], HashMap::new(), false);
+            let mut env = HashMap::from([("p".to_string(), Value::Long(10))]);
+            assert_eq!(compiled.eval1(&Value::Long(10)).unwrap(), Value::Long(410));
+            env.insert("p".to_string(), Value::Long(-400));
+            assert_eq!(
+                compiled.eval1(&Value::Long(-400)).unwrap(),
+                eval_pure(&body, &env).unwrap()
+            );
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+/// End-to-end: the same program lowered twice — compiled UDFs vs. the
+/// `interpret_udfs` ablation — must produce identical bags.
+#[test]
+fn lowering_results_identical_compiled_vs_interpreted() {
+    let program = matryoshka_ir::parse_program(
+        "map(groupByKey(source(visits)), g =>
+            let total = fold(map(g.1, ip => (let w = ip * 2 in w + 1)), 0, (a, b) => a + b) in
+            (g.0, toDouble(total) / toDouble(count(g.1))))",
+    )
+    .unwrap();
+    let parsed = parsing_phase(&program, &["visits"], Dialect::Matryoshka).unwrap();
+
+    let run_with = |interpret: bool| -> Vec<Value> {
+        let engine = Engine::local();
+        let visits: Bag<Value> = engine.parallelize(
+            (0..40i64).map(|i| Value::tuple(vec![Value::Long(i % 4), Value::Long(i)])).collect(),
+            4,
+        );
+        let mut cfg = MatryoshkaConfig::optimized();
+        cfg.interpret_udfs = interpret;
+        let out = Lowering::new(engine, cfg)
+            .run(&parsed, &HashMap::from([("visits".to_string(), visits)]))
+            .unwrap();
+        match out {
+            RtVal::Bag(b) => {
+                let mut rows = b.collect().unwrap();
+                rows.sort();
+                rows
+            }
+            other => panic!("expected a bag, got {other:?}"),
+        }
+    };
+
+    let compiled = run_with(false);
+    let interpreted = run_with(true);
+    assert_eq!(compiled, interpreted);
+    assert_eq!(compiled.len(), 4);
+}

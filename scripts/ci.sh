@@ -51,12 +51,17 @@ cargo run -q --bin matryoshka-check -- --adaptive-config \
 echo "== sanitizers (best effort: miri, then TSan, else skip)"
 # The container has no network, so missing toolchain components (miri,
 # rust-src for -Zbuild-std) cannot be installed on the fly; skip cleanly.
+# The filter covers the engine pool/fusion tests and the UDF compiler's
+# unit tests (thread-local frame reentrancy + take/replace discipline).
 if cargo miri --version >/dev/null 2>&1 \
-  && cargo miri test -p matryoshka-engine --lib pool fuse 2>/dev/null; then
-  echo "miri: engine pool + fusion tests passed"
+  && cargo miri test -p matryoshka-engine --lib pool fuse 2>/dev/null \
+  && cargo miri test -p matryoshka-ir --lib compile 2>/dev/null; then
+  echo "miri: engine pool + fusion + ir compile tests passed"
 elif RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p matryoshka-engine --lib pool fuse \
+    -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" 2>/dev/null \
+  && RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p matryoshka-ir --lib compile \
     -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" 2>/dev/null; then
-  echo "TSan: engine pool + fusion tests passed"
+  echo "TSan: engine pool + fusion + ir compile tests passed"
 else
   echo "sanitizers unavailable in this toolchain (miri/rust-src not installed); skipping"
 fi
@@ -68,16 +73,20 @@ grep -q '"median_ms"' "$BENCH_SMOKE_OUT" || {
   echo "bench smoke did not emit machine-readable records to $BENCH_SMOKE_OUT" >&2
   exit 1
 }
-# The fusion ablation must emit both arms so the fused/unfused comparison in
-# BENCH_micro.json never silently loses a side.
+# Each ablation must emit both arms so the pairwise comparisons in
+# BENCH_micro.json never silently lose a side.
 for arm in 'narrow_chain/fused' 'narrow_chain/unfused' \
-  'plan_rewrites/hoist_on' 'plan_rewrites/hoist_off'; do
+  'plan_rewrites/hoist_on' 'plan_rewrites/hoist_off' \
+  'udf_eval/interpreted' 'udf_eval/compiled'; do
   grep -q "\"$arm\"" "$BENCH_SMOKE_OUT" || {
     echo "bench smoke is missing the $arm ablation row" >&2
     exit 1
   }
 done
 rm -f "$BENCH_SMOKE_OUT"
+# The committed artifact must stay parseable and keep the compiled-vs-
+# interpreted UDF speedup it was measured with (full sizes, not smoke).
+cargo bench -p matryoshka-bench --bench micro -- --validate BENCH_micro.json
 
 echo "== fig7 skew bench smoke (adaptive sweep) + BENCH_skew.json parse check"
 SKEW_SMOKE_OUT="$(mktemp)"
